@@ -1,0 +1,100 @@
+"""Ablation A3 (§4.4) — the local-object lock counter.
+
+JavaSplit avoids the full synchronization handler for objects that never
+escaped their creating thread: acquires become counter bumps, cheaper
+even than the original Java monitorenter.  This ablation runs an
+unneeded-synchronization-heavy workload (the paper cites [4]: most Java
+synchronization guards thread-local data) with the optimization on and
+off.
+
+Expected shape: a large time reduction with the counter on; identical
+results either way.
+"""
+
+import pytest
+
+from repro.dsm import DsmConfig
+from repro.bench import emit
+from repro.runtime import RuntimeConfig, run_distributed
+
+# Heavy use of a synchronized method on thread-local objects — the
+# "great amount of unneeded synchronization" pattern of §4.4.
+WORKLOAD = """
+class Buffer {
+    int size;
+    synchronized void add() { size += 1; }
+    synchronized int flush() { int s = size; size = 0; return s; }
+}
+class Filler extends Thread {
+    int total;
+    void run() {
+        Buffer local = new Buffer();   // never escapes this thread
+        int acc = 0;
+        for (int i = 0; i < 300; i++) {
+            local.add();
+            if (i % 10 == 9) { acc += local.flush(); }
+        }
+        total = acc;
+    }
+}
+class Main {
+    static int main() {
+        int k = 4;
+        Filler[] ts = new Filler[k];
+        for (int i = 0; i < k; i++) { ts[i] = new Filler(); ts[i].start(); }
+        int total = 0;
+        for (int i = 0; i < k; i++) { ts[i].join(); total += ts[i].total; }
+        return total;
+    }
+}
+"""
+
+EXPECTED = 4 * 300
+
+
+def _run(local_lock_opt: bool):
+    cfg = RuntimeConfig(
+        num_nodes=2,
+        dsm=DsmConfig(local_lock_opt=local_lock_opt),
+    )
+    return run_distributed(source=WORKLOAD, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def locallock_results():
+    return {"counter on": _run(True), "counter off": _run(False)}
+
+
+def test_ablation_locallock_regenerate(locallock_results, benchmark):
+    benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)
+    lines = [f"{'variant':<14}{'time (ms)':>12}{'local acq':>11}"
+             f"{'shared acq':>12}{'result':>9}"]
+    for name, rep in locallock_results.items():
+        d = rep.total_dsm()
+        lines.append(
+            f"{name:<14}{rep.simulated_ns / 1e6:>12.3f}"
+            f"{d.local_acquires:>11}{d.shared_acquires:>12}{rep.result:>9}"
+        )
+    emit("ablation_locallock", "\n".join(lines))
+    on = locallock_results["counter on"]
+    off = locallock_results["counter off"]
+    assert on.simulated_ns < off.simulated_ns
+
+
+def test_results_identical(locallock_results):
+    for rep in locallock_results.values():
+        assert rep.result == EXPECTED
+
+
+def test_counter_used_only_when_enabled(locallock_results):
+    on = locallock_results["counter on"].total_dsm()
+    off = locallock_results["counter off"].total_dsm()
+    assert on.local_acquires > 1000
+    assert off.local_acquires == 0
+    assert off.shared_acquires > on.shared_acquires
+
+
+def test_counter_saves_time(locallock_results):
+    on = locallock_results["counter on"].simulated_ns
+    off = locallock_results["counter off"].simulated_ns
+    assert on < off * 0.9

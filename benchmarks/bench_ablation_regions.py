@@ -1,0 +1,111 @@
+"""Ablation A5 (§4.3 extension) — array-region coherency units.
+
+"Although currently we treat each array as a single coherency unit, in
+the future we plan to divide big arrays into several coherency units."
+This ablation quantifies why: with block-partitioned readers over one
+big shared array, the whole-array unit ships the full array to every
+node, while region units ship only what each node touches.
+
+Expected shape: fetched bytes fall as regions shrink — until per-message
+overhead dominates and the curve turns back up (the classic granularity
+tradeoff).
+"""
+
+import pytest
+
+from repro.dsm import DsmConfig
+from repro.bench import emit
+from repro.lang import compile_source
+from repro.rewriter import rewrite_application
+from repro.runtime import JavaSplitRuntime, RuntimeConfig
+
+WORKLOAD = """
+class Work {
+    double[] data;
+    int lo;
+    int hi;
+    double result;
+    Work(double[] d, int lo, int hi) { data = d; this.lo = lo; this.hi = hi; }
+}
+class Reader extends Thread {
+    Work w;
+    Reader(Work w) { this.w = w; }
+    void run() {
+        double s = 0.0;
+        for (int i = w.lo; i < w.hi; i++) { s += w.data[i]; }
+        w.result = s;
+    }
+}
+class Main {
+    static int main() {
+        int n = 2048;
+        double[] data = new double[n];
+        for (int i = 0; i < n; i++) { data[i] = (double) i; }
+        int k = 8;
+        Reader[] ts = new Reader[k];
+        for (int i = 0; i < k; i++) {
+            ts[i] = new Reader(new Work(data, i * n / k, (i + 1) * n / k));
+            ts[i].start();
+        }
+        double total = 0.0;
+        for (int i = 0; i < k; i++) { ts[i].join(); total += ts[i].w.result; }
+        return (int) total;
+    }
+}
+"""
+
+EXPECTED = sum(range(2048))
+REGION_SIZES = (None, 1024, 256, 64, 16)
+
+
+def _run(region_elems):
+    cfg = RuntimeConfig(
+        num_nodes=4,
+        dsm=DsmConfig(array_region_elems=region_elems),
+    )
+    return JavaSplitRuntime(
+        rewrite_application(compile_source(WORKLOAD)), cfg
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def region_results():
+    return {size: _run(size) for size in REGION_SIZES}
+
+
+def test_ablation_regions_regenerate(region_results, benchmark):
+    benchmark.pedantic(lambda: _run(256), rounds=1, iterations=1)
+    lines = [f"{'region elems':<14}{'time (ms)':>11}{'fetches':>9}"
+             f"{'fetch KB':>10}{'net KB':>8}{'result':>9}"]
+    for size, rep in region_results.items():
+        d = rep.total_dsm()
+        label = "whole array" if size is None else str(size)
+        lines.append(
+            f"{label:<14}{rep.simulated_ns / 1e6:>11.2f}{d.fetches:>9}"
+            f"{d.fetch_bytes / 1024:>10.1f}{rep.net.bytes / 1024:>8.1f}"
+            f"{rep.result:>9}"
+        )
+    emit("ablation_regions", "\n".join(lines))
+    for rep in region_results.values():
+        assert rep.result == EXPECTED
+
+
+def test_all_region_sizes_correct(region_results):
+    for size, rep in region_results.items():
+        assert rep.result == EXPECTED, size
+
+
+def test_regions_cut_fetch_traffic(region_results):
+    """Block-partitioned readers: region units fetch far less than the
+    whole-array unit."""
+    whole = region_results[None].total_dsm().fetch_bytes
+    regioned = region_results[256].total_dsm().fetch_bytes
+    assert regioned < whole * 0.7
+
+
+def test_granularity_tradeoff_visible(region_results):
+    """Tiny regions pay per-message overhead: more fetches than coarse
+    regions (the turn of the granularity curve)."""
+    coarse = region_results[1024].total_dsm().fetches
+    fine = region_results[16].total_dsm().fetches
+    assert fine > coarse

@@ -1,0 +1,97 @@
+"""Ablation A1 (§3.1) — scalar vs vector timestamps.
+
+MTS-HLRC replaces per-CU vector timestamps with scalars, shrinking
+every write notice to a single integer at the cost of fencing remote
+lock transfers on outstanding diff acks.  This ablation runs a
+lock-transfer-heavy workload under both modes and reports time, notice
+traffic and fence waits.
+
+Expected shape: the scalar mode incurs fence waits (the §3.1 tradeoff)
+but ships less notice data per transfer; both modes are correct.
+"""
+
+import pytest
+
+from repro.dsm import HLRC_BASELINE, MTS_HLRC, DsmConfig
+from repro.bench import emit
+from repro.runtime import RuntimeConfig, run_distributed, run_original
+
+WORKLOAD = """
+class Cell { int v; }
+class Bump extends Thread {
+    Cell[] cells;
+    int reps;
+    Bump(Cell[] cells, int reps) { this.cells = cells; this.reps = reps; }
+    void run() {
+        for (int i = 0; i < reps; i++) {
+            Cell c = cells[i % cells.length];
+            synchronized (c) { c.v += 1; }
+        }
+    }
+}
+class Main {
+    static int main() {
+        int ncells = 8;
+        int k = 8;
+        int reps = 40;
+        Cell[] cells = new Cell[ncells];
+        for (int i = 0; i < ncells; i++) { cells[i] = new Cell(); }
+        Bump[] ts = new Bump[k];
+        for (int i = 0; i < k; i++) { ts[i] = new Bump(cells, reps); ts[i].start(); }
+        int total = 0;
+        for (int i = 0; i < k; i++) { ts[i].join(); }
+        for (int i = 0; i < ncells; i++) { total += cells[i].v; }
+        return total;
+    }
+}
+"""
+
+EXPECTED = 8 * 40
+
+
+def _run(dsm: DsmConfig):
+    cfg = RuntimeConfig(num_nodes=4, dsm=dsm)
+    return run_distributed(source=WORKLOAD, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    return {
+        "scalar (MTS-HLRC)": _run(MTS_HLRC),
+        "vector (HLRC)": _run(HLRC_BASELINE),
+    }
+
+
+def test_ablation_timestamps_regenerate(ablation_results, benchmark):
+    benchmark.pedantic(lambda: _run(MTS_HLRC), rounds=1, iterations=1)
+    lines = [f"{'mode':<22}{'time (ms)':>12}{'tokens':>9}{'fences':>9}"
+             f"{'net bytes':>12}{'result':>9}"]
+    for name, rep in ablation_results.items():
+        d = rep.total_dsm()
+        lines.append(
+            f"{name:<22}{rep.simulated_ns / 1e6:>12.2f}"
+            f"{d.token_transfers:>9}{d.fence_waits:>9}"
+            f"{rep.net.bytes:>12}{rep.result:>9}"
+        )
+    emit("ablation_timestamps", "\n".join(lines))
+    for rep in ablation_results.values():
+        assert rep.result == EXPECTED
+
+
+def test_both_modes_correct(ablation_results):
+    for name, rep in ablation_results.items():
+        assert rep.result == EXPECTED, name
+
+
+def test_scalar_mode_pays_with_fences(ablation_results):
+    """The §3.1 tradeoff: only the scalar mode delays lock transfers."""
+    scalar = ablation_results["scalar (MTS-HLRC)"].total_dsm()
+    vector = ablation_results["vector (HLRC)"].total_dsm()
+    assert vector.fence_waits == 0
+    # With 8 threads hammering 8 locks, some transfer must hit the fence.
+    assert scalar.fence_waits > 0
+
+
+def test_both_modes_transfer_tokens(ablation_results):
+    for rep in ablation_results.values():
+        assert rep.total_dsm().token_transfers > 10

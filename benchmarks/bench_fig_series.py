@@ -1,0 +1,81 @@
+"""Table 4 figure — Series (Fourier coefficients) execution time and
+speedup, 1-16 nodes × 2 threads, both JVM brands (§6.2).
+
+Paper shape: speedup close to proportional to node count; efficiency
+below 100% due to the instrumentation slowdown; the IBM brand's speedup
+is markedly *lower* than Sun's because the original Series runs much
+faster on the IBM JVM (the speedup denominator shrinks, the distributed
+times stay similar).
+"""
+
+import pytest
+
+from repro.apps import series
+from repro.bench import emit, figure_sweep, format_figure
+
+PARAMS = dict(n_coeffs=128, steps=120)
+DILATION = 1200
+
+
+def _sweep(brand):
+    return figure_sweep(
+        "series",
+        lambda k: series.make_source(n_threads=k, **PARAMS),
+        brand=brand,
+        time_dilation=DILATION,
+    )
+
+
+@pytest.fixture(scope="module")
+def series_results():
+    return {brand: _sweep(brand) for brand in ("sun", "ibm")}
+
+
+def test_fig_series_regenerate(series_results, benchmark):
+    benchmark.pedantic(
+        lambda: figure_sweep(
+            "series-smoke",
+            lambda k: series.make_source(n_coeffs=8, steps=10, n_threads=k),
+            brand="sun", node_counts=(1, 2),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("fig_series", format_figure(list(series_results.values())))
+    for res in series_results.values():
+        speedups = [p.speedup for p in res.points]
+        assert speedups == sorted(speedups), "speedup must grow with nodes"
+        assert res.speedup_at(16) > 5.0
+
+
+@pytest.mark.parametrize("brand", ["sun", "ibm"])
+def test_fig_series_speedup_scales(series_results, brand):
+    res = series_results[brand]
+    assert res.speedup_at(2) > 1.3
+    assert res.speedup_at(4) > 2.3
+    assert res.speedup_at(8) > 4.0
+    assert res.speedup_at(16) > 5.0
+
+
+@pytest.mark.parametrize("brand", ["sun", "ibm"])
+def test_fig_series_times_decrease(series_results, brand):
+    times = [p.time_s for p in series_results[brand].points]
+    assert times == sorted(times, reverse=True)
+
+
+def test_fig_series_ibm_speedup_lower_than_sun(series_results):
+    """§6.2: 'In Series, the speedup obtained by the IBM's JVM is
+    significantly lower than the one obtained by the Sun's JVM ...
+    due to the much lower execution time of Series on a single IBM
+    JVM.'"""
+    sun = series_results["sun"]
+    ibm = series_results["ibm"]
+    assert ibm.baseline_time_s < sun.baseline_time_s
+    assert ibm.speedup_at(16) < sun.speedup_at(16)
+
+
+def test_fig_series_single_node_slowdown_is_instrumentation(series_results):
+    """At 1 node the only difference from the baseline is rewriting:
+    the paper quotes app-level slowdown factors of 1.5-6."""
+    for res in series_results.values():
+        slowdown = res.points[0].time_s / res.baseline_time_s
+        assert 1.05 < slowdown < 6.0

@@ -1,0 +1,79 @@
+"""Table 1 — Heap data access latency (§6.1).
+
+Regenerates the paper's Table 1: per-access latency of field / static /
+array reads and writes, original vs rewritten bytecode, on both JVM
+brands.  Paper shape: Sun slowdowns land in 2.2-5.6x, IBM in 12-55x,
+with array reads the worst case on IBM.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table1, measure_access_latency
+
+# Paper Table 1 slowdown targets, with tolerance bands (our measurement
+# subtracts a baseline loop, so a few percent of skew is expected).
+PAPER_SLOWDOWN_BANDS = {
+    "sun": {
+        "field read": (1.9, 2.5),    # paper: 2.17
+        "field write": (2.2, 2.9),   # paper: 2.56
+        "static read": (1.9, 2.6),   # paper: 2.2
+        "static write": (2.6, 3.6),  # paper: 3.1
+        "array read": (4.8, 6.3),    # paper: 5.57
+        "array write": (3.5, 4.7),   # paper: 4.1
+    },
+    "ibm": {
+        "field read": (20.0, 29.0),   # paper: 24.9
+        "field write": (10.0, 15.0),  # paper: 12.2
+        "static read": (22.0, 32.0),  # paper: 26.9
+        "static write": (9.0, 15.0),  # paper: 11.9
+        "array read": (45.0, 62.0),   # paper: 55.1
+        "array write": (20.0, 31.0),  # paper: 25.7
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return {
+        brand: measure_access_latency(brand)
+        for brand in ("sun", "ibm")
+    }
+
+
+def test_table1_regenerate(table1_rows, benchmark):
+    benchmark.pedantic(
+        lambda: measure_access_latency("sun", kinds=["field read"], iters=2_000),
+        rounds=1, iterations=1,
+    )
+    emit("table1_access_latency", format_table1(table1_rows))
+
+
+@pytest.mark.parametrize("brand", ["sun", "ibm"])
+def test_table1_slowdowns_in_paper_bands(table1_rows, brand):
+    for row in table1_rows[brand]:
+        lo, hi = PAPER_SLOWDOWN_BANDS[brand][row.kind]
+        assert lo <= row.slowdown <= hi, (
+            f"{brand} {row.kind}: slowdown {row.slowdown:.2f} outside "
+            f"paper band [{lo}, {hi}]"
+        )
+
+
+def test_table1_ibm_baseline_accesses_much_cheaper(table1_rows):
+    """IBM's optimized heap accesses are ~an order of magnitude cheaper
+    than Sun's — the mechanism behind the asymmetric slowdowns."""
+    for sun_row, ibm_row in zip(table1_rows["sun"], table1_rows["ibm"]):
+        assert ibm_row.original_ns * 4 < sun_row.original_ns
+
+
+def test_table1_rewritten_latencies_comparable_across_brands(table1_rows):
+    """The check cost itself is brand-insensitive: rewritten latencies
+    land within a small factor of each other."""
+    for sun_row, ibm_row in zip(table1_rows["sun"], table1_rows["ibm"]):
+        ratio = sun_row.rewritten_ns / ibm_row.rewritten_ns
+        assert 0.3 < ratio < 8.0
+
+
+def test_table1_array_read_worst_on_ibm(table1_rows):
+    rows = {r.kind: r for r in table1_rows["ibm"]}
+    worst = max(rows.values(), key=lambda r: r.slowdown)
+    assert worst.kind == "array read"

@@ -1,0 +1,56 @@
+"""Table 3 — Communication latency vs message size (§6.1).
+
+Paper shape: latency is dominated by the fixed per-message cost at small
+sizes and by the 100 Mbit wire at 65000 B (~6 ms one-way); the IBM
+communication stack has a much smaller fixed cost than Sun's.
+"""
+
+import pytest
+
+from repro.bench import MESSAGE_SIZES, emit, format_table3, measure_comm_latency
+
+# Paper Table 3 (ms), with generous bands for the linear latency model.
+PAPER_BANDS = {
+    "sun": {65: (0.4, 0.9), 650: (0.4, 1.0), 6500: (0.8, 1.6),
+            65000: (5.0, 7.5)},
+    "ibm": {65: (0.05, 0.2), 650: (0.1, 0.3), 6500: (0.5, 1.1),
+            65000: (5.0, 7.5)},
+}
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return {brand: measure_comm_latency(brand) for brand in ("sun", "ibm")}
+
+
+def test_table3_regenerate(table3_rows, benchmark):
+    benchmark.pedantic(
+        lambda: measure_comm_latency("sun"),
+        rounds=1, iterations=1,
+    )
+    emit("table3_comm_latency", format_table3(table3_rows))
+    for brand, rows in table3_rows.items():
+        for size, ms in rows:
+            lo, hi = PAPER_BANDS[brand][size]
+            assert lo <= ms <= hi, f"{brand}/{size}B: {ms}ms not in [{lo},{hi}]"
+
+
+@pytest.mark.parametrize("brand", ["sun", "ibm"])
+def test_table3_monotonic_in_size(table3_rows, brand):
+    latencies = [ms for _, ms in table3_rows[brand]]
+    assert latencies == sorted(latencies)
+
+
+def test_table3_ibm_fixed_cost_much_smaller(table3_rows):
+    """At 65 B the Sun stack is several times slower (0.64 vs 0.09 ms in
+    the paper); at 65000 B the wire dominates and they converge."""
+    sun = dict(table3_rows["sun"])
+    ibm = dict(table3_rows["ibm"])
+    assert sun[65] > 3 * ibm[65]
+    assert abs(sun[65000] - ibm[65000]) / sun[65000] < 0.25
+
+
+def test_table3_big_messages_near_six_ms(table3_rows):
+    for brand in ("sun", "ibm"):
+        ms = dict(table3_rows[brand])[65000]
+        assert 5.0 < ms < 7.5

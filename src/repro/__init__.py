@@ -1,0 +1,38 @@
+"""JavaSplit reproduction: bytecode-rewriting distributed runtime with an
+MTS-HLRC DSM on a simulated cluster of commodity workstations.
+
+Reproduces: Factor, Schuster, Shagin — "JavaSplit: A Runtime for
+Execution of Monolithic Java Programs on Heterogeneous Collections of
+Commodity Workstations", IEEE CLUSTER 2003.
+
+Top-level entry points::
+
+    from repro import compile_source, rewrite_application
+    from repro import JavaSplitRuntime, RuntimeConfig
+    from repro import run_distributed, run_original
+
+See README.md for a walkthrough and DESIGN.md for the architecture.
+"""
+
+from .lang import compile_source
+from .rewriter import rewrite_application
+from .runtime import (
+    JavaSplitRuntime,
+    RunReport,
+    RuntimeConfig,
+    run_distributed,
+    run_original,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "rewrite_application",
+    "JavaSplitRuntime",
+    "RunReport",
+    "RuntimeConfig",
+    "run_distributed",
+    "run_original",
+    "__version__",
+]

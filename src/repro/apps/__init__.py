@@ -1,0 +1,16 @@
+"""The paper's benchmark applications (§6.2), written in MiniJava.
+
+Each module exposes ``make_source(**params)`` (the program text) and a
+``compile_*`` helper; the programs take their sizes as template
+parameters so the benchmark harness can sweep them.
+"""
+
+from . import raytracer, series, tsp
+from .raytracer import compile_raytracer
+from .series import compile_series
+from .tsp import compile_tsp
+
+__all__ = [
+    "raytracer", "series", "tsp",
+    "compile_raytracer", "compile_series", "compile_tsp",
+]

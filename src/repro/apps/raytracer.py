@@ -1,0 +1,169 @@
+"""3D Ray Tracer (§6.2) — renders a sphere scene at N×N pixels.
+
+"The 3D Ray Tracer renders a scene containing 64 spheres at resolution
+of N x N pixels.  The worker threads of this application independently
+render different rows of the scene."  The paper notes Ray Tracer is its
+*static-variable-heavy* workload, so the scene here lives in static
+arrays of ``Scene`` — after rewriting, every scene access goes through a
+``C_static`` holder object (§4.2), reproducing that access profile.
+
+Rows are interleaved across threads (thread t renders rows t, t+k, ...),
+each worker accumulates a JGF-style checksum into its own field, and
+main sums the checksums after joining.
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+
+SOURCE_TEMPLATE = """
+class Scene {{
+    static double[] sx;
+    static double[] sy;
+    static double[] sz;
+    static double[] sr;
+    static double[] shade;
+    static int count;
+    static double lx;
+    static double ly;
+    static double lz;
+
+    static void build(int nspheres, int seed) {{
+        sx = new double[nspheres];
+        sy = new double[nspheres];
+        sz = new double[nspheres];
+        sr = new double[nspheres];
+        shade = new double[nspheres];
+        count = nspheres;
+        int s = seed;
+        for (int i = 0; i < nspheres; i++) {{
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            sx[i] = ((double) (s % 2000) - 1000.0) / 500.0;
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            sy[i] = ((double) (s % 2000) - 1000.0) / 500.0;
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            sz[i] = 1.0 + ((double) (s % 1000)) / 250.0;
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            sr[i] = 0.15 + ((double) (s % 100)) / 400.0;
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            shade[i] = 0.3 + ((double) (s % 100)) / 150.0;
+        }}
+        // Light direction (normalized-ish; exactness is irrelevant).
+        lx = 0.577;
+        ly = 0.577;
+        lz = -0.577;
+    }}
+}}
+
+class RtWorker extends Thread {{
+    int width;
+    int height;
+    int yStart;
+    int yStep;
+    int checksum;
+
+    RtWorker(int width, int height, int yStart, int yStep) {{
+        this.width = width;
+        this.height = height;
+        this.yStart = yStart;
+        this.yStep = yStep;
+    }}
+
+    // Trace one primary ray; returns pixel intensity in [0,1].
+    double trace(double dx, double dy, double dz) {{
+        double norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx = dx / norm;
+        dy = dy / norm;
+        dz = dz / norm;
+        int hit = -1;
+        double tBest = 1.0e30;
+        int n = Scene.count;
+        for (int i = 0; i < n; i++) {{
+            // Ray origin is the camera at (0,0,-3).
+            double ox = 0.0 - Scene.sx[i];
+            double oy = 0.0 - Scene.sy[i];
+            double oz = -3.0 - Scene.sz[i];
+            double bq = ox * dx + oy * dy + oz * dz;
+            double cq = ox * ox + oy * oy + oz * oz - Scene.sr[i] * Scene.sr[i];
+            double disc = bq * bq - cq;
+            if (disc > 0.0) {{
+                double t = -bq - Math.sqrt(disc);
+                if (t > 0.001 && t < tBest) {{ tBest = t; hit = i; }}
+            }}
+        }}
+        if (hit < 0) {{ return 0.05; }}   // background
+        // Lambertian shading at the hit point.
+        double px = dx * tBest;
+        double py = dy * tBest;
+        double pz = -3.0 + dz * tBest;
+        double nx = (px - Scene.sx[hit]) / Scene.sr[hit];
+        double ny = (py - Scene.sy[hit]) / Scene.sr[hit];
+        double nz = (pz - Scene.sz[hit]) / Scene.sr[hit];
+        double diff = nx * Scene.lx + ny * Scene.ly + nz * Scene.lz;
+        if (diff < 0.0) {{ diff = 0.0; }}
+        double v = Scene.shade[hit] * (0.2 + 0.8 * diff);
+        if (v > 1.0) {{ v = 1.0; }}
+        return v;
+    }}
+
+    void run() {{
+        int acc = 0;
+        for (int y = yStart; y < height; y += yStep) {{
+            for (int x = 0; x < width; x++) {{
+                double fx = (2.0 * (double) x / (double) width) - 1.0;
+                double fy = (2.0 * (double) y / (double) height) - 1.0;
+                double v = trace(fx, fy, 3.0);
+                acc += (int) (v * 255.0);
+            }}
+        }}
+        checksum = acc;
+    }}
+}}
+
+class RayTracer {{
+    static int main() {{
+        int n = {resolution};
+        int nthreads = {n_threads};
+        Scene.build({n_spheres}, {seed});
+        RtWorker[] ts = new RtWorker[nthreads];
+        for (int t = 0; t < nthreads; t++) {{
+            ts[t] = new RtWorker(n, n, t, nthreads);
+            ts[t].start();
+        }}
+        int total = 0;
+        for (int t = 0; t < nthreads; t++) {{
+            ts[t].join();
+            total += ts[t].checksum;
+        }}
+        Sys.print("raytracer checksum = " + total);
+        return total;
+    }}
+}}
+"""
+
+DEFAULT_RESOLUTION = 16
+DEFAULT_SPHERES = 64
+DEFAULT_SEED = 1234
+
+
+def make_source(
+    resolution: int = DEFAULT_RESOLUTION,
+    n_threads: int = 2,
+    n_spheres: int = DEFAULT_SPHERES,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    if resolution < n_threads:
+        raise ValueError("need resolution >= n_threads (row distribution)")
+    return SOURCE_TEMPLATE.format(
+        resolution=resolution, n_threads=n_threads,
+        n_spheres=n_spheres, seed=seed,
+    )
+
+
+def compile_raytracer(**kwargs):
+    return compile_source(make_source(**kwargs))

@@ -1,0 +1,118 @@
+"""Series — Fourier coefficient analysis (Java Grande Forum suite).
+
+Computes the first N Fourier coefficients of f(x) = (x+1)^x on [0,2]
+by trapezoid integration; coefficient blocks are distributed across
+threads exactly as in the JGF multithreaded kernel the paper runs (§6.2,
+"the calculation is distributed between threads in a block manner").
+
+The paper uses N=100000 on real hardware; our simulated runs default to
+much smaller N (the *shape* of the scaling curve is what matters — per
+coefficient the compute/communication ratio is unchanged).
+
+Sharing profile: workers write disjoint blocks of the two shared result
+arrays — a showcase for the DSM's multiple-writer twin/diff path.
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+
+SOURCE_TEMPLATE = """
+class SeriesWorker extends Thread {{
+    double[] a;
+    double[] b;
+    int lo;
+    int hi;
+    int steps;
+
+    SeriesWorker(double[] a, double[] b, int lo, int hi, int steps) {{
+        this.a = a;
+        this.b = b;
+        this.lo = lo;
+        this.hi = hi;
+        this.steps = steps;
+    }}
+
+    // f(x) = (x+1)^x = exp(x * ln(x+1))
+    double f(double x) {{
+        return Math.exp(x * Math.log(x + 1.0));
+    }}
+
+    // Trapezoid rule for integral of f(x)*cos(w x) or f(x)*sin(w x) on [0,2].
+    double integrate(int k, int useSin) {{
+        double pi = 3.141592653589793;
+        double w = pi * (double) k;
+        double dx = 2.0 / (double) steps;
+        double first;
+        double last;
+        if (useSin == 0) {{
+            first = f(0.0);
+            last = f(2.0) * Math.cos(w * 2.0);
+        }} else {{
+            first = 0.0;
+            last = f(2.0) * Math.sin(w * 2.0);
+        }}
+        double s = 0.5 * (first + last);
+        for (int i = 1; i < steps; i++) {{
+            double x = dx * (double) i;
+            if (useSin == 0) {{
+                s += f(x) * Math.cos(w * x);
+            }} else {{
+                s += f(x) * Math.sin(w * x);
+            }}
+        }}
+        return s * dx * 0.5;   // 2/interval * 0.5 for [0,2]
+    }}
+
+    void run() {{
+        for (int k = lo; k < hi; k++) {{
+            a[k] = integrate(k, 0);
+            b[k] = integrate(k, 1);
+        }}
+    }}
+}}
+
+class Series {{
+    static int main() {{
+        int n = {n_coeffs};
+        int steps = {steps};
+        int nthreads = {n_threads};
+        double[] a = new double[n];
+        double[] b = new double[n];
+        SeriesWorker[] ts = new SeriesWorker[nthreads];
+        for (int t = 0; t < nthreads; t++) {{
+            int lo = t * n / nthreads;
+            int hi = (t + 1) * n / nthreads;
+            ts[t] = new SeriesWorker(a, b, lo, hi, steps);
+            ts[t].start();
+        }}
+        for (int t = 0; t < nthreads; t++) {{ ts[t].join(); }}
+        // JGF-style validation checksum.
+        double check = 0.0;
+        for (int k = 0; k < n; k++) {{
+            check += Math.abs(a[k]) + Math.abs(b[k]);
+        }}
+        Sys.print("series checksum = " + check);
+        return (int) (check * 1000.0);
+    }}
+}}
+"""
+
+DEFAULT_N = 48
+DEFAULT_STEPS = 60
+
+
+def make_source(
+    n_coeffs: int = DEFAULT_N,
+    steps: int = DEFAULT_STEPS,
+    n_threads: int = 2,
+) -> str:
+    if n_threads < 1 or n_coeffs < n_threads:
+        raise ValueError("need n_coeffs >= n_threads >= 1")
+    return SOURCE_TEMPLATE.format(
+        n_coeffs=n_coeffs, steps=steps, n_threads=n_threads
+    )
+
+
+def compile_series(**kwargs):
+    return compile_source(make_source(**kwargs))

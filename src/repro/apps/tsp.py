@@ -1,0 +1,175 @@
+"""TSP — branch-and-bound Travelling Salesman (§6.2).
+
+"The threads eliminate some permutations using the length of the minimal
+path known so far.  A thread discovering a new minimal path propagates
+its length to the rest of the threads.  During the execution the threads
+also cooperate to ensure that no permutation is processed by more than
+one thread by managing a global queue of jobs."
+
+Implementation notes mirroring that description:
+
+* the city distance matrix is generated in-program from a seeded LCG
+  (deterministic, no external data) and shared read-only — TSP is the
+  paper's array-access-heavy workload;
+* the global job queue hands out (second-city) prefixes under a lock;
+* the global bound is *read* unsynchronized — LRC makes the stale read
+  safe for branch-and-bound (pruning with an old bound is merely less
+  effective, never wrong) and fresh bounds arrive with each job-queue
+  acquire — and *updated* under its lock, which is exactly how a thread
+  "propagates its length to the rest of the threads" through the DSM.
+
+The paper runs N=18 cities; simulated runs default far smaller.
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+
+SOURCE_TEMPLATE = """
+class TspData {{
+    int n;
+    int[] dist;     // n*n, row-major
+
+    TspData(int n, int seed) {{
+        this.n = n;
+        int[] xs = new int[n];
+        int[] ys = new int[n];
+        int s = seed;
+        for (int i = 0; i < n; i++) {{
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            xs[i] = s % 1000;
+            s = (s * 1103515245 + 12345) % 2147483648;
+            if (s < 0) {{ s = -s; }}
+            ys[i] = s % 1000;
+        }}
+        dist = new int[n * n];
+        for (int i = 0; i < n; i++) {{
+            for (int j = 0; j < n; j++) {{
+                int dx = xs[i] - xs[j];
+                int dy = ys[i] - ys[j];
+                double dd = Math.sqrt((double) (dx * dx + dy * dy));
+                dist[i * n + j] = (int) dd;
+            }}
+        }}
+    }}
+}}
+
+class MinTour {{
+    int best;
+    MinTour(int init) {{ best = init; }}
+}}
+
+class JobQueue {{
+    int next;
+    int total;
+    JobQueue(int total) {{ this.total = total; next = 0; }}
+}}
+
+class TspWorker extends Thread {{
+    TspData d;
+    MinTour min;
+    JobQueue q;
+    int[] path;
+    int[] visited;
+    int n;
+    int bound;
+
+    TspWorker(TspData d, MinTour min, JobQueue q) {{
+        this.d = d;
+        this.min = min;
+        this.q = q;
+    }}
+
+    void run() {{
+        n = d.n;
+        path = new int[n];
+        visited = new int[n];
+        while (true) {{
+            int job;
+            synchronized (q) {{
+                if (q.next >= q.total) {{ job = -1; }}
+                else {{ job = q.next; q.next += 1; }}
+            }}
+            if (job < 0) {{ break; }}
+            // Jobs are depth-2 tour prefixes 0 -> second -> third, so the
+            // queue holds (n-1)*(n-2) fine-grained work units.
+            int second = job / (n - 2) + 1;
+            int third = job % (n - 2) + 1;
+            if (third >= second) {{ third = third + 1; }}
+            for (int i = 0; i < n; i++) {{ visited[i] = 0; }}
+            path[0] = 0;
+            path[1] = second;
+            path[2] = third;
+            visited[0] = 1;
+            visited[second] = 1;
+            visited[third] = 1;
+            bound = min.best;          // unsynchronized: stale is safe
+            search(3, d.dist[second] + d.dist[second * n + third]);
+        }}
+    }}
+
+    void search(int depth, int len) {{
+        if (len >= bound) {{ return; }}
+        if (depth == n) {{
+            int total = len + d.dist[path[n - 1] * n];
+            if (total < bound) {{
+                synchronized (min) {{
+                    if (total < min.best) {{ min.best = total; }}
+                    bound = min.best;
+                }}
+            }}
+            return;
+        }}
+        int last = path[depth - 1];
+        for (int c = 1; c < n; c++) {{
+            if (visited[c] == 0) {{
+                int nl = len + d.dist[last * n + c];
+                if (nl < bound) {{
+                    path[depth] = c;
+                    visited[c] = 1;
+                    search(depth + 1, nl);
+                    visited[c] = 0;
+                }}
+            }}
+        }}
+    }}
+}}
+
+class Tsp {{
+    static int main() {{
+        int n = {n_cities};
+        int nthreads = {n_threads};
+        TspData d = new TspData(n, {seed});
+        MinTour min = new MinTour(1000000000);
+        JobQueue q = new JobQueue((n - 1) * (n - 2));
+        TspWorker[] ts = new TspWorker[nthreads];
+        for (int t = 0; t < nthreads; t++) {{
+            ts[t] = new TspWorker(d, min, q);
+            ts[t].start();
+        }}
+        for (int t = 0; t < nthreads; t++) {{ ts[t].join(); }}
+        Sys.print("tsp best tour = " + min.best);
+        return min.best;
+    }}
+}}
+"""
+
+DEFAULT_CITIES = 9
+DEFAULT_SEED = 42
+
+
+def make_source(
+    n_cities: int = DEFAULT_CITIES,
+    n_threads: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    if n_cities < 3:
+        raise ValueError("need at least 3 cities")
+    return SOURCE_TEMPLATE.format(
+        n_cities=n_cities, n_threads=n_threads, seed=seed
+    )
+
+
+def compile_tsp(**kwargs):
+    return compile_source(make_source(**kwargs))

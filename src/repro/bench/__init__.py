@@ -1,0 +1,35 @@
+"""Benchmark harness: workload generators, sweeps, table formatters.
+
+One module per concern: :mod:`~repro.bench.micro` (Tables 1-3
+micro-benchmarks), :mod:`~repro.bench.harness` (figure sweeps),
+:mod:`~repro.bench.tables` (formatting + persistence under
+``benchmarks/results/``).
+"""
+
+from .harness import (
+    DEFAULT_NODE_COUNTS,
+    THREADS_PER_NODE,
+    FigureResult,
+    SweepPoint,
+    figure_sweep,
+)
+from .micro import (
+    AccessLatencyRow,
+    AcquireCostRow,
+    MESSAGE_SIZES,
+    access_micro_source,
+    measure_access_latency,
+    measure_acquire_cost,
+    measure_comm_latency,
+)
+from .tables import emit, format_figure, format_table1, format_table2, format_table3
+
+__all__ = [
+    "DEFAULT_NODE_COUNTS", "THREADS_PER_NODE", "FigureResult", "SweepPoint",
+    "figure_sweep",
+    "AccessLatencyRow", "AcquireCostRow", "MESSAGE_SIZES",
+    "access_micro_source", "measure_access_latency", "measure_acquire_cost",
+    "measure_comm_latency",
+    "emit", "format_figure", "format_table1", "format_table2",
+    "format_table3",
+]

@@ -1,0 +1,96 @@
+"""Figure sweeps (§6.2, Table 4) and ablation runners.
+
+``figure_sweep`` reproduces one application's execution-time/speedup
+curve: the baseline is the *original* (un-instrumented) program with two
+threads on one simulated dual-CPU machine, exactly the paper's
+methodology ("To calculate the speedup, we divide the execution time of
+the original Java application with two threads on a single
+dual-processor machine by the execution time in JavaSplit"); each
+JavaSplit point runs two application threads per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..dsm import DsmConfig
+from ..runtime import RunReport, RuntimeConfig, run_distributed, run_original
+
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
+THREADS_PER_NODE = 2  # dual-processor nodes, as in §6
+
+
+@dataclass
+class SweepPoint:
+    nodes: int
+    time_s: float
+    speedup: float
+    report: RunReport = field(repr=False, default=None)
+
+
+@dataclass
+class FigureResult:
+    app: str
+    brand: str
+    baseline_time_s: float
+    baseline_result: object
+    points: List[SweepPoint]
+
+    def speedup_at(self, nodes: int) -> float:
+        for p in self.points:
+            if p.nodes == nodes:
+                return p.speedup
+        raise KeyError(nodes)
+
+
+def figure_sweep(
+    app: str,
+    make_source: Callable[[int], str],
+    brand: str,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    time_dilation: int = 1,
+    dsm: Optional[DsmConfig] = None,
+    check_results: bool = True,
+) -> FigureResult:
+    """Run one app's full scaling curve for one JVM brand.
+
+    ``make_source(n_threads)`` builds the program sized for a thread
+    count; every run's application-level result is checked against the
+    original execution (the reproduction's correctness gate).
+    """
+    baseline = run_original(
+        source=make_source(THREADS_PER_NODE),
+        brand=brand,
+        cpus=THREADS_PER_NODE,
+        time_dilation=time_dilation,
+    )
+    points = []
+    for nodes in node_counts:
+        config = RuntimeConfig(
+            num_nodes=nodes,
+            cpus_per_node=THREADS_PER_NODE,
+            brands=(brand,),
+            time_dilation=time_dilation,
+            dsm=dsm or DsmConfig(),
+        )
+        report = run_distributed(
+            source=make_source(nodes * THREADS_PER_NODE),
+            config=config,
+        )
+        # Every app in this suite partitions identical per-item work, so
+        # its result is thread-count independent; any deviation from the
+        # original execution is a coherence bug.
+        if check_results and report.result != baseline.result:
+            raise AssertionError(
+                f"{app}/{brand}/{nodes} nodes: result {report.result} "
+                f"differs from the original execution {baseline.result}"
+            )
+        points.append(SweepPoint(
+            nodes=nodes,
+            time_s=report.simulated_seconds,
+            speedup=baseline.simulated_ns / report.simulated_ns,
+            report=report,
+        ))
+    return FigureResult(app, brand, baseline.simulated_seconds,
+                        baseline.result, points)

@@ -1,0 +1,88 @@
+"""Table/figure formatting and result emission.
+
+Each benchmark regenerates its paper artefact as a text table, printed
+and also written under ``benchmarks/results/`` so a ``--benchmark-only``
+run leaves the full set of reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+from .harness import FigureResult
+from .micro import AccessLatencyRow, AcquireCostRow
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print a reproduced table and persist it under benchmarks/results."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+    return banner
+
+
+def format_table1(rows_by_brand: dict[str, List[AccessLatencyRow]]) -> str:
+    """Heap data access latency, original vs rewritten (paper Table 1)."""
+    brands = list(rows_by_brand)
+    lines = [
+        f"{'':<14}" + "".join(
+            f"{b:>12}{'':>12}{'':>10}" for b in brands
+        ),
+        f"{'access':<14}" + "".join(
+            f"{'orig ns':>12}{'rewr ns':>12}{'slowdn':>10}" for _ in brands
+        ),
+    ]
+    kinds = [r.kind for r in rows_by_brand[brands[0]]]
+    for i, kind in enumerate(kinds):
+        cells = ""
+        for b in brands:
+            r = rows_by_brand[b][i]
+            cells += f"{r.original_ns:>12.1f}{r.rewritten_ns:>12.1f}{r.slowdown:>10.2f}"
+        lines.append(f"{kind:<14}" + cells)
+    return "\n".join(lines)
+
+
+def format_table2(rows_by_brand: dict[str, List[AcquireCostRow]]) -> str:
+    """Local acquire cost (paper Table 2; acquire+release pair)."""
+    brands = list(rows_by_brand)
+    variants = [r.variant for r in rows_by_brand[brands[0]]]
+    lines = [f"{'variant':<16}" + "".join(f"{b + ' ns/op':>16}" for b in brands)]
+    for i, variant in enumerate(variants):
+        cells = "".join(
+            f"{rows_by_brand[b][i].per_op_ns:>16.1f}" for b in brands
+        )
+        lines.append(f"{variant:<16}" + cells)
+    return "\n".join(lines)
+
+
+def format_table3(rows_by_brand: dict[str, list]) -> str:
+    """Communication latency vs message size (paper Table 3)."""
+    brands = list(rows_by_brand)
+    lines = [f"{'size (bytes)':<14}" + "".join(f"{b + ' (ms)':>14}" for b in brands)]
+    sizes = [size for size, _ in rows_by_brand[brands[0]]]
+    for i, size in enumerate(sizes):
+        cells = "".join(f"{rows_by_brand[b][i][1]:>14.4f}" for b in brands)
+        lines.append(f"{size:<14}" + cells)
+    return "\n".join(lines)
+
+
+def format_figure(results: Sequence[FigureResult]) -> str:
+    """Execution times and speedups (paper Table 4 charts)."""
+    lines = []
+    for res in results:
+        lines.append(
+            f"{res.app} / {res.brand}: original (1 node, 2 threads) = "
+            f"{res.baseline_time_s:.3f}s, result = {res.baseline_result}"
+        )
+        lines.append(f"{'nodes':>8}{'time (s)':>12}{'speedup':>10}")
+        for p in res.points:
+            lines.append(f"{p.nodes:>8}{p.time_s:>12.3f}{p.speedup:>10.2f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

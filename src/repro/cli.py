@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run       compile a MiniJava file, rewrite it, execute on a simulated
+          cluster, and report result + statistics
+original  run the un-instrumented program on one simulated JVM
+disasm    show the bytecode of a program, before or after rewriting
+trace     run distributed with full DSM protocol tracing
+
+Examples::
+
+    python -m repro run app.mj --nodes 4 --brand ibm
+    python -m repro disasm app.mj --rewritten
+    python -m repro trace app.mj --nodes 2 --limit 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .dsm import DsmConfig
+from .jvm.disasm import disassemble
+from .lang import compile_source
+from .rewriter import rewrite_application
+from .runtime import JavaSplitRuntime, RuntimeConfig, run_original
+from .runtime.tracing import DsmTracer
+
+
+def _read(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("source", help="MiniJava source file")
+    p.add_argument("--nodes", type=int, default=2, help="worker nodes")
+    p.add_argument("--cpus", type=int, default=2, help="CPUs per node")
+    p.add_argument("--brand", default="sun", choices=("sun", "ibm"),
+                   help="JVM brand cost model")
+    p.add_argument("--dilation", type=int, default=1,
+                   help="instruction-cost time dilation")
+    p.add_argument("--scheduler", default="least-loaded",
+                   choices=("least-loaded", "round-robin", "random"))
+    p.add_argument("--optimize-checks", action="store_true",
+                   help="enable redundant access-check elimination (§6.2)")
+    p.add_argument("--region-elems", type=int, default=None,
+                   help="array-region coherency units (§4.3 extension)")
+    p.add_argument("--vector-timestamps", action="store_true",
+                   help="use the HLRC vector-timestamp baseline mode")
+
+
+def _config(args) -> RuntimeConfig:
+    return RuntimeConfig(
+        num_nodes=args.nodes,
+        cpus_per_node=args.cpus,
+        brands=(args.brand,),
+        time_dilation=args.dilation,
+        scheduler=args.scheduler,
+        dsm=DsmConfig(
+            timestamp_mode="vector" if args.vector_timestamps else "scalar",
+            array_region_elems=args.region_elems,
+        ),
+    )
+
+
+def _report(report, show_traffic: bool = True) -> None:
+    print(f"result            : {report.result}")
+    for line in report.console:
+        print(f"console           : {line}")
+    print(f"simulated time    : {report.simulated_seconds * 1e3:.3f} ms")
+    print(f"threads executed  : {report.threads_run}")
+    if report.placements:
+        print(f"thread placements : {dict(sorted(report.placements.items()))}")
+    if show_traffic and report.net is not None:
+        total = report.total_dsm()
+        print(f"network           : {report.net.messages} msgs, "
+              f"{report.net.bytes} bytes")
+        print(f"dsm               : {total.fetches} fetches, "
+              f"{total.diffs_sent} diffs, {total.token_transfers} token "
+              f"transfers, {total.invalidations} invalidations")
+
+
+def cmd_run(args) -> int:
+    """`repro run`: rewrite + execute on a simulated cluster."""
+    classfiles = compile_source(_read(args.source))
+    rewritten = rewrite_application(
+        classfiles, optimize_checks=args.optimize_checks
+    )
+    runtime = JavaSplitRuntime(rewritten, _config(args))
+    report = runtime.run()
+    _report(report)
+    return 0
+
+
+def cmd_original(args) -> int:
+    """`repro original`: un-instrumented single-JVM baseline."""
+    report = run_original(
+        source=_read(args.source),
+        brand=args.brand,
+        cpus=args.cpus,
+        time_dilation=args.dilation,
+    )
+    _report(report, show_traffic=False)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    """`repro disasm`: bytecode listing, original or rewritten."""
+    classfiles = compile_source(_read(args.source))
+    if args.rewritten:
+        rewritten = rewrite_application(
+            classfiles, optimize_checks=args.optimize_checks
+        )
+        classfiles = rewritten.all_classfiles()
+    print(disassemble(classfiles))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """`repro trace`: distributed run with protocol tracing."""
+    classfiles = compile_source(_read(args.source))
+    rewritten = rewrite_application(
+        classfiles, optimize_checks=args.optimize_checks
+    )
+    runtime = JavaSplitRuntime(rewritten, _config(args))
+    tracer = DsmTracer.attach(runtime, max_events=args.limit)
+    report = runtime.run()
+    print(tracer.format())
+    print()
+    _report(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Argument parsing + dispatch; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JavaSplit reproduction: distributed execution of "
+                    "monolithic MiniJava programs on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute on a simulated cluster")
+    _add_cluster_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_orig = sub.add_parser("original", help="un-instrumented single-JVM run")
+    p_orig.add_argument("source")
+    p_orig.add_argument("--brand", default="sun", choices=("sun", "ibm"))
+    p_orig.add_argument("--cpus", type=int, default=2)
+    p_orig.add_argument("--dilation", type=int, default=1)
+    p_orig.set_defaults(fn=cmd_original)
+
+    p_dis = sub.add_parser("disasm", help="disassemble bytecode")
+    p_dis.add_argument("source")
+    p_dis.add_argument("--rewritten", action="store_true",
+                       help="disassemble the javasplit.* rewrite instead")
+    p_dis.add_argument("--optimize-checks", action="store_true")
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")
+    _add_cluster_args(p_tr)
+    p_tr.add_argument("--limit", type=int, default=200,
+                      help="max trace events recorded")
+    p_tr.set_defaults(fn=cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

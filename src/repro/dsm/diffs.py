@@ -1,0 +1,190 @@
+"""Twin/diff machinery for the multiple-writer protocol.
+
+Before the first write after (re)validation, the writer snapshots the
+object (*twin*).  At interval end (a release), the diff between the live
+object and its twin is encoded field-by-field — this is the generated
+``DSM_diff`` of Figure 2 — shipped to the object's home, applied to the
+master copy, and the twin is refreshed.  Diffs carry only changed slots,
+so write traffic scales with modified data, not object size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..jvm.heap import ArrayObj, Obj
+from .serialization import (
+    ClassSpec,
+    Reader,
+    Resolver,
+    SerializationError,
+    Writer,
+    kind_of_type,
+    read_value,
+    write_value,
+)
+
+
+def make_twin(ref: Any) -> list:
+    """Snapshot an object's mutable slots (shallow, like the paper's twin)."""
+    if isinstance(ref, ArrayObj):
+        return list(ref.data)
+    return list(ref.fields)
+
+
+def _slots_of(ref: Any) -> list:
+    return ref.data if isinstance(ref, ArrayObj) else ref.fields
+
+
+def _kinds_of(ref: Any, spec: Optional[ClassSpec]) -> Tuple[str, ...] | None:
+    if isinstance(ref, ArrayObj):
+        return None  # uniform kind
+    if spec is None:
+        raise SerializationError(f"no spec for {ref.class_name}")
+    return spec.kinds
+
+
+def compute_diff(
+    ref: Any,
+    twin: list,
+    spec: Optional[ClassSpec],
+    resolver: Resolver,
+) -> Optional[bytes]:
+    """Encode changed slots of ``ref`` relative to ``twin``.
+
+    Returns ``None`` when nothing changed.  Encoding: 4-byte count, then
+    per entry a 4-byte slot index and the value in its field kind.
+    """
+    slots = _slots_of(ref)
+    if len(slots) != len(twin):
+        # Arrays cannot be resized in Java; a length change means the twin
+        # is stale (protocol bug), so fail loudly.
+        raise SerializationError(
+            f"twin length mismatch for {ref.class_name}: "
+            f"{len(twin)} vs {len(slots)}"
+        )
+    if isinstance(ref, ArrayObj):
+        kind = kind_of_type(ref.elem_type)
+        changed = [
+            i for i, (a, b) in enumerate(zip(slots, twin)) if a is not b and a != b
+        ]
+        kinds = [kind] * len(changed)
+    else:
+        spec_kinds = _kinds_of(ref, spec)
+        assert spec_kinds is not None
+        changed = []
+        kinds = []
+        for i, (a, b) in enumerate(zip(slots, twin)):
+            if a is not b and a != b:
+                changed.append(i)
+                kinds.append(spec_kinds[i])
+            elif a is not b and isinstance(a, (Obj, ArrayObj)):
+                # equal-compare on refs is identity at the VM level; the
+                # first branch already covers it, this is unreachable.
+                pass  # pragma: no cover
+    if not changed:
+        return None
+    w = Writer()
+    w.u32(len(changed))
+    for i, kind in zip(changed, kinds):
+        w.u32(i)
+        write_value(w, kind, slots[i], resolver)
+    return w.getvalue()
+
+
+def apply_diff(
+    ref: Any,
+    spec: Optional[ClassSpec],
+    data: bytes,
+    resolver: Resolver,
+) -> int:
+    """Apply an encoded diff to a master copy; returns #slots changed."""
+    slots = _slots_of(ref)
+    if isinstance(ref, ArrayObj):
+        uniform: Optional[str] = kind_of_type(ref.elem_type)
+        kinds: Tuple[str, ...] = ()
+    else:
+        uniform = None
+        maybe_kinds = _kinds_of(ref, spec)
+        assert maybe_kinds is not None
+        kinds = maybe_kinds
+    r = Reader(data)
+    n = r.u32()
+    for _ in range(n):
+        idx = r.u32()
+        kind = uniform if uniform is not None else kinds[idx]
+        if idx >= len(slots):
+            raise SerializationError(
+                f"diff index {idx} out of range for {ref.class_name}"
+            )
+        slots[idx] = read_value(r, kind, resolver)
+    return n
+
+
+def diff_entry_count(data: bytes) -> int:
+    """Number of slots in an encoded diff (stats helper)."""
+    return Reader(data).u32()
+
+
+# ---------------------------------------------------------------------------
+# Array-region variants (§4.3 extension: one array, many coherency units)
+# ---------------------------------------------------------------------------
+
+def make_region_twin(arr: ArrayObj, lo: int, hi: int) -> list:
+    return list(arr.data[lo:hi])
+
+
+def compute_region_diff(
+    arr: ArrayObj, lo: int, twin: list, resolver: Resolver
+) -> Optional[bytes]:
+    """Diff of one region against its twin; indices are region-local."""
+    kind = kind_of_type(arr.elem_type)
+    hi = lo + len(twin)
+    slots = arr.data[lo:hi]
+    changed = [
+        i for i, (a, b) in enumerate(zip(slots, twin))
+        if a is not b and a != b
+    ]
+    if not changed:
+        return None
+    w = Writer()
+    w.u32(len(changed))
+    for i in changed:
+        w.u32(i)
+        write_value(w, kind, slots[i], resolver)
+    return w.getvalue()
+
+
+def apply_region_diff(
+    arr: ArrayObj, lo: int, data: bytes, resolver: Resolver
+) -> int:
+    kind = kind_of_type(arr.elem_type)
+    r = Reader(data)
+    n = r.u32()
+    for _ in range(n):
+        idx = lo + r.u32()
+        if idx >= len(arr.data):
+            raise SerializationError(
+                f"region diff index {idx} out of range for {arr.class_name}"
+            )
+        arr.data[idx] = read_value(r, kind, resolver)
+    return n
+
+
+def serialize_region(arr: ArrayObj, lo: int, hi: int, resolver: Resolver) -> bytes:
+    kind = kind_of_type(arr.elem_type)
+    w = Writer()
+    w.u32(hi - lo)
+    for value in arr.data[lo:hi]:
+        write_value(w, kind, value, resolver)
+    return w.getvalue()
+
+
+def deserialize_region(
+    arr: ArrayObj, lo: int, data: bytes, resolver: Resolver
+) -> None:
+    kind = kind_of_type(arr.elem_type)
+    r = Reader(data)
+    n = r.u32()
+    for i in range(n):
+        arr.data[lo + i] = read_value(r, kind, resolver)

@@ -1,0 +1,88 @@
+"""Global ids, home assignment, and class-id registry.
+
+Each shared object gets a 64-bit global id when it is promoted from
+local to shared (§2): the high bits carry the creating node (which
+becomes the object's *home* — the node keeping the master copy), the low
+bits a per-node counter.  Homes are therefore computable from the gid
+with no directory lookups, which is what makes the protocol's "send it
+to the home" steps cheap.
+
+Class ids give reference serialization a compact wire form; they are
+assigned deterministically from the sorted class-name list at rewrite
+time, so every node agrees without negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+NODE_SHIFT = 40
+COUNTER_MASK = (1 << NODE_SHIFT) - 1
+MAX_NODE_ID = (1 << 23) - 1  # gids stay positive in a signed 64-bit long
+
+
+class GidAllocator:
+    """Per-node allocator of 64-bit global ids."""
+
+    def __init__(self, node_id: int) -> None:
+        if not 0 <= node_id <= MAX_NODE_ID:
+            raise ValueError(f"node id {node_id} out of range")
+        self.node_id = node_id
+        self._counter = 0
+
+    def allocate(self) -> int:
+        self._counter += 1
+        if self._counter > COUNTER_MASK:  # pragma: no cover - 2^40 objects
+            raise OverflowError("gid counter exhausted")
+        return (self.node_id << NODE_SHIFT) | self._counter
+
+    @property
+    def allocated(self) -> int:
+        return self._counter
+
+
+def home_of(gid: int) -> int:
+    """The home node encoded in a global id."""
+    if gid <= 0:
+        raise ValueError(f"not a valid gid: {gid}")
+    return gid >> NODE_SHIFT
+
+
+class ClassIdRegistry:
+    """Deterministic class-name ↔ id mapping shared by all nodes.
+
+    Ids start at 1 (0 is the null-reference class id on the wire)."""
+
+    def __init__(self, class_names: Iterable[str] = ()) -> None:
+        self._by_name: Dict[str, int] = {}
+        self._by_id: List[str] = [""]  # id 0 reserved
+        for name in sorted(set(class_names)):
+            self._register(name)
+
+    def _register(self, name: str) -> int:
+        if name in self._by_name:
+            return self._by_name[name]
+        cid = len(self._by_id)
+        self._by_id.append(name)
+        self._by_name[name] = cid
+        return cid
+
+    def class_id_for(self, class_name: str) -> int:
+        try:
+            return self._by_name[class_name]
+        except KeyError:
+            raise KeyError(
+                f"class {class_name!r} not in the registry; arrays and "
+                f"rewritten classes must be registered at rewrite time"
+            ) from None
+
+    def class_name_for(self, class_id: int) -> str:
+        if not 1 <= class_id < len(self._by_id):
+            raise KeyError(f"unknown class id {class_id}")
+        return self._by_id[class_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id) - 1
+
+    def names(self) -> List[str]:
+        return self._by_id[1:]

@@ -1,0 +1,143 @@
+"""Owner-managed distributed lock queues (§3.2).
+
+Unlike the classic distributed-queue algorithm, JavaSplit keeps each
+lock's request queue *at the current owner* and ships it together with
+the ownership token.  The home node of the associated object acts only as
+a request router (it forwards requests to whoever it believes owns the
+lock).  Because the owner holds both the request queue and the wait
+queue, Java's ``wait``/``notify``/``notifyAll`` are communication-free,
+and the queue can be ordered by thread priority.
+
+This module is pure data structure + policy; the message choreography
+lives in :mod:`repro.dsm.protocol`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class LockRequest:
+    """One queued acquire (or parked waiter)."""
+
+    node: int
+    thread_id: int
+    priority: int = 5
+    seq: int = 0              # FIFO tiebreak within a priority level
+    restore_count: int = 1    # re-entrancy depth to restore on grant
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Ordering key: higher priority first, FIFO within."""
+        return (-self.priority, self.seq)
+
+    def wire_size(self) -> int:
+        """Bytes this structure occupies in a token message."""
+        return 4 + 8 + 1 + 4 + 2
+
+
+class LockToken:
+    """The migrating lock state: ownership + queues + notice snapshot.
+
+    ``seen_notices`` remembers, *per receiving node*, which write
+    notices this lock has already delivered there, so each transfer
+    ships only the delta that node is missing.  (A single shared
+    snapshot would be wrong: the token may carry a notice past node A to
+    node B, and A still needs it on the token's next visit.)
+    """
+
+    __slots__ = ("gid", "queue", "waitq", "seen_notices", "_seq")
+
+    def __init__(self, gid: int) -> None:
+        self.gid = gid
+        self.queue: List[LockRequest] = []
+        self.waitq: List[LockRequest] = []
+        # node_id -> {notice key -> version} delivered to that node
+        self.seen_notices: Dict[int, Dict[Any, int]] = {}
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, req: LockRequest) -> None:
+        """Insert by priority (high first), FIFO within a priority."""
+        req.seq = next(self._seq)
+        self.queue.append(req)
+        self.queue.sort(key=LockRequest.sort_key)
+
+    def pop_next(self) -> Optional[LockRequest]:
+        """Remove and return the next grantee, or None."""
+        if not self.queue:
+            return None
+        return self.queue.pop(0)
+
+    def peek_next(self) -> Optional[LockRequest]:
+        """The next grantee without removing it."""
+        return self.queue[0] if self.queue else None
+
+    # ------------------------------------------------------------------
+    # wait/notify — entirely local to the owner (§3.2)
+    # ------------------------------------------------------------------
+    def park_waiter(self, req: LockRequest) -> None:
+        """Move a thread into the wait queue (Object.wait)."""
+        self.waitq.append(req)
+
+    def notify_one(self) -> bool:
+        """Move the longest-waiting waiter to the request queue."""
+        if not self.waitq:
+            return False
+        self.enqueue(self.waitq.pop(0))
+        return True
+
+    def notify_all(self) -> int:
+        n = len(self.waitq)
+        while self.waitq:
+            self.enqueue(self.waitq.pop(0))
+        return n
+
+    # ------------------------------------------------------------------
+    def wire_size(self) -> int:
+        """Bytes the token occupies when shipped with ownership."""
+        size = 8 + 4 + 4  # gid + queue lengths
+        size += sum(r.wire_size() for r in self.queue)
+        size += sum(r.wire_size() for r in self.waitq)
+        size += sum(4 + 12 * len(m) for m in self.seen_notices.values())
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LockToken(gid={self.gid:#x}, queue={len(self.queue)}, "
+            f"waiters={len(self.waitq)})"
+        )
+
+
+class NodeLockState:
+    """One node's view of one shared object's lock."""
+
+    __slots__ = ("gid", "token", "holder_tid", "count", "transit",
+                 "last_sent_to", "pending_grant")
+
+    def __init__(self, gid: int) -> None:
+        self.gid = gid
+        self.token: Optional[LockToken] = None
+        self.holder_tid: Optional[int] = None
+        self.count = 0
+        # True while the token is committed to another node (possibly
+        # still waiting on the diff fence) — local acquires must queue.
+        self.transit = False
+        # Where the token went, for forwarding late LOCK_FWDs.
+        self.last_sent_to: Optional[int] = None
+        # (request, notices) staged during a scalar-mode diff fence.
+        self.pending_grant: Optional[LockRequest] = None
+
+    @property
+    def held(self) -> bool:
+        """True while some thread owns the lock on this node."""
+        return self.holder_tid is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeLockState(gid={self.gid:#x}, token={self.token is not None},"
+            f" holder={self.holder_tid}, count={self.count}, "
+            f"transit={self.transit})"
+        )

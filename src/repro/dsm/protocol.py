@@ -1,0 +1,1113 @@
+"""The MTS-HLRC protocol engine (§3).
+
+One :class:`DsmEngine` per node.  It plays three roles at once:
+
+1. **JVM hooks** — the DSM pseudo-instructions of rewritten bytecode
+   land here: access checks (read/write miss handling), acquire/release
+   (distributed monitors), static-holder resolution, allocation headers,
+   thread spawn, wait/notify.
+2. **Home node** — serves fetches from the master copies it hosts,
+   applies incoming diffs (bumping per-object scalar versions), routes
+   lock requests to current owners.
+3. **Cache** — maintains replicas, twins, the write-notice table, and
+   the per-node lock states.
+
+Protocol summary (scalar-timestamp MTS-HLRC, the default):
+
+* read miss  → FETCH_REQ to home → FETCH_REPLY(data, version); whole
+  object granularity.
+* first write after validation → twin; release → diffs batched per home
+  → DIFF → DIFF_ACK(new versions) → write notices.
+* lock transfer to a *remote* requester waits until *all* of this
+  node's outstanding diffs are acknowledged (the scalar-timestamp fence
+  of §3.1); the token then carries the notice **delta** relative to what
+  it already delivered (bounded per-CU notices, §3.1), plus the request
+  and wait queues (§3.2), so wait/notify stay communication-free.
+
+The vector-timestamp baseline mode (``timestamp_mode="vector"``,
+classic HLRC) skips the fence: notices name (writer, interval) pairs,
+fetches carry the required vector and homes defer replies until the
+required intervals have been applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..jvm.heap import ArrayObj, Obj
+from ..jvm.interpreter import NO_VALUE
+from ..jvm.jvm import JThread, JVM
+from ..net.message import HEADER_BYTES, Message
+from ..net.transport import Transport
+from ..sim import cost_model as cm
+from .diffs import (
+    apply_diff,
+    apply_region_diff,
+    compute_diff,
+    compute_region_diff,
+    deserialize_region,
+    make_region_twin,
+    make_twin,
+    serialize_region,
+)
+from .directory import ClassIdRegistry, GidAllocator, home_of
+from .locks import LockRequest, LockToken, NodeLockState
+from .objectstate import DSMHeader, ObjState, attach_header
+from .serialization import ClassSpec, deserialize_any, serialize_any
+from .write_notices import MODE_BOUNDED, Notice, NoticeTable
+
+# Message types
+M_FETCH_REQ = "dsm.fetch_req"
+M_FETCH_REPLY = "dsm.fetch_reply"
+M_DIFF = "dsm.diff"
+M_DIFF_ACK = "dsm.diff_ack"
+M_LOCK_REQ = "dsm.lock_req"
+M_LOCK_FWD = "dsm.lock_fwd"
+M_TOKEN = "dsm.token"
+M_OWNER_UPDATE = "dsm.owner_update"
+M_SPAWN = "dsm.spawn"
+M_CONSOLE = "dsm.console"
+
+SCALAR = "scalar"
+VECTOR = "vector"
+
+
+class ProtocolError(RuntimeError):
+    """A DSM invariant was violated (always a bug, never data)."""
+    pass
+
+
+@dataclass
+class DsmConfig:
+    """Protocol configuration: timestamp mode, notice storage, the local-lock fast path, and the array-region extension."""
+    timestamp_mode: str = SCALAR          # 'scalar' (MTS-HLRC) | 'vector' (HLRC)
+    notice_mode: str = MODE_BOUNDED       # 'bounded' | 'full' (A2 ablation)
+    local_lock_opt: bool = True           # §4.4 lock-counter fast path
+    # §4.3 extension: arrays longer than this many elements become
+    # multiple coherency units of this region size (None = paper default,
+    # one CU per array).
+    array_region_elems: Optional[int] = None
+
+
+@dataclass
+class RegionInfo:
+    """Per-node region bookkeeping for one region-granular array."""
+
+    elems: int
+    states: List[ObjState]
+    versions: List[int]
+    twins: Dict[int, list] = field(default_factory=dict)
+    length_known: bool = True
+
+    @property
+    def n_regions(self) -> int:
+        """Number of regions in the array."""
+        return len(self.states)
+
+    def bounds(self, region: int, total_len: int) -> Tuple[int, int]:
+        """Element range [lo, hi) of one region."""
+        lo = region * self.elems
+        return lo, min(lo + self.elems, total_len)
+
+    def region_of(self, index: int) -> int:
+        """Region index containing an element index."""
+        return index // self.elems
+
+
+@dataclass
+class DsmStats:
+    """Per-node protocol counters, aggregated into run reports."""
+    fetches: int = 0
+    fetch_bytes: int = 0
+    diffs_sent: int = 0
+    diff_bytes: int = 0
+    lock_requests: int = 0
+    token_transfers: int = 0
+    invalidations: int = 0
+    promotions: int = 0
+    local_acquires: int = 0
+    shared_acquires: int = 0
+    fence_waits: int = 0
+    deferred_fetches: int = 0
+    region_fetches: int = 0
+
+
+@dataclass
+class ThreadDsm:
+    """Per-thread DSM state: the local interval counter."""
+
+    interval: int = 0
+
+
+class DsmEngine:
+    """Per-node DSM: JVM hooks + protocol message handlers."""
+
+    def __init__(
+        self,
+        jvm: JVM,
+        transport: Transport,
+        specs: Dict[str, ClassSpec],
+        class_registry: ClassIdRegistry,
+        config: Optional[DsmConfig] = None,
+        choose_spawn_node: Optional[Callable[[], int]] = None,
+        static_gids: Optional[Dict[str, Tuple[int, str]]] = None,
+        console: Optional[List[str]] = None,
+        master_node: int = 0,
+    ) -> None:
+        self.jvm = jvm
+        self.node_id = transport.node_id
+        self.transport = transport
+        self.engine = jvm.node.engine
+        self.cost_model = jvm.cost_model
+        self.specs = specs
+        self.registry = class_registry
+        self.config = config or DsmConfig()
+        self.choose_spawn_node = choose_spawn_node or (lambda: self.node_id)
+        # class_name -> (gid, holder_class_name) for C_static holders
+        self.static_gids = static_gids or {}
+        self.console = console if console is not None else []
+        self.master_node = master_node
+        self.stats = DsmStats()
+
+        # Optional runtime callback: a shipped thread began on this node
+        # (used by the load balancer to retire in-flight placements).
+        self.on_spawn_arrival: Optional[Callable[[int], None]] = None
+
+        self.gids = GidAllocator(self.node_id)
+        self.cache: Dict[int, Any] = {}
+        # §4.3 extension: gid -> RegionInfo for region-granular arrays.
+        self._regions: Dict[int, "RegionInfo"] = {}
+        self.notice_table = NoticeTable(self.config.notice_mode)
+        self.lock_states: Dict[int, NodeLockState] = {}
+        self.lock_owner: Dict[int, int] = {}     # home role: gid -> owner node
+        # keyed (gid, region); region None = whole object
+        self._fetch_waiters: Dict[Tuple[int, Optional[int]], List[JThread]] = {}
+        self._dirty: Set[int] = set()            # gids of twinned replicas
+        self._dirty_home: Set[int] = set()       # gids of home-written masters
+        self._threads: Dict[int, JThread] = {}
+        # Node-level flush sequence: tags diffs/notices in vector mode (a
+        # per-node monotonic interval id shared by all local threads).
+        self._flush_seq = 0
+        # Scalar-mode fence: outstanding diff-flush acks + deferred sends.
+        self._outstanding_acks = 0
+        self._fence_queue: List[Callable[[], None]] = []
+        self._next_ack_id = 0
+        # Vector mode: home-side applied intervals + deferred fetches,
+        # cache-side seen intervals.
+        self._applied: Dict[int, Dict[int, int]] = {}
+        self._deferred_fetch: Dict[int, List[Message]] = {}
+        self._replica_vc: Dict[int, Dict[int, int]] = {}
+
+        for mtype, handler in (
+            (M_FETCH_REQ, self._on_fetch_req),
+            (M_FETCH_REPLY, self._on_fetch_reply),
+            (M_DIFF, self._on_diff),
+            (M_DIFF_ACK, self._on_diff_ack),
+            (M_LOCK_REQ, self._on_lock_req),
+            (M_LOCK_FWD, self._on_lock_fwd),
+            (M_TOKEN, self._on_token),
+            (M_OWNER_UPDATE, self._on_owner_update),
+            (M_SPAWN, self._on_spawn),
+            (M_CONSOLE, self._on_console),
+        ):
+            transport.on(mtype, handler)
+
+    # ==================================================================
+    # Setup helpers
+    # ==================================================================
+    def install_static_holder(self, class_name: str, gid: int, holder_class: str) -> Any:
+        """Create a C_static master copy on this (the master) node."""
+        rtc = self.jvm.lookup(holder_class)
+        obj = Obj(rtc)
+        hdr = attach_header(obj)
+        hdr.gid = gid
+        hdr.state = ObjState.HOME
+        hdr.version = 1
+        self.cache[gid] = obj
+        self.lock_owner[gid] = self.node_id
+        st = self._lock_state(gid)
+        st.token = LockToken(gid)
+        return obj
+
+    def reserve_gids(self, count: int) -> None:
+        """Skip gids that were pre-assigned (static holders on master)."""
+        for _ in range(count):
+            self.gids.allocate()
+
+    def thread_dsm(self, thread: JThread) -> ThreadDsm:
+        """Per-thread DSM state, created on first use."""
+        if thread.dsm is None:
+            thread.dsm = ThreadDsm()
+        return thread.dsm
+
+    # ==================================================================
+    # Resolver protocol (serialization callbacks)
+    # ==================================================================
+    def gid_for(self, ref: Any) -> int:
+        """Resolver hook: global id of a ref, promoting if needed."""
+        return self.promote(ref)
+
+    def class_id_for(self, class_name: str) -> int:
+        """Resolver hook: wire id for a class name."""
+        return self.registry.class_id_for(class_name)
+
+    def class_name_for(self, class_id: int) -> str:
+        """Resolver hook: class name for a wire id."""
+        return self.registry.class_name_for(class_id)
+
+    def replica_for(self, gid: int, class_name: str) -> Any:
+        """Resolver hook: local replica for a gid (INVALID stub if new)."""
+        obj = self.cache.get(gid)
+        if obj is not None:
+            return obj
+        if home_of(gid) == self.node_id:
+            raise ProtocolError(
+                f"node {self.node_id} is home of gid {gid:#x} but has no "
+                f"master copy"
+            )
+        if class_name.endswith("[]"):
+            obj = ArrayObj(class_name[:-2], 0)
+        else:
+            obj = Obj(self.jvm.lookup(class_name))
+        hdr = attach_header(obj)
+        hdr.gid = gid
+        hdr.state = ObjState.INVALID
+        hdr.version = 0
+        self.cache[gid] = obj
+        return obj
+
+    # ==================================================================
+    # Promotion: local -> shared (§2)
+    # ==================================================================
+    def promote(self, ref: Any) -> int:
+        """Local -> shared: assign a gid; this node becomes the home."""
+        hdr = attach_header(ref)
+        if hdr.gid:
+            return hdr.gid
+        gid = self.gids.allocate()
+        hdr.gid = gid
+        hdr.state = ObjState.HOME
+        hdr.version = 1
+        self.cache[gid] = ref
+        region_elems = self.config.array_region_elems
+        if (
+            region_elems is not None
+            and isinstance(ref, ArrayObj)
+            and len(ref.data) > region_elems
+        ):
+            n = (len(ref.data) + region_elems - 1) // region_elems
+            self._regions[gid] = RegionInfo(
+                elems=region_elems,
+                states=[ObjState.HOME] * n,
+                versions=[1] * n,
+            )
+        self.lock_owner[gid] = self.node_id
+        st = self._lock_state(gid)
+        st.token = LockToken(gid)
+        # Carry over a §4.4 local-lock counter held at promotion time.
+        if hdr.lock_count > 0 and hdr.lock_owner is not None:
+            st.holder_tid = hdr.lock_owner.tid
+            st.count = hdr.lock_count
+        hdr.lock_count = 0
+        hdr.lock_owner = None
+        self.stats.promotions += 1
+        return gid
+
+    # ==================================================================
+    # JVM hooks: allocation / threads
+    # ==================================================================
+    def on_new(self, obj: Any) -> None:
+        """Allocation hook: attach a LOCAL DSM header."""
+        attach_header(obj)  # starts LOCAL
+
+    def on_thread_started(self, thread: JThread) -> None:
+        """Track live threads for lock-grant completion."""
+        self._threads[thread.tid] = thread
+        self.thread_dsm(thread)
+
+    def on_thread_finished(self, thread: JThread) -> None:
+        """Drop finished threads from the live-thread map."""
+        self._threads.pop(thread.tid, None)
+
+    def _thread(self, tid: int) -> JThread:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise ProtocolError(
+                f"node {self.node_id}: no live thread {tid}"
+            ) from None
+
+    # ==================================================================
+    # JVM hooks: access checks
+    # ==================================================================
+    def read_check(self, thread: JThread, ref: Any, index: Any = None) -> Tuple[bool, int]:
+        """Hook behind DSM_READCHECK: pass through or fetch-and-block."""
+        hdr: DSMHeader = ref.header
+        if hdr is None:
+            # Object allocated outside hook-aware paths (defensive).
+            attach_header(ref)
+            return True, 0
+        if hdr.gid and hdr.gid in self._regions:
+            return self._region_read_check(thread, ref, hdr, index)
+        if hdr.state != ObjState.INVALID:
+            return True, 0
+        self._start_fetch(thread, hdr)
+        return False, self.cost_model[cm.PROTO_HANDLER_NS]
+
+    def _region_read_check(self, thread, ref, hdr, index) -> Tuple[bool, int]:
+        reg = self._regions[hdr.gid]
+        if index is None:
+            # ARRAYLENGTH (or a non-indexed touch): needs the true length.
+            if reg.length_known:
+                return True, 0
+            region = 0
+        else:
+            region = reg.region_of(index)
+            if not 0 <= region < reg.n_regions:
+                return True, 0  # out of bounds: let the access raise
+            if reg.states[region] != ObjState.INVALID:
+                return True, 0
+        self._start_fetch(thread, hdr, region)
+        return False, self.cost_model[cm.PROTO_HANDLER_NS]
+
+    def write_check(self, thread: JThread, ref: Any, value: Any, index: Any = None) -> Tuple[bool, int]:
+        """Hook behind DSM_WRITECHECK: twin, mark dirty, or fetch."""
+        hdr: DSMHeader = ref.header
+        if hdr is None:
+            attach_header(ref)
+            return True, 0
+        state = hdr.state
+        if state == ObjState.LOCAL:
+            return True, 0
+        if hdr.gid and hdr.gid in self._regions:
+            return self._region_write_check(thread, ref, hdr, index)
+        if state == ObjState.INVALID:
+            self._start_fetch(thread, hdr)
+            return False, self.cost_model[cm.PROTO_HANDLER_NS]
+        if state == ObjState.HOME:
+            self._dirty_home.add(hdr.gid)
+            return True, 0
+        # VALID cached copy: twin before first write (multiple-writer).
+        if hdr.twin is None:
+            hdr.twin = make_twin(ref)
+            self._dirty.add(hdr.gid)
+        return True, 0
+
+    def _region_write_check(self, thread, ref, hdr, index) -> Tuple[bool, int]:
+        reg = self._regions[hdr.gid]
+        if index is None:
+            return True, 0  # defensive: non-indexed write cannot occur
+        region = reg.region_of(index)
+        if not 0 <= region < reg.n_regions:
+            return True, 0  # out of bounds: let the access raise
+        state = reg.states[region]
+        if state == ObjState.HOME:
+            self._dirty_home.add((hdr.gid, region))
+            return True, 0
+        if state == ObjState.INVALID:
+            self._start_fetch(thread, hdr, region)
+            return False, self.cost_model[cm.PROTO_HANDLER_NS]
+        if region not in reg.twins:
+            lo, hi = reg.bounds(region, len(ref.data))
+            reg.twins[region] = make_region_twin(ref, lo, hi)
+            self._dirty.add((hdr.gid, region))
+        return True, 0
+
+    def _start_fetch(self, thread: JThread, hdr: DSMHeader,
+                     region: Optional[int] = None) -> None:
+        gid = hdr.gid
+        waiters = self._fetch_waiters.setdefault((gid, region), [])
+        waiters.append(thread)
+        if len(waiters) > 1:
+            return  # request already in flight
+        key = gid if region is None else (gid, region)
+        payload: Dict[str, Any] = {"gid": gid, "region": region}
+        if self.config.timestamp_mode == VECTOR:
+            payload["required"] = self.notice_table.required_vector(key)
+        else:
+            payload["required"] = self.notice_table.required_scalar(key)
+        self.stats.fetches += 1
+        if region is not None:
+            self.stats.region_fetches += 1
+        self.transport.send(home_of(gid), M_FETCH_REQ, payload)
+
+    # ==================================================================
+    # JVM hooks: synchronization
+    # ==================================================================
+    def acquire(self, thread: JThread, ref: Any) -> Tuple[bool, int]:
+        """Hook behind DSM_ACQUIRE: counter fast path, local grant, queueing, or a lock request to the home node."""
+        hdr: DSMHeader = ref.header
+        if hdr.is_local:
+            if self.config.local_lock_opt:
+                # §4.4 fast path: a counter, cheaper than original Java.
+                if hdr.lock_owner is None or hdr.lock_owner is thread:
+                    hdr.lock_owner = thread
+                    hdr.lock_count += 1
+                    self.stats.local_acquires += 1
+                    return True, self.cost_model[cm.LOCAL_LOCK_OP]
+            # Second thread contends: the object escapes.
+            self.promote(ref)
+        gid = hdr.gid
+        st = self._lock_state(gid)
+        cost = self.cost_model[cm.SHARED_ACQUIRE]
+        self.stats.shared_acquires += 1
+        if st.token is not None and not st.transit:
+            if st.holder_tid is None:
+                st.holder_tid = thread.tid
+                st.count = 1
+                return True, cost
+            if st.holder_tid == thread.tid:
+                st.count += 1
+                return True, cost
+            st.token.enqueue(
+                LockRequest(self.node_id, thread.tid, thread.priority)
+            )
+            return False, cost
+        if st.token is not None and st.transit:
+            # Token committed to a remote node but still fenced here: the
+            # request joins the queue and travels with the token.
+            st.token.enqueue(
+                LockRequest(self.node_id, thread.tid, thread.priority)
+            )
+            return False, cost
+        # No token here: route through the home node.
+        self.stats.lock_requests += 1
+        self.transport.send(home_of(gid), M_LOCK_REQ, {
+            "gid": gid,
+            "node": self.node_id,
+            "tid": thread.tid,
+            "priority": thread.priority,
+            "restore": 1,
+        })
+        return False, cost
+
+    def release(self, thread: JThread, ref: Any) -> int:
+        """Hook behind DSM_RELEASE: end the interval (flush diffs) and hand the token to the next requester."""
+        hdr: DSMHeader = ref.header
+        if hdr.is_local:
+            if hdr.lock_owner is not thread or hdr.lock_count <= 0:
+                raise ProtocolError("release of unheld local lock")
+            hdr.lock_count -= 1
+            if hdr.lock_count == 0:
+                hdr.lock_owner = None
+            return self.cost_model[cm.LOCAL_LOCK_OP]
+        gid = hdr.gid
+        st = self._lock_state(gid)
+        if st.holder_tid != thread.tid:
+            raise ProtocolError(
+                f"monitorexit by non-owner (gid {gid:#x}, thread "
+                f"{thread.tid}, holder {st.holder_tid})"
+            )
+        cost = self.cost_model[cm.SHARED_RELEASE]
+        st.count -= 1
+        if st.count > 0:
+            return cost
+        st.holder_tid = None
+        self.end_interval(thread)
+        self._service_queue(st)
+        return cost
+
+    # ------------------------------------------------------------------
+    # wait / notify (invoked through rewritten natives)
+    # ------------------------------------------------------------------
+    def dsm_wait(self, thread: JThread, ref: Any) -> None:
+        """Object.wait over the token's wait queue (communication-free, §3.2)."""
+        hdr: DSMHeader = ref.header
+        if hdr.is_local:
+            # wait() implies another thread will notify: the object
+            # escapes its creating thread now.
+            if hdr.lock_owner is not thread or hdr.lock_count <= 0:
+                raise ProtocolError("wait() by non-owner")
+            self.promote(ref)
+        gid = hdr.gid
+        st = self._lock_state(gid)
+        if st.holder_tid != thread.tid or st.token is None:
+            raise ProtocolError("wait() by non-owner")
+        saved = st.count
+        st.holder_tid = None
+        st.count = 0
+        st.token.park_waiter(
+            LockRequest(self.node_id, thread.tid, thread.priority,
+                        restore_count=saved)
+        )
+        # wait() is a release point.
+        self.end_interval(thread)
+        self._service_queue(st)
+
+    def dsm_notify(self, thread: JThread, ref: Any, all_: bool) -> None:
+        """Object.notify/notifyAll over the token's wait queue."""
+        hdr: DSMHeader = ref.header
+        if hdr.is_local:
+            # Owner notifying a local object: no one can be waiting on a
+            # never-escaped object, so this is a no-op.
+            if hdr.lock_owner is not thread or hdr.lock_count <= 0:
+                raise ProtocolError("notify() by non-owner")
+            return
+        st = self._lock_state(hdr.gid)
+        if st.holder_tid != thread.tid or st.token is None:
+            raise ProtocolError("notify() by non-owner")
+        if all_:
+            st.token.notify_all()
+        else:
+            st.token.notify_one()
+
+    # ------------------------------------------------------------------
+    # Thread spawn (rewritten Thread.start)
+    # ------------------------------------------------------------------
+    def spawn(self, thread: JThread, tobj: Any, priority: int) -> int:
+        """Ship a Thread object to the node chosen by the load balancer."""
+        gid = self.promote(tobj)
+        self._check_and_set_started(thread, tobj)
+        target = self.choose_spawn_node()
+        payload = {
+            "gid": gid,
+            "class_name": tobj.class_name,
+            "priority": priority,
+        }
+        if target == self.node_id:
+            self._local_spawn(gid, tobj.class_name, priority)
+        else:
+            # Spawning publishes the Thread object's current state: flush
+            # it so the remote node's fetch observes the constructor's
+            # writes (the spawn itself is a release-like event).
+            self.end_interval(thread)
+            self.transport.send(target, M_SPAWN, payload)
+        return target
+
+    def _check_and_set_started(self, thread: JThread, tobj: Any) -> None:
+        """Double-start detection on the rewritten Thread's ``started``
+        flag.  The starter is almost always the creator (home), so the
+        flag is locally readable; for the exotic case of starting a
+        stale remote replica the check is best-effort."""
+        from ..jvm.errors import JavaRuntimeError
+
+        hdr: DSMHeader = tobj.header
+        try:
+            idx = self.jvm.field_index("javasplit.Thread", "started")
+        except Exception:  # pragma: no cover - Thread class always linked
+            return
+        if hdr.state != ObjState.INVALID and tobj.fields[idx]:
+            raise JavaRuntimeError("thread already started")
+        ok, _ = self.write_check(thread, tobj, 1)
+        if ok:
+            tobj.fields[idx] = 1
+
+    def _local_spawn(self, gid: int, class_name: str, priority: int) -> None:
+        obj = self.replica_for(gid, class_name)
+        run = obj.rtclass.method("__runWrapper")
+        from ..jvm.frame import Frame
+        jt = JThread(self.jvm, Frame(run, [obj]), thread_obj=obj,
+                     priority=priority,
+                     name=f"{class_name}-{gid & 0xFFFF:x}")
+        self.jvm.live_jthreads[id(obj)] = jt
+        self.jvm.call_function(jt)
+        if self.on_spawn_arrival is not None:
+            self.on_spawn_arrival(self.node_id)
+
+    def _on_spawn(self, msg: Message) -> None:
+        p = msg.payload
+        self._local_spawn(p["gid"], p["class_name"], p["priority"])
+
+    # ------------------------------------------------------------------
+    # Console forwarding (rewritten Sys.print — §4.1 wrapped native I/O)
+    # ------------------------------------------------------------------
+    def print_line(self, text: str) -> None:
+        """Console output wrapper: forwards lines to the master node."""
+        self.jvm.println(text)
+        if self.node_id == self.master_node:
+            self.console.append(text)
+        else:
+            self.transport.send(self.master_node, M_CONSOLE, {"text": text})
+
+    def _on_console(self, msg: Message) -> None:
+        self.console.append(msg.payload["text"])
+
+    # ------------------------------------------------------------------
+    # Static holders (§4.2)
+    # ------------------------------------------------------------------
+    def static_ref(self, thread: JThread, class_name: str) -> Tuple[Any, int]:
+        """Hook behind DSM_STATICREF: the node's cached C_static replica."""
+        entry = self.static_gids.get(class_name)
+        if entry is None:
+            raise ProtocolError(f"no static holder registered for {class_name}")
+        gid, holder_class = entry
+        obj = self.cache.get(gid)
+        if obj is None:
+            obj = self.replica_for(gid, holder_class)
+        return obj, 0
+
+    # ==================================================================
+    # Interval end: diff flush (multiple-writer LRC)
+    # ==================================================================
+    def end_interval(self, thread: JThread) -> None:
+        """Release point: flush this node's pending diffs (§3)."""
+        tds = self.thread_dsm(thread)
+        tds.interval += 1
+        self._flush(list(self._dirty), flush_home=True)
+
+    def _flush(self, gids, flush_home: bool) -> None:
+        """Flush pending writes: diffs of the given cached replicas to
+        their homes, plus (optionally) version bumps of home-written
+        masters.  Tagged with a node-level monotonic interval."""
+        self._flush_seq += 1
+        interval = self._flush_seq
+        by_home: Dict[int, List[Tuple[Any, bytes, Optional[int]]]] = {}
+        for entry in gids:
+            if entry not in self._dirty:
+                continue
+            self._dirty.discard(entry)
+            if isinstance(entry, tuple):
+                gid, region = entry
+                obj = self.cache[gid]
+                reg = self._regions[gid]
+                twin = reg.twins.pop(region, None)
+                if twin is None:
+                    continue
+                lo, _hi = reg.bounds(region, len(obj.data))
+                diff = compute_region_diff(obj, lo, twin, self)
+                if diff is None:
+                    continue
+                by_home.setdefault(home_of(gid), []).append((gid, diff, region))
+                continue
+            gid = entry
+            obj = self.cache[gid]
+            hdr: DSMHeader = obj.header
+            twin = hdr.twin
+            hdr.twin = None
+            if twin is None:
+                continue
+            diff = compute_diff(obj, twin, self.specs.get(self._spec_key(obj)), self)
+            if diff is None:
+                continue
+            by_home.setdefault(home_of(gid), []).append((gid, diff, None))
+        if flush_home:
+            # Home-written masters: bump version locally, notice at once.
+            for entry in list(self._dirty_home):
+                self._dirty_home.discard(entry)
+                if isinstance(entry, tuple):
+                    gid, region = entry
+                    reg = self._regions[gid]
+                    reg.versions[region] += 1
+                    key = (gid, region)
+                    version = reg.versions[region]
+                else:
+                    gid = entry
+                    obj = self.cache[gid]
+                    hdr = obj.header
+                    hdr.version += 1
+                    key = gid
+                    version = hdr.version
+                if self.config.timestamp_mode == VECTOR:
+                    self._applied.setdefault(key, {})[self.node_id] = interval
+                    self.notice_table.add(Notice(key, interval, self.node_id))
+                else:
+                    self.notice_table.add(Notice(key, version))
+        for home, entries in by_home.items():
+            ack_id = self._next_ack_id
+            self._next_ack_id += 1
+            self._outstanding_acks += 1
+            payload = {
+                "entries": list(entries),
+                "ack_id": ack_id,
+                "writer": self.node_id,
+                "interval": interval,
+            }
+            self.stats.diffs_sent += len(entries)
+            size = HEADER_BYTES + sum(14 + len(d) for _, d, _r in entries)
+            self.stats.diff_bytes += size
+            if self.config.timestamp_mode == VECTOR:
+                # No fence: the notice is known locally right away.
+                for gid, _, region in entries:
+                    key = gid if region is None else (gid, region)
+                    self.notice_table.add(Notice(key, interval, self.node_id))
+            self.transport.send(home, M_DIFF, payload, size_bytes=size)
+
+    def _spec_key(self, obj: Any) -> str:
+        return obj.class_name
+
+    def _on_diff(self, msg: Message) -> None:
+        p = msg.payload
+        acks: List[Tuple[int, int]] = []
+        writer = p["writer"]
+        interval = p["interval"]
+        for gid, diff, region in p["entries"]:
+            obj = self.cache.get(gid)
+            if obj is None:
+                raise ProtocolError(
+                    f"diff for unknown master gid {gid:#x} at node "
+                    f"{self.node_id}"
+                )
+            hdr: DSMHeader = obj.header
+            if region is not None:
+                reg = self._regions[gid]
+                lo, _hi = reg.bounds(region, len(obj.data))
+                apply_region_diff(obj, lo, diff, self)
+                reg.versions[region] += 1
+                key: Any = (gid, region)
+                version = reg.versions[region]
+            else:
+                apply_diff(obj, self.specs.get(self._spec_key(obj)), diff, self)
+                hdr.version += 1
+                key = gid
+                version = hdr.version
+            acks.append((key, version))
+            if self.config.timestamp_mode == VECTOR:
+                applied = self._applied.setdefault(key, {})
+                applied[writer] = max(applied.get(writer, 0), interval)
+                self.notice_table.add(Notice(key, interval, writer))
+                self._retry_deferred_fetches(key)
+            else:
+                self.notice_table.add(Notice(key, version))
+        delay = self.cost_model[cm.PROTO_HANDLER_NS]
+        self.engine.schedule(delay, lambda: self.transport.send(
+            msg.src, M_DIFF_ACK, {"ack_id": p["ack_id"], "versions": acks}
+        ))
+
+    def _on_diff_ack(self, msg: Message) -> None:
+        for key, version in msg.payload["versions"]:
+            self.notice_table.add(Notice(key, version))
+        self._outstanding_acks -= 1
+        if self._outstanding_acks < 0:  # pragma: no cover - defensive
+            raise ProtocolError("diff ack underflow")
+        if self._outstanding_acks == 0:
+            queue, self._fence_queue = self._fence_queue, []
+            for action in queue:
+                action()
+
+    def _when_fence_clear(self, action: Callable[[], None]) -> None:
+        """Run ``action`` once all outstanding diffs are acked (§3.1's
+        scalar-timestamp lock-transfer delay).  Vector mode never waits."""
+        if self.config.timestamp_mode == VECTOR or self._outstanding_acks == 0:
+            action()
+        else:
+            self.stats.fence_waits += 1
+            self._fence_queue.append(action)
+
+    # ==================================================================
+    # Fetch handling
+    # ==================================================================
+    def _on_fetch_req(self, msg: Message) -> None:
+        gid = msg.payload["gid"]
+        region = msg.payload.get("region")
+        obj = self.cache.get(gid)
+        if obj is None:
+            raise ProtocolError(
+                f"fetch for unknown gid {gid:#x} at home {self.node_id}"
+            )
+        if gid in self._regions and region is None:
+            region = 0  # regioned array touched without an index
+        key = gid if region is None else (gid, region)
+        if self.config.timestamp_mode == VECTOR:
+            required: Dict[int, int] = msg.payload["required"]
+            applied = self._applied.get(key, {})
+            if any(applied.get(w, 0) < v for w, v in required.items()):
+                self.stats.deferred_fetches += 1
+                self._deferred_fetch.setdefault(key, []).append(msg)
+                return
+        self._serve_fetch(msg.src, obj, region)
+
+    def _retry_deferred_fetches(self, key: Any) -> None:
+        queue = self._deferred_fetch.get(key)
+        if not queue:
+            return
+        applied = self._applied.get(key, {})
+        gid = key[0] if isinstance(key, tuple) else key
+        region = key[1] if isinstance(key, tuple) else None
+        still = []
+        for msg in queue:
+            required = msg.payload["required"]
+            if any(applied.get(w, 0) < v for w, v in required.items()):
+                still.append(msg)
+            else:
+                self._serve_fetch(msg.src, self.cache[gid], region)
+        self._deferred_fetch[key] = still
+
+    def _serve_fetch(self, requester: int, obj: Any,
+                     region: Optional[int] = None) -> None:
+        hdr: DSMHeader = obj.header
+        gid = hdr.gid
+        payload: Dict[str, Any] = {
+            "gid": gid,
+            "class_name": obj.class_name,
+            "region": region,
+        }
+        if region is not None:
+            reg = self._regions[gid]
+            lo, hi = reg.bounds(region, len(obj.data))
+            data = serialize_region(obj, lo, hi, self)
+            payload["version"] = reg.versions[region]
+            payload["total_len"] = len(obj.data)
+            payload["region_elems"] = reg.elems
+            key: Any = (gid, region)
+        else:
+            data = serialize_any(obj, self.specs.get(self._spec_key(obj)), self)
+            payload["version"] = hdr.version
+            key = gid
+        payload["data"] = data
+        if self.config.timestamp_mode == VECTOR:
+            payload["applied"] = dict(self._applied.get(key, {}))
+        size = HEADER_BYTES + 24 + len(data)
+        self.stats.fetch_bytes += size
+        delay = (
+            self.cost_model[cm.PROTO_HANDLER_NS]
+            + len(data) * self.cost_model[cm.SERIALIZE_PER_BYTE_NS]
+        )
+        self.engine.schedule(delay, lambda: self.transport.send(
+            requester, M_FETCH_REPLY, payload, size_bytes=size
+        ))
+
+    def _on_fetch_reply(self, msg: Message) -> None:
+        p = msg.payload
+        gid = p["gid"]
+        region = p.get("region")
+        obj = self.cache.get(gid)
+        if obj is None:
+            obj = self.replica_for(gid, p["class_name"])
+        hdr: DSMHeader = obj.header
+        if region is not None:
+            reg = self._regions.get(gid)
+            total_len = p["total_len"]
+            if reg is None:
+                elems = p["region_elems"]
+                n = (total_len + elems - 1) // elems
+                reg = RegionInfo(
+                    elems=elems,
+                    states=[ObjState.INVALID] * n,
+                    versions=[0] * n,
+                    length_known=True,
+                )
+                self._regions[gid] = reg
+            if len(obj.data) != total_len:
+                from ..jvm.classfile import default_value
+                obj.data = [default_value(obj.elem_type)] * total_len
+            lo, _hi = reg.bounds(region, total_len)
+            deserialize_region(obj, lo, p["data"], self)
+            reg.states[region] = ObjState.VALID
+            reg.versions[region] = p["version"]
+            reg.twins.pop(region, None)
+            reg.length_known = True
+            hdr.state = ObjState.VALID  # "present"; regions carry the truth
+            key: Any = (gid, region)
+        else:
+            deserialize_any(obj, self.specs.get(self._spec_key(obj)), p["data"], self)
+            hdr.version = p["version"]
+            hdr.state = ObjState.VALID
+            hdr.twin = None
+            key = gid
+        if self.config.timestamp_mode == VECTOR:
+            self._replica_vc[key] = dict(p.get("applied", {}))
+        waiters = self._fetch_waiters.pop((gid, region), [])
+        for thread in waiters:
+            thread.wake()
+        if region is not None:
+            # A no-index (length) waiter may also be parked on region 0.
+            if region == 0:
+                for thread in self._fetch_waiters.pop((gid, None), []):
+                    thread.wake()
+
+    # ==================================================================
+    # Invalidation
+    # ==================================================================
+    def _apply_notices(self, notices: List[Notice]) -> None:
+        # Merge into the table for onward propagation; but decide
+        # invalidation against each REPLICA's version, never the table:
+        # diff acks advance the table without refreshing the replica, so
+        # table advancement is not a proxy for replica freshness.
+        self.notice_table.add_all(notices)
+        to_flush = []
+        to_invalidate = []
+        for notice in notices:
+            key = notice.gid
+            region: Optional[int] = None
+            gid = key
+            if isinstance(key, tuple):
+                gid, region = key
+            obj = self.cache.get(gid)
+            if obj is None:
+                continue
+            hdr: DSMHeader = obj.header
+            if region is not None:
+                reg = self._regions.get(gid)
+                if reg is None or reg.states[region] != ObjState.VALID:
+                    continue
+                if self.config.timestamp_mode == VECTOR:
+                    seen = self._replica_vc.get(key, {})
+                    if seen.get(notice.writer, 0) >= notice.version:
+                        continue
+                elif reg.versions[region] >= notice.version:
+                    continue
+            else:
+                if hdr.state != ObjState.VALID:
+                    continue
+                if self.config.timestamp_mode == VECTOR:
+                    seen = self._replica_vc.get(key, {})
+                    if seen.get(notice.writer, 0) >= notice.version:
+                        continue
+                elif hdr.version >= notice.version:
+                    continue
+            # A dirty replica's pending local writes are committed program
+            # actions: flush the diff home *before* invalidating, or the
+            # multiple-writer merge loses them.
+            if key in self._dirty:
+                to_flush.append(key)
+            if key not in to_invalidate:
+                to_invalidate.append(key)
+        if to_flush:
+            self._flush(to_flush, flush_home=False)
+        for key in to_invalidate:
+            if isinstance(key, tuple):
+                gid, region = key
+                reg = self._regions[gid]
+                reg.states[region] = ObjState.INVALID
+                reg.twins.pop(region, None)
+            else:
+                hdr = self.cache[key].header
+                hdr.state = ObjState.INVALID
+                hdr.twin = None
+            self.stats.invalidations += 1
+
+    # ==================================================================
+    # Lock choreography
+    # ==================================================================
+    def _lock_state(self, gid: int) -> NodeLockState:
+        st = self.lock_states.get(gid)
+        if st is None:
+            st = NodeLockState(gid)
+            self.lock_states[gid] = st
+        return st
+
+    def _on_lock_req(self, msg: Message) -> None:
+        """Home role: route the request to the current owner (§3.2)."""
+        p = msg.payload
+        gid = p["gid"]
+        owner = self.lock_owner.get(gid)
+        if owner is None:
+            raise ProtocolError(
+                f"lock request for unregistered gid {gid:#x}"
+            )
+        if owner == self.node_id:
+            self._on_lock_fwd(msg)
+        else:
+            self.transport.send(owner, M_LOCK_FWD, dict(p))
+
+    def _on_lock_fwd(self, msg: Message) -> None:
+        p = msg.payload
+        gid = p["gid"]
+        st = self._lock_state(gid)
+        if st.token is not None:
+            st.token.enqueue(LockRequest(
+                p["node"], p["tid"], p["priority"],
+                restore_count=p.get("restore", 1),
+            ))
+            self._service_queue(st)
+            return
+        # Token has moved on: chase it.
+        target = st.last_sent_to
+        if target is None:
+            if self.node_id == home_of(gid):
+                target = self.lock_owner.get(gid)
+            if target is None or target == self.node_id:
+                raise ProtocolError(
+                    f"node {self.node_id} cannot route lock request for "
+                    f"gid {gid:#x}"
+                )
+        self.transport.send(target, M_LOCK_FWD, dict(p))
+
+    def _service_queue(self, st: NodeLockState) -> None:
+        """Grant a free token to the next queued requester, if any."""
+        if st.token is None or st.transit or st.holder_tid is not None:
+            return
+        req = st.token.peek_next()
+        if req is None:
+            return
+        if req.node == self.node_id:
+            st.token.pop_next()
+            st.holder_tid = req.thread_id
+            st.count = req.restore_count
+            self._thread(req.thread_id).complete(NO_VALUE)
+            return
+        # Remote transfer: fence on outstanding diffs (scalar mode).
+        st.token.pop_next()
+        st.transit = True
+        st.pending_grant = req
+        self._when_fence_clear(lambda: self._send_token(st, req))
+
+    def _send_token(self, st: NodeLockState, req: LockRequest) -> None:
+        token = st.token
+        assert token is not None
+        # Per-receiver delta: what THIS node's table has that the token
+        # has not yet delivered to req.node specifically.
+        per_receiver = token.seen_notices.setdefault(req.node, {})
+        if self.config.timestamp_mode == VECTOR:
+            delta = self.notice_table.delta_since_vector(per_receiver)
+        else:
+            delta = self.notice_table.delta_since(per_receiver)
+        payload = {
+            "gid": token.gid,
+            "grant": (req.node, req.thread_id, req.priority, req.restore_count),
+            "queue": [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
+                for r in token.queue
+            ],
+            "waitq": [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
+                for r in token.waitq
+            ],
+            "seen": {n: dict(m) for n, m in token.seen_notices.items()},
+            "delta": [(n.gid, n.version, n.writer) for n in delta],
+        }
+        size = HEADER_BYTES + token.wire_size() + sum(n.wire_size() for n in delta)
+        st.token = None
+        st.transit = False
+        st.pending_grant = None
+        st.last_sent_to = req.node
+        self.stats.token_transfers += 1
+        self.transport.send(req.node, M_TOKEN, payload, size_bytes=size)
+
+    def _on_token(self, msg: Message) -> None:
+        p = msg.payload
+        gid = p["gid"]
+        st = self._lock_state(gid)
+        token = LockToken(gid)
+        token.queue = [
+            LockRequest(n, t, pr, s, rc) for n, t, pr, s, rc in p["queue"]
+        ]
+        token.waitq = [
+            LockRequest(n, t, pr, s, rc) for n, t, pr, s, rc in p["waitq"]
+        ]
+        token.seen_notices = {n: dict(m) for n, m in p["seen"].items()}
+        st.token = token
+        st.last_sent_to = None
+        # Acquire-side of the sync point: invalidate per the notice delta.
+        notices = [Notice(g, v, w) for g, v, w in p["delta"]]
+        self._apply_notices(notices)
+        # Tell the home who owns the lock now.
+        home = home_of(gid)
+        if home != self.node_id:
+            self.transport.send(home, M_OWNER_UPDATE, {
+                "gid": gid, "owner": self.node_id,
+            })
+        else:
+            self.lock_owner[gid] = self.node_id
+        node, tid, _prio, restore = p["grant"]
+        if node != self.node_id:  # pragma: no cover - defensive
+            raise ProtocolError("token granted to the wrong node")
+        st.holder_tid = tid
+        st.count = restore
+        self._thread(tid).complete(NO_VALUE)
+
+    def _on_owner_update(self, msg: Message) -> None:
+        p = msg.payload
+        self.lock_owner[p["gid"]] = p["owner"]
+
+    # ==================================================================
+    # Introspection / testing helpers
+    # ==================================================================
+    def replica(self, gid: int) -> Any:
+        """Introspection: the local replica for a gid, if any."""
+        return self.cache.get(gid)
+
+    def quiesced(self) -> bool:
+        """No fences pending and no parked fetch waiters."""
+        return self._outstanding_acks == 0 and not self._fetch_waiters

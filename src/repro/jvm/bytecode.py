@@ -1,0 +1,218 @@
+"""The mini-JVM bytecode instruction set.
+
+A deliberately Java-flavoured stack ISA: it keeps exactly the instruction
+classes the JavaSplit rewriter cares about — heap accesses (GETFIELD /
+PUTFIELD / GETSTATIC / PUTSTATIC / ARRLOAD / ARRSTORE), synchronization
+(MONITORENTER / MONITOREXIT), allocation, invocation and control flow —
+plus the DSM pseudo-instructions that only the rewriter may emit.
+
+Design notes
+------------
+* Values carry their own type at runtime (Python ints/floats/refs), so
+  arithmetic is untyped at the opcode level; the compiler inserts I2D /
+  D2I conversions to get Java's static numeric semantics.
+* ``DSM_READCHECK depth`` / ``DSM_WRITECHECK depth`` are *fused* forms of
+  the paper's Figure 3 four-instruction fast path (DUP; GETFIELD state;
+  ICONST 0; IF_ICMPNE).  They peek the object reference ``depth`` slots
+  below the top of stack and fall through when the replica is valid; the
+  fast-path cost is billed into the following access's ``*_checked`` cost
+  key, exactly mirroring the paper's measurement methodology (Table 1
+  reports whole rewritten-access latencies, not check latencies).
+* Branch targets are integer instruction indices; the builder API in
+  :mod:`repro.jvm.assembler` resolves symbolic labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from ..sim import cost_model as cm
+
+
+class Op(enum.IntEnum):
+    # Constants and locals
+    CONST = enum.auto()        # a = literal value (int/float/str/None)
+    LOAD = enum.auto()         # a = local index
+    STORE = enum.auto()        # a = local index
+    IINC = enum.auto()         # a = local index, b = delta
+
+    # Arithmetic / logic (operand types carried by the values)
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    NEG = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    USHR = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    CMP = enum.auto()          # pops b,a; pushes -1/0/1 (double compare)
+    I2D = enum.auto()
+    D2I = enum.auto()
+    CONCAT = enum.auto()       # string concatenation with stringification
+
+    # Stack manipulation
+    POP = enum.auto()
+    DUP = enum.auto()
+    DUP_X1 = enum.auto()       # a,b -> b,a,b
+    SWAP = enum.auto()
+
+    # Control flow
+    GOTO = enum.auto()         # a = target pc
+    IF = enum.auto()           # a = cond ('eq','ne','lt','ge','gt','le'), b = target; pops one, compares to 0/null
+    IF_CMP = enum.auto()       # a = cond, b = target; pops two
+
+    # Objects
+    NEW = enum.auto()          # a = class name
+    GETFIELD = enum.auto()     # a = class name, b = field name
+    PUTFIELD = enum.auto()
+    GETSTATIC = enum.auto()
+    PUTSTATIC = enum.auto()
+    INSTANCEOF = enum.auto()   # a = class name
+    CHECKCAST = enum.auto()    # a = class name
+
+    # Invocation
+    INVOKEVIRTUAL = enum.auto()  # a = static class name, b = method name
+    INVOKESTATIC = enum.auto()
+    INVOKESPECIAL = enum.auto()  # constructors / super calls, no dispatch
+    RETURN = enum.auto()
+    RETVAL = enum.auto()
+
+    # Arrays
+    NEWARRAY = enum.auto()     # a = element type name; pops length
+    ARRLOAD = enum.auto()      # pops index, arrayref
+    ARRSTORE = enum.auto()     # pops value, index, arrayref
+    ARRAYLENGTH = enum.auto()
+
+    # Synchronization
+    MONITORENTER = enum.auto()
+    MONITOREXIT = enum.auto()
+
+    # DSM pseudo-instructions (inserted by the rewriter only)
+    DSM_READCHECK = enum.auto()   # a = stack depth of the object ref
+    DSM_WRITECHECK = enum.auto()  # a = stack depth of the object ref
+    DSM_ACQUIRE = enum.auto()     # pops ref; distributed monitorenter
+    DSM_RELEASE = enum.auto()     # pops ref; distributed monitorexit
+    DSM_STATICREF = enum.auto()   # a = class name; pushes C_static holder ref
+
+
+class Instr:
+    """One bytecode instruction.
+
+    ``a`` and ``b`` are opcode-specific operands (see :class:`Op`).
+    ``checked`` marks a heap access guarded by a preceding DSM check —
+    the interpreter then bills the ``*_checked`` cost key.  The value
+    ``"static"`` marks a checked access to a C_static holder field,
+    billed at the (re)written static-access rate of Table 1.  ``cache``
+    holds the link-time-resolved target (method/field index) filled in
+    lazily by the interpreter (a quickening cache, like real JVMs).
+    """
+
+    __slots__ = ("op", "a", "b", "checked", "cache", "line")
+
+    def __init__(
+        self,
+        op: Op,
+        a: Any = None,
+        b: Any = None,
+        checked: bool = False,
+        line: int = 0,
+    ) -> None:
+        self.op = op
+        self.a = a
+        self.b = b
+        self.checked = checked
+        self.cache: Any = None
+        self.line = line
+
+    def copy(self) -> "Instr":
+        """A fresh instruction with the same operands (cache cleared)."""
+        new = Instr(self.op, self.a, self.b, self.checked, self.line)
+        return new
+
+    def __repr__(self) -> str:
+        parts = [self.op.name]
+        if self.a is not None:
+            parts.append(repr(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        if self.checked:
+            parts.append("[checked]")
+        return " ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Instr)
+            and self.op == other.op
+            and self.a == other.a
+            and self.b == other.b
+            and self.checked == other.checked
+        )
+
+    def __hash__(self):  # pragma: no cover - Instr used in lists only
+        return hash((self.op, self.a, self.b, self.checked))
+
+
+# Valid IF / IF_CMP conditions
+CONDITIONS = ("eq", "ne", "lt", "ge", "gt", "le")
+
+# Heap-access opcodes and their plain cost keys; the interpreter switches
+# to ``cm.checked(key)`` when ``instr.checked`` is set.
+HEAP_ACCESS_COST = {
+    Op.GETFIELD: cm.FIELD_READ,
+    Op.PUTFIELD: cm.FIELD_WRITE,
+    Op.GETSTATIC: cm.STATIC_READ,
+    Op.PUTSTATIC: cm.STATIC_WRITE,
+    Op.ARRLOAD: cm.ARRAY_READ,
+    Op.ARRSTORE: cm.ARRAY_WRITE,
+}
+
+# Cost keys for everything else.
+OP_COST = {
+    Op.CONST: cm.CONST,
+    Op.LOAD: cm.LOCAL,
+    Op.STORE: cm.LOCAL,
+    Op.IINC: cm.LOCAL,
+    Op.ADD: cm.ARITH, Op.SUB: cm.ARITH, Op.MUL: cm.ARITH,
+    Op.DIV: cm.ARITH, Op.REM: cm.ARITH, Op.NEG: cm.ARITH,
+    Op.SHL: cm.ARITH, Op.SHR: cm.ARITH, Op.USHR: cm.ARITH,
+    Op.AND: cm.ARITH, Op.OR: cm.ARITH, Op.XOR: cm.ARITH,
+    Op.CMP: cm.ARITH, Op.I2D: cm.CONVERT, Op.D2I: cm.CONVERT,
+    Op.CONCAT: cm.NATIVE,
+    Op.POP: cm.STACK, Op.DUP: cm.STACK, Op.DUP_X1: cm.STACK,
+    Op.SWAP: cm.STACK,
+    Op.GOTO: cm.BRANCH, Op.IF: cm.BRANCH, Op.IF_CMP: cm.BRANCH,
+    Op.NEW: cm.ALLOC,
+    Op.INSTANCEOF: cm.ARITH, Op.CHECKCAST: cm.ARITH,
+    Op.INVOKEVIRTUAL: cm.INVOKE, Op.INVOKESTATIC: cm.INVOKE,
+    Op.INVOKESPECIAL: cm.INVOKE,
+    Op.RETURN: cm.RETURN_, Op.RETVAL: cm.RETURN_,
+    Op.NEWARRAY: cm.ALLOC_ARRAY,
+    Op.ARRAYLENGTH: cm.FIELD_READ,
+    Op.MONITORENTER: cm.MONITOR_ENTER,
+    Op.MONITOREXIT: cm.MONITOR_EXIT,
+    # DSM check fast paths are billed through the access's *_checked key;
+    # acquire/release costs depend on local-vs-shared and come from the
+    # hook (LOCAL_LOCK_OP vs SHARED_ACQUIRE/RELEASE — Table 2).
+    Op.DSM_READCHECK: None,
+    Op.DSM_WRITECHECK: None,
+    Op.DSM_ACQUIRE: None,
+    Op.DSM_RELEASE: None,
+    Op.DSM_STATICREF: cm.CHECK_HIT,
+}
+
+# Opcodes only the rewriter may emit; the verifier rejects them in
+# classes marked as un-instrumented.
+DSM_OPS = frozenset({
+    Op.DSM_READCHECK, Op.DSM_WRITECHECK, Op.DSM_ACQUIRE,
+    Op.DSM_RELEASE, Op.DSM_STATICREF,
+})
+
+# Opcodes that terminate or divert straight-line flow (used by the
+# verifier's fall-off-the-end check).
+TERMINATORS = frozenset({Op.GOTO, Op.RETURN, Op.RETVAL})
+BRANCHES = frozenset({Op.GOTO, Op.IF, Op.IF_CMP})

@@ -1,0 +1,69 @@
+"""Bytecode disassembler: human-readable class-file listings.
+
+Primarily a rewriter-inspection tool: diffing the listing of an original
+class against its ``javasplit.*`` twin shows exactly what the
+instrumentation did (the paper's Figure 2/3, regenerable for any class).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .bytecode import BRANCHES, Instr, Op
+from .classfile import ClassFile, MethodInfo
+
+
+def format_instr(pc: int, instr: Instr) -> str:
+    parts = [f"{pc:4d}  {instr.op.name}"]
+    if instr.op is Op.GOTO:
+        parts.append(f"-> {instr.a}")
+    elif instr.op in (Op.IF, Op.IF_CMP):
+        parts.append(f"{instr.a} -> {instr.b}")
+    else:
+        if instr.a is not None:
+            parts.append(repr(instr.a))
+        if instr.b is not None:
+            parts.append(repr(instr.b))
+    if instr.checked:
+        parts.append("[checked]" if instr.checked is True else "[checked:static]")
+    return " ".join(parts)
+
+
+def disassemble_method(method: MethodInfo) -> str:
+    flags = " ".join(sorted(method.flags))
+    sig = f"{method.ret} {method.name}({', '.join(method.params)})"
+    header = f"  {flags + ' ' if flags else ''}{sig}"
+    if method.is_native:
+        return header + "  [native]"
+    lines = [header, f"    max_locals={method.max_locals}"]
+    targets = set()
+    for instr in method.code:
+        if instr.op is Op.GOTO:
+            targets.add(instr.a)
+        elif instr.op in BRANCHES:
+            targets.add(instr.b)
+    for pc, instr in enumerate(method.code):
+        marker = ">" if pc in targets else " "
+        lines.append(f"   {marker}{format_instr(pc, instr)}")
+    return "\n".join(lines)
+
+
+def disassemble_class(cf: ClassFile) -> str:
+    lines = [f"class {cf.name} extends {cf.super_name or '<root>'}"
+             + ("  [instrumented]" if cf.instrumented else "")]
+    for f in cf.fields:
+        mods = []
+        if f.is_static:
+            mods.append("static")
+        if f.volatile:
+            mods.append("volatile")
+        init = f" = {f.init!r}" if f.init is not None else ""
+        lines.append(f"  {' '.join(mods + [f.type, f.name])}{init}")
+    for method in cf.methods.values():
+        lines.append("")
+        lines.append(disassemble_method(method))
+    return "\n".join(lines)
+
+
+def disassemble(classfiles: Iterable[ClassFile]) -> str:
+    return "\n\n".join(disassemble_class(cf) for cf in classfiles)

@@ -1,0 +1,58 @@
+"""Error hierarchy for the mini-JVM.
+
+``JavaRuntimeError`` subclasses model the runtime exceptions a real JVM
+would throw (NPE, bounds, arithmetic...).  They abort the offending
+simulated thread; the benchmark programs in this repo are written not to
+trigger them, so surfacing them as Python exceptions keeps failures loud
+in tests instead of silently corrupting results.
+"""
+
+from __future__ import annotations
+
+
+class JVMError(Exception):
+    """Base class for all mini-JVM errors (load-time and run-time)."""
+
+
+class ClassFormatError(JVMError):
+    """A class file is structurally invalid (verifier / linker)."""
+
+
+class LinkError(JVMError):
+    """Unresolvable class, field or method reference."""
+
+
+class JavaRuntimeError(JVMError):
+    """Base for errors a Java program would see as a runtime exception."""
+
+    java_name = "java.lang.RuntimeException"
+
+
+class NullPointerError(JavaRuntimeError):
+    """Heap access through a null reference."""
+    java_name = "java.lang.NullPointerException"
+
+
+class ArrayIndexError(JavaRuntimeError):
+    """Array index outside [0, length)."""
+    java_name = "java.lang.ArrayIndexOutOfBoundsException"
+
+
+class NegativeArraySizeError(JavaRuntimeError):
+    """Array allocation with a negative length."""
+    java_name = "java.lang.NegativeArraySizeException"
+
+
+class ArithmeticJavaError(JavaRuntimeError):
+    """Integer division or remainder by zero."""
+    java_name = "java.lang.ArithmeticException"
+
+
+class ClassCastError(JavaRuntimeError):
+    """checkcast to an incompatible class."""
+    java_name = "java.lang.ClassCastException"
+
+
+class IllegalMonitorStateError(JavaRuntimeError):
+    """Monitor operation by a thread that does not own it."""
+    java_name = "java.lang.IllegalMonitorStateException"

@@ -1,0 +1,543 @@
+"""The bytecode interpreter.
+
+One :class:`Interpreter` per JVM instance.  It is *steppable*: ``step``
+executes exactly one instruction of a thread's top frame and returns its
+simulated cost in nanoseconds, so the node scheduler can timeshare
+threads over simulated CPUs and the DSM can block threads mid-access.
+
+Blocking discipline (see DESIGN.md):
+
+* **re-execute** style — instructions that only *peeked* at the stack
+  (DSM access checks, DSM_STATICREF) leave the pc untouched when they
+  block; when the protocol wakes the thread the instruction re-executes
+  and now passes.  This mirrors the paper's Figure 3, where the read-miss
+  handler returns into the access check.
+* **complete** style — instructions that already consumed operands
+  (MONITORENTER, DSM_ACQUIRE, blocking native calls) block with the pc
+  still pointing at them; the waker calls :meth:`JThread.complete`,
+  which pushes an optional result and advances the pc.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..sim import cost_model as cm
+from .bytecode import HEAP_ACCESS_COST, OP_COST, Instr, Op
+from .classfile import CONSTRUCTOR, MethodInfo
+from .errors import (
+    ArithmeticJavaError,
+    ClassCastError,
+    IllegalMonitorStateError,
+    JVMError,
+    NullPointerError,
+)
+from .frame import Frame
+from .heap import ArrayObj, Obj, monitor_of
+
+# Sentinel returned by native methods that produce no value (void).
+NO_VALUE = object()
+# Sentinel returned by native methods that blocked the thread themselves.
+BLOCK = object()
+
+
+def java_idiv(a: int, b: int) -> int:
+    """Java integer division: truncates toward zero."""
+    if b == 0:
+        raise ArithmeticJavaError("/ by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def java_irem(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticJavaError("% by zero")
+    return a - java_idiv(a, b) * b
+
+
+def java_ddiv(a: float, b: float) -> float:
+    """Java double division: never traps; yields inf/nan."""
+    if b == 0.0:
+        if a == 0.0:
+            return math.nan
+        return math.inf if (a > 0) == (b >= 0 and not math.copysign(1, b) < 0) else -math.inf
+    return a / b
+
+
+def jstr(value: Any) -> str:
+    """Stringify a value the way Java's string concatenation would."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):  # pragma: no cover - booleans are ints
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == math.floor(value) and abs(value) < 1e16 and not math.isinf(value):
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(value, (Obj, ArrayObj)):
+        return f"{value.class_name}@{id(value) & 0xFFFFFF:x}"
+    return str(value)
+
+
+class Interpreter:
+    """Executes bytecode for one JVM instance."""
+
+    def __init__(self, jvm: "JVM") -> None:  # noqa: F821 - circular typing
+        self.jvm = jvm
+        self.cost_model = jvm.cost_model
+        # Per-opcode cost tables, resolved once per JVM brand (a real
+        # JIT would constant-fold these; we index two flat lists).
+        n_ops = max(int(op) for op in Op) + 1
+        self._cost_plain = [0] * n_ops
+        self._cost_checked = [0] * n_ops
+        self._cost_static = [0] * n_ops
+        for op in Op:
+            heap_key = HEAP_ACCESS_COST.get(op)
+            if heap_key is not None:
+                self._cost_plain[op] = self.cost_model[heap_key]
+                self._cost_checked[op] = self.cost_model[cm.checked(heap_key)]
+                self._cost_static[op] = self._cost_checked[op]
+            else:
+                key = OP_COST[op]
+                cost = self.cost_model[key] if key is not None else 0
+                self._cost_plain[op] = cost
+                self._cost_checked[op] = cost
+                self._cost_static[op] = cost
+        # Rewritten static accesses are GETFIELD/PUTFIELD on the C_static
+        # holder (§4.2); they bill the static rows of Table 1.
+        self._cost_static[Op.GETFIELD] = self.cost_model[cm.checked(cm.STATIC_READ)]
+        self._cost_static[Op.PUTFIELD] = self.cost_model[cm.checked(cm.STATIC_WRITE)]
+
+    # ------------------------------------------------------------------
+    def step(self, thread: "JThread") -> int:  # noqa: F821
+        """Execute one instruction; returns its simulated cost in ns."""
+        frame = thread.frames[-1]
+        try:
+            instr = frame.method.code[frame.pc]
+        except IndexError:
+            raise JVMError(
+                f"pc fell off method end at {frame.where()}"
+            ) from None
+        try:
+            cost = self._execute(thread, frame, instr)
+        except JVMError as exc:
+            thread.fail(exc, frame.where())
+            raise
+        if thread.pending_cost:
+            cost += thread.pending_cost
+            thread.pending_cost = 0
+        thread.instructions += 1
+        return cost
+
+    # ------------------------------------------------------------------
+    def _base_cost(self, instr: Instr) -> int:
+        table = self._cost_checked if instr.checked else self._cost_plain
+        return table[instr.op]
+
+    # ------------------------------------------------------------------
+    def _execute(self, thread, frame: Frame, instr: Instr) -> int:
+        op = instr.op
+        stack = frame.stack
+        checked = instr.checked
+        if checked:
+            cost = (self._cost_static if checked == "static"
+                    else self._cost_checked)[op]
+        else:
+            cost = self._cost_plain[op]
+
+        # --- constants & locals -------------------------------------
+        if op is Op.LOAD:
+            stack.append(frame.locals[instr.a])
+        elif op is Op.CONST:
+            stack.append(instr.a)
+        elif op is Op.DSM_READCHECK:
+            hooks = self._hooks()
+            ref = frame.peek(instr.a)
+            if ref is None:
+                raise NullPointerError("read check on null")
+            # For array accesses the element index sits just above the
+            # ref; region-granular coherence (§4.3 extension) needs it.
+            index = (
+                frame.peek(instr.a - 1)
+                if instr.a >= 1 and isinstance(ref, ArrayObj) else None
+            )
+            ok, extra = hooks.read_check(thread, ref, index)
+            if not ok:
+                # Re-execute style: pc stays on the check; the fetch
+                # reply wakes the thread and the check then passes.
+                thread.block(reexec=True, reason="read miss")
+                return cost + extra
+            frame.pc += 1
+            return cost + extra
+        elif op is Op.GETFIELD:
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError(f"getfield {instr.a}.{instr.b}")
+            idx = instr.cache
+            if idx is None:
+                idx = self.jvm.field_index(instr.a, instr.b)
+                instr.cache = idx
+            stack.append(ref.fields[idx])
+        elif op is Op.IF_CMP:
+            b = stack.pop(); a = stack.pop()
+            if self._test_cmp(instr.a, a, b):
+                frame.pc = instr.b
+                return cost
+
+        # --- objects ----------------------------------------------------
+        elif op is Op.ADD:
+            b = stack.pop(); stack[-1] = stack[-1] + b
+        elif op is Op.ARRLOAD:
+            idx = stack.pop(); ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("arrload on null")
+            stack.append(ref.get(idx))
+        elif op is Op.STORE:
+            frame.locals[instr.a] = stack.pop()
+        elif op is Op.IINC:
+            frame.locals[instr.a] += instr.b
+
+        # --- arithmetic ----------------------------------------------
+        elif op is Op.DSM_WRITECHECK:
+            hooks = self._hooks()
+            ref = frame.peek(instr.a)
+            if ref is None:
+                raise NullPointerError("write check on null")
+            value = frame.peek(instr.b) if instr.b is not None else None
+            index = (
+                frame.peek(instr.a - 1)
+                if instr.a >= 2 and isinstance(ref, ArrayObj) else None
+            )
+            ok, extra = hooks.write_check(thread, ref, value, index)
+            if not ok:
+                thread.block(reexec=True, reason="write miss")
+                return cost + extra
+            frame.pc += 1
+            return cost + extra
+        elif op is Op.PUTFIELD:
+            value = stack.pop()
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError(f"putfield {instr.a}.{instr.b}")
+            idx = instr.cache
+            if idx is None:
+                idx = self.jvm.field_index(instr.a, instr.b)
+                instr.cache = idx
+            ref.fields[idx] = value
+        elif op is Op.ARRSTORE:
+            value = stack.pop(); idx = stack.pop(); ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("arrstore on null")
+            ref.set(idx, value)
+        elif op is Op.MUL:
+            b = stack.pop(); stack[-1] = stack[-1] * b
+        elif op is Op.SUB:
+            b = stack.pop(); stack[-1] = stack[-1] - b
+        elif op is Op.GOTO:
+            frame.pc = instr.a
+            return cost
+        elif op is Op.IF:
+            v = stack.pop()
+            if self._test_zero(instr.a, v):
+                frame.pc = instr.b
+                return cost
+        elif op is Op.INVOKEVIRTUAL:
+            static_m = instr.cache
+            if static_m is None:
+                static_m = self.jvm.resolve_method(instr.a, instr.b)
+                instr.cache = static_m
+            receiver = frame.peek(len(static_m.params))
+            if receiver is None:
+                raise NullPointerError(f"invoke {instr.a}.{instr.b} on null")
+            if isinstance(receiver, str):
+                target = self.jvm.resolve_method(self.jvm.string_class, instr.b)
+            elif isinstance(receiver, ArrayObj):
+                target = self.jvm.resolve_method(self.jvm.object_class, instr.b)
+            else:
+                target = receiver.rtclass.vtable.get(instr.b)
+                if target is None:
+                    target = self.jvm.resolve_method(instr.a, instr.b)
+            return cost + self._invoke(thread, frame, static_m, target)
+        elif op is Op.INVOKESTATIC:
+            method = instr.cache
+            if method is None:
+                method = self.jvm.resolve_method(instr.a, instr.b)
+                instr.cache = method
+            return cost + self._invoke(thread, frame, method, method)
+        elif op is Op.DUP:
+            stack.append(stack[-1])
+        elif op is Op.CMP:
+            b = stack.pop(); a = stack.pop()
+            stack.append(0 if a == b else (-1 if a < b else 1))
+        elif op is Op.I2D:
+            stack[-1] = float(stack[-1])
+        elif op is Op.DIV:
+            b = stack.pop(); a = stack.pop()
+            if isinstance(a, int) and isinstance(b, int):
+                stack.append(java_idiv(a, b))
+            else:
+                stack.append(java_ddiv(float(a), float(b)))
+        elif op is Op.DSM_ACQUIRE:
+            hooks = self._hooks()
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("acquire on null")
+            done, extra = hooks.acquire(thread, ref)
+            if not done:
+                thread.block(reexec=False, reason="lock acquire")
+                return cost + extra  # complete style: waker advances pc
+            frame.pc += 1
+            return cost + extra
+        elif op is Op.DSM_RELEASE:
+            hooks = self._hooks()
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("release on null")
+            extra = hooks.release(thread, ref)
+            frame.pc += 1
+            return cost + extra
+        elif op is Op.ARRAYLENGTH:
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("arraylength on null")
+            stack.append(len(ref))
+
+        # --- synchronization (local monitors) ----------------------------
+        elif op is Op.INVOKESPECIAL:
+            method = instr.cache
+            if method is None:
+                method = self.jvm.resolve_method(instr.a, instr.b)
+                instr.cache = method
+            return cost + self._invoke(thread, frame, method, method)
+        elif op is Op.RETURN:
+            self._return(thread, None, has_value=False)
+            return cost
+        elif op is Op.RETVAL:
+            self._return(thread, stack.pop(), has_value=True)
+            return cost
+
+        # --- arrays -------------------------------------------------------
+        elif op is Op.NEW:
+            stack.append(self.jvm.new_instance(instr.a))
+        elif op is Op.NEWARRAY:
+            length = stack.pop()
+            stack.append(self.jvm.new_array(instr.a, length))
+        elif op is Op.REM:
+            b = stack.pop(); a = stack.pop()
+            if isinstance(a, int) and isinstance(b, int):
+                stack.append(java_irem(a, b))
+            else:
+                stack.append(math.fmod(a, b) if b != 0 else math.nan)
+        elif op is Op.NEG:
+            stack[-1] = -stack[-1]
+        elif op is Op.SHL:
+            b = stack.pop(); stack[-1] = stack[-1] << b
+        elif op is Op.SHR:
+            b = stack.pop(); stack[-1] = stack[-1] >> b
+        elif op is Op.USHR:
+            b = stack.pop(); a = stack.pop()
+            stack.append((a & 0xFFFFFFFFFFFFFFFF) >> b)
+        elif op is Op.AND:
+            b = stack.pop(); stack[-1] = stack[-1] & b
+        elif op is Op.OR:
+            b = stack.pop(); stack[-1] = stack[-1] | b
+        elif op is Op.XOR:
+            b = stack.pop(); stack[-1] = stack[-1] ^ b
+        elif op is Op.D2I:
+            v = stack[-1]
+            if math.isnan(v):
+                stack[-1] = 0
+            else:
+                stack[-1] = int(v)  # trunc toward zero, Java semantics
+        elif op is Op.CONCAT:
+            b = stack.pop(); a = stack.pop()
+            stack.append(jstr(a) + jstr(b))
+
+        # --- stack ----------------------------------------------------
+        elif op is Op.POP:
+            stack.pop()
+        elif op is Op.DUP_X1:
+            b = stack.pop(); a = stack.pop()
+            stack.extend((b, a, b))
+        elif op is Op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+
+        # --- control flow ----------------------------------------------
+        elif op is Op.GETSTATIC:
+            rtc = self.jvm.classes[instr.a]
+            stack.append(rtc.statics[instr.b])
+        elif op is Op.PUTSTATIC:
+            rtc = self.jvm.classes[instr.a]
+            rtc.statics[instr.b] = stack.pop()
+        elif op is Op.INSTANCEOF:
+            ref = stack.pop()
+            stack.append(1 if self._is_instance(ref, instr.a) else 0)
+        elif op is Op.CHECKCAST:
+            ref = stack[-1]
+            if ref is not None and not self._is_instance(ref, instr.a):
+                raise ClassCastError(
+                    f"{getattr(ref, 'class_name', type(ref).__name__)} -> {instr.a}"
+                )
+
+        # --- invocation -------------------------------------------------
+        elif op is Op.MONITORENTER:
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("monitorenter on null")
+            if not self._monitor_enter(thread, ref):
+                thread.block(reexec=False, reason="monitor enter")
+                return cost  # blocked; waker advances pc (complete style)
+        elif op is Op.MONITOREXIT:
+            ref = stack.pop()
+            if ref is None:
+                raise NullPointerError("monitorexit on null")
+            self._monitor_exit(thread, ref)
+
+        # --- DSM pseudo-instructions --------------------------------------
+        elif op is Op.DSM_STATICREF:
+            hooks = self._hooks()
+            ref, extra = hooks.static_ref(thread, instr.a)
+            if ref is None:
+                thread.block(reexec=True, reason="static holder miss")
+                return cost + extra
+            stack.append(ref)
+            frame.pc += 1
+            return cost + extra
+
+        else:  # pragma: no cover - exhaustive dispatch
+            raise JVMError(f"unimplemented opcode {op.name}")
+
+        frame.pc += 1
+        return cost
+
+    # ------------------------------------------------------------------
+    def _hooks(self):
+        hooks = self.jvm.hooks
+        if hooks is None:
+            raise JVMError("DSM instruction executed without DSM hooks installed")
+        return hooks
+
+    @staticmethod
+    def _test_zero(cond: str, v: Any) -> bool:
+        if cond == "eq":
+            return v == 0 or v is None
+        if cond == "ne":
+            return not (v == 0 or v is None)
+        if v is None:
+            raise NullPointerError(f"ordered compare on null ({cond})")
+        if cond == "lt":
+            return v < 0
+        if cond == "ge":
+            return v >= 0
+        if cond == "gt":
+            return v > 0
+        if cond == "le":
+            return v <= 0
+        raise JVMError(f"bad IF condition {cond!r}")
+
+    @staticmethod
+    def _test_cmp(cond: str, a: Any, b: Any) -> bool:
+        if cond == "eq":
+            return a is b if isinstance(a, (Obj, ArrayObj)) or isinstance(b, (Obj, ArrayObj)) else a == b
+        if cond == "ne":
+            return not Interpreter._test_cmp("eq", a, b)
+        if cond == "lt":
+            return a < b
+        if cond == "ge":
+            return a >= b
+        if cond == "gt":
+            return a > b
+        if cond == "le":
+            return a <= b
+        raise JVMError(f"bad IF_CMP condition {cond!r}")
+
+    def _is_instance(self, ref: Any, class_name: str) -> bool:
+        if ref is None:
+            return False
+        if class_name == self.jvm.object_class:
+            return True
+        if isinstance(ref, str):
+            return class_name in (self.jvm.string_class, "str")
+        if isinstance(ref, ArrayObj):
+            return ref.class_name == class_name
+        return ref.rtclass.is_subtype_of(class_name)
+
+    # ------------------------------------------------------------------
+    # Invocation / return
+    # ------------------------------------------------------------------
+    def _invoke(
+        self,
+        thread,
+        frame: Frame,
+        static_m: MethodInfo,
+        target: MethodInfo,
+    ) -> int:
+        n = static_m.nargs
+        args = frame.stack[len(frame.stack) - n:]
+        del frame.stack[len(frame.stack) - n:]
+        if target.is_native:
+            fn = target.native_cache
+            if fn is None:
+                fn = self.jvm.native(target.klass, target.name)
+                # Native implementations are identical (stateless, jvm
+                # passed per call) across JVM instances, so the shared
+                # MethodInfo may cache the first resolution.
+                target.native_cache = fn
+            result = fn(self.jvm, thread, args)
+            if result is BLOCK:
+                thread.block(reexec=False, reason=f"native {target.name}")
+                return self.cost_model[cm.NATIVE]
+            if result is not NO_VALUE:
+                frame.stack.append(result)
+            elif target.ret != "void":
+                raise JVMError(
+                    f"native {target.klass}.{target.name} returned no value"
+                )
+            frame.pc += 1
+            return self.cost_model[cm.NATIVE]
+        thread.frames.append(Frame(target, args))
+        return 0
+
+    def _return(self, thread, value: Any, has_value: bool) -> None:
+        thread.frames.pop()
+        if not thread.frames:
+            thread.finish(value if has_value else None)
+            return
+        caller = thread.frames[-1]
+        caller.pc += 1
+        if has_value:
+            caller.stack.append(value)
+
+    # ------------------------------------------------------------------
+    # Local monitors (un-instrumented mode)
+    # ------------------------------------------------------------------
+    def _monitor_enter(self, thread, ref: Any) -> bool:
+        """Returns True if entered; False if the thread blocked."""
+        mon = monitor_of(ref)
+        if mon.owner is None:
+            mon.owner = thread
+            mon.count = 1
+            return True
+        if mon.owner is thread:
+            mon.count += 1
+            return True
+        mon.entry_queue.append((thread, 1))
+        return False
+
+    def _monitor_exit(self, thread, ref: Any) -> None:
+        mon = monitor_of(ref)
+        if mon.owner is not thread:
+            raise IllegalMonitorStateError("monitorexit by non-owner")
+        mon.count -= 1
+        if mon.count == 0:
+            mon.owner = None
+            self.grant_next(mon)
+
+    def grant_next(self, mon) -> None:
+        """Hand a free monitor to the next queued thread (if any)."""
+        if mon.owner is None and mon.entry_queue:
+            next_thread, restore = mon.entry_queue.popleft()
+            mon.owner = next_thread
+            mon.count = restore
+            next_thread.complete(NO_VALUE)

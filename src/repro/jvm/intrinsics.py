@@ -1,0 +1,228 @@
+"""Bootstrap classes and their native-method implementations.
+
+The mini-JVM's analogue of the JDK bootstrap classes the paper discusses
+in §4.1: ``Object`` (wait/notify), ``Thread``, ``Math``, ``Sys`` (console
+and clock — the low-level I/O the rewriter cannot transform) and
+``String``.  Native methods are Python functions registered per
+``(class, method)``; the distributed runtime supplies *rewritten*
+versions of these classes whose natives route through the DSM (see
+:mod:`repro.rewriter.bootstrap`), exactly as the paper hand-wraps native
+bootstrap classes.
+
+A native returns a value, ``NO_VALUE`` (void), or ``BLOCK`` if it parked
+the calling thread after arranging its own completion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List
+
+from .assembler import ClassBuilder
+from .bytecode import Op
+from .classfile import ClassFile
+from .errors import IllegalMonitorStateError, JavaRuntimeError
+from .heap import monitor_of
+from .interpreter import BLOCK, NO_VALUE, jstr
+
+# ---------------------------------------------------------------------------
+# Bootstrap class files
+# ---------------------------------------------------------------------------
+
+def bootstrap_classfiles() -> List[ClassFile]:
+    """Class files for the bootstrap library (shared, immutable)."""
+    # Object --------------------------------------------------------------
+    obj = ClassBuilder("Object", super_name=None, is_bootstrap=True)
+    obj.classfile.super_name = None
+    obj.native_method("wait")
+    obj.native_method("notify")
+    obj.native_method("notifyAll")
+    # <init> is a no-op so `super()` chains terminate.
+    init = obj.method("<init>")
+    init.ret()
+    obj.finish(init)
+
+    # Thread --------------------------------------------------------------
+    th = ClassBuilder("Thread", is_bootstrap=True)
+    th.field("priority", "int", init=5)
+    th.field("started", "int")
+    th.field("finished", "int")
+    th.native_method("start")
+    th.native_method("join")
+    th.native_method("setPriority", params=["int"])
+    th.native_method("getPriority", ret="int")
+    init = th.method("<init>")
+    init.load(0)
+    init.invoke(Op.INVOKESPECIAL, "Object", "<init>")
+    init.ret()
+    th.finish(init)
+    run = th.method("run")  # default run() does nothing
+    run.ret()
+    th.finish(run)
+
+    # Math ----------------------------------------------------------------
+    m = ClassBuilder("Math", is_bootstrap=True)
+    for name in ("sqrt", "sin", "cos", "tan", "log", "exp", "floor", "ceil", "abs"):
+        m.native_method(name, params=["double"], ret="double", static=True)
+    m.native_method("pow", params=["double", "double"], ret="double", static=True)
+    m.native_method("atan2", params=["double", "double"], ret="double", static=True)
+    m.native_method("iabs", params=["int"], ret="int", static=True)
+    m.native_method("imin", params=["int", "int"], ret="int", static=True)
+    m.native_method("imax", params=["int", "int"], ret="int", static=True)
+    m.native_method("min", params=["double", "double"], ret="double", static=True)
+    m.native_method("max", params=["double", "double"], ret="double", static=True)
+
+    # Sys -----------------------------------------------------------------
+    s = ClassBuilder("Sys", is_bootstrap=True)
+    s.native_method("print", params=["str"], static=True)
+    s.native_method("println", params=["str"], static=True)
+    s.native_method("currentTimeMillis", ret="int", static=True)
+    s.native_method("nanoTime", ret="int", static=True)
+
+    # String --------------------------------------------------------------
+    st = ClassBuilder("String", is_bootstrap=True)
+    st.native_method("length", ret="int")
+    st.native_method("charAt", params=["int"], ret="int")
+    st.native_method("substring", params=["int", "int"], ret="str")
+    st.native_method("equalsStr", params=["str"], ret="int")
+    st.native_method("indexOf", params=["str"], ret="int")
+
+    return [obj.build(), th.build(), m.build(), s.build(), st.build()]
+
+
+BOOTSTRAP_CLASS_NAMES = frozenset(
+    {"Object", "Thread", "Math", "Sys", "String"}
+)
+
+
+# ---------------------------------------------------------------------------
+# Native implementations (un-instrumented / single-JVM semantics)
+# ---------------------------------------------------------------------------
+
+def _nat_wait(jvm, thread, args):
+    receiver = args[0]
+    mon = monitor_of(receiver)
+    if mon.owner is not thread:
+        raise IllegalMonitorStateError("wait() by non-owner")
+    saved = mon.count
+    mon.owner = None
+    mon.count = 0
+    mon.wait_set.append((thread, saved))
+    jvm.interpreter.grant_next(mon)
+    return BLOCK
+
+
+def _nat_notify(jvm, thread, args):
+    mon = monitor_of(args[0])
+    if mon.owner is not thread:
+        raise IllegalMonitorStateError("notify() by non-owner")
+    if mon.wait_set:
+        mon.entry_queue.append(mon.wait_set.popleft())
+    return NO_VALUE
+
+
+def _nat_notify_all(jvm, thread, args):
+    mon = monitor_of(args[0])
+    if mon.owner is not thread:
+        raise IllegalMonitorStateError("notifyAll() by non-owner")
+    while mon.wait_set:
+        mon.entry_queue.append(mon.wait_set.popleft())
+    return NO_VALUE
+
+
+def _thread_field(jvm, obj, name):
+    return obj.fields[jvm.field_index("Thread", name)]
+
+
+def _set_thread_field(jvm, obj, name, value):
+    obj.fields[jvm.field_index("Thread", name)] = value
+
+
+def _nat_thread_start(jvm, thread, args):
+    tobj = args[0]
+    if _thread_field(jvm, tobj, "started"):
+        raise JavaRuntimeError("thread already started")
+    _set_thread_field(jvm, tobj, "started", 1)
+    jvm.start_thread_obj(tobj, priority=_thread_field(jvm, tobj, "priority"))
+    return NO_VALUE
+
+
+def _nat_thread_join(jvm, thread, args):
+    tobj = args[0]
+    target = jvm.live_jthreads.get(id(tobj))
+    if target is None:
+        return NO_VALUE  # finished (or never started): join returns at once
+    target.joiners.append(thread)
+    return BLOCK
+
+
+def _nat_set_priority(jvm, thread, args):
+    tobj, prio = args
+    if not 1 <= prio <= 10:
+        raise JavaRuntimeError(f"priority {prio} out of range")
+    _set_thread_field(jvm, tobj, "priority", prio)
+    live = jvm.live_jthreads.get(id(tobj))
+    if live is not None:
+        live.priority = prio
+    return NO_VALUE
+
+
+def _nat_get_priority(jvm, thread, args):
+    return _thread_field(jvm, args[0], "priority")
+
+
+def _nat_print(jvm, thread, args):
+    jvm.println(jstr(args[0]))
+    return NO_VALUE
+
+
+def _nat_time_millis(jvm, thread, args):
+    return jvm.node.engine.now // 1_000_000
+
+
+def _nat_nano_time(jvm, thread, args):
+    return jvm.node.engine.now
+
+
+_MATH_UNARY = {
+    "sqrt": math.sqrt, "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "log": math.log, "exp": math.exp,
+    "floor": math.floor, "ceil": math.ceil, "abs": abs,
+}
+
+
+def register_standard_natives(jvm) -> None:
+    """Install the bootstrap natives into a JVM instance."""
+    reg = jvm.register_native
+    reg("Object", "wait", _nat_wait)
+    reg("Object", "notify", _nat_notify)
+    reg("Object", "notifyAll", _nat_notify_all)
+
+    reg("Thread", "start", _nat_thread_start)
+    reg("Thread", "join", _nat_thread_join)
+    reg("Thread", "setPriority", _nat_set_priority)
+    reg("Thread", "getPriority", _nat_get_priority)
+
+    for name, fn in _MATH_UNARY.items():
+        if name in ("floor", "ceil"):
+            reg("Math", name, lambda j, t, a, f=fn: float(f(a[0])))
+        else:
+            reg("Math", name, lambda j, t, a, f=fn: f(a[0]))
+    reg("Math", "pow", lambda j, t, a: math.pow(a[0], a[1]))
+    reg("Math", "atan2", lambda j, t, a: math.atan2(a[0], a[1]))
+    reg("Math", "iabs", lambda j, t, a: abs(a[0]))
+    reg("Math", "imin", lambda j, t, a: min(a[0], a[1]))
+    reg("Math", "imax", lambda j, t, a: max(a[0], a[1]))
+    reg("Math", "min", lambda j, t, a: min(a[0], a[1]))
+    reg("Math", "max", lambda j, t, a: max(a[0], a[1]))
+
+    reg("Sys", "print", _nat_print)
+    reg("Sys", "println", _nat_print)
+    reg("Sys", "currentTimeMillis", _nat_time_millis)
+    reg("Sys", "nanoTime", _nat_nano_time)
+
+    reg("String", "length", lambda j, t, a: len(a[0]))
+    reg("String", "charAt", lambda j, t, a: ord(a[0][a[1]]))
+    reg("String", "substring", lambda j, t, a: a[0][a[1]:a[2]])
+    reg("String", "equalsStr", lambda j, t, a: 1 if a[0] == a[1] else 0)
+    reg("String", "indexOf", lambda j, t, a: a[0].find(a[1]))

@@ -1,0 +1,31 @@
+"""MiniJava: the source language substrate.
+
+Stands in for ``javac``: benchmark applications are written in a small
+Java dialect, compiled once to mini-JVM bytecode, and only the *bytecode*
+is handed to the JavaSplit rewriter — matching the paper's requirement
+that the runtime work from (possibly pre-existing) class files, never
+source.
+
+Pipeline: :func:`~repro.lang.lexer.tokenize` →
+:func:`~repro.lang.parser.parse` →
+:func:`~repro.lang.types.check_program` →
+:func:`~repro.lang.codegen.compile_program`.
+"""
+
+from .codegen import CompileError, compile_program, compile_source
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .types import ClassTable, TypeError_, check_program
+
+__all__ = [
+    "CompileError",
+    "compile_program",
+    "compile_source",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "ClassTable",
+    "TypeError_",
+    "check_program",
+]

@@ -1,0 +1,300 @@
+"""AST node definitions for MiniJava.
+
+Expression nodes carry a ``type`` attribute filled in by the checker
+(:mod:`repro.lang.types`); the code generator relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    """Base AST node; every node carries a source line."""
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    """A whole compilation unit: the list of class declarations."""
+    classes: List["ClassDecl"] = field(default_factory=list)
+
+
+@dataclass
+class ClassDecl(Node):
+    """One class: name, superclass, fields, methods."""
+    name: str = ""
+    super_name: str = "Object"
+    fields: List["FieldDecl"] = field(default_factory=list)
+    methods: List["MethodDecl"] = field(default_factory=list)
+
+
+@dataclass
+class FieldDecl(Node):
+    """A field declaration (instance or static, optionally volatile)."""
+    name: str = ""
+    type: str = ""
+    is_static: bool = False
+    volatile: bool = False
+    init: Any = None  # constant literal or None
+
+
+@dataclass
+class Param(Node):
+    """One formal method parameter."""
+    name: str = ""
+    type: str = ""
+
+
+@dataclass
+class MethodDecl(Node):
+    """A method (or constructor) declaration with its body."""
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    ret: str = "void"
+    body: Optional["Block"] = None  # None for native methods
+    is_static: bool = False
+    is_synchronized: bool = False
+    is_native: bool = False
+    is_constructor: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    """A brace-delimited statement list with its own scope."""
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration with optional initializer."""
+    name: str = ""
+    type: str = ""
+    init: Optional["Expr"] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (call, assignment)."""
+    expr: Optional["Expr"] = None
+
+
+@dataclass
+class If(Stmt):
+    """if / else."""
+    cond: Optional["Expr"] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    """while loop."""
+    cond: Optional["Expr"] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop (init; cond; update)."""
+    init: Optional[Stmt] = None
+    cond: Optional["Expr"] = None
+    update: Optional["Expr"] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    """return, with optional value."""
+    value: Optional["Expr"] = None
+
+
+@dataclass
+class Break(Stmt):
+    """break out of the innermost loop."""
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    """continue the innermost loop."""
+    pass
+
+
+@dataclass
+class SyncBlock(Stmt):
+    """synchronized (lock) { ... }."""
+    lock: Optional["Expr"] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class SuperCall(Stmt):
+    """``super(args);`` — only valid as the first statement of a ctor."""
+
+    args: List["Expr"] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; `type` is set by the checker."""
+    type: str = ""  # filled by the checker
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+    value: int = 0
+
+
+@dataclass
+class DoubleLit(Expr):
+    """Floating-point literal."""
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    """true / false."""
+    value: bool = False
+
+
+@dataclass
+class StrLit(Expr):
+    """String literal."""
+    value: str = ""
+
+
+@dataclass
+class NullLit(Expr):
+    """null."""
+    pass
+
+
+@dataclass
+class This(Expr):
+    """The receiver of an instance method."""
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare identifier; the checker resolves it to a local, an implicit-this field, or a static."""
+    name: str = ""
+    # checker resolution: 'local' (slot), 'field' (implicit this),
+    # 'static' (own class)
+    resolved: str = ""
+    slot: int = -1
+    klass: str = ""       # declaring class for field/static refs
+
+
+@dataclass
+class FieldAccess(Expr):
+    """obj.field, or ClassName.field for statics (obj is None)."""
+    obj: Optional[Expr] = None   # None for static ClassName.field
+    name: str = ""
+    klass: str = ""              # static target class / resolved owner
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """arr[index]."""
+    arr: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """A method call; the checker fills owner class and dispatch kind."""
+    obj: Optional[Expr] = None   # receiver; None = static or implicit this
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    klass: str = ""              # resolved owner class
+    kind: str = ""               # 'virtual', 'static', 'special'
+
+
+@dataclass
+class New(Expr):
+    """new ClassName(args)."""
+    klass: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    """new T[length]."""
+    elem_type: str = ""
+    length: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operator application."""
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    """A unary operator application (-, !, ~)."""
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value``; compound ops are desugared by the parser."""
+
+    target: Optional[Expr] = None  # VarRef / FieldAccess / ArrayIndex
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    """(type) expr — numeric conversion or checked reference cast."""
+    target_type: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class InstanceOf(Expr):
+    """expr instanceof ClassName."""
+    operand: Optional[Expr] = None
+    klass: str = ""
+
+
+@dataclass
+class ArrayLength(Expr):
+    """arr.length (produced by the checker from FieldAccess)."""
+    arr: Optional[Expr] = None
+
+
+@dataclass
+class Conv(Expr):
+    """Implicit numeric conversion inserted by the checker."""
+
+    kind: str = ""  # 'i2d' or 'd2i'
+    operand: Optional[Expr] = None

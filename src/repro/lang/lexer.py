@@ -1,0 +1,171 @@
+"""Lexer for the mini-Java source language.
+
+The language (informally "MiniJava" throughout this repo) is the subset
+of Java the paper's benchmark programs need: classes with single
+inheritance, static/instance fields, methods, constructors, arrays,
+``synchronized`` methods and blocks, ``Thread`` subclassing,
+``wait``/``notify``, and the usual expression/statement forms.  Programs
+in this dialect compile to mini-JVM bytecode and then flow — as bytecode
+only — into the JavaSplit rewriter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class LexError(SyntaxError):
+    pass
+
+
+KEYWORDS = frozenset({
+    "class", "extends", "static", "synchronized", "native", "volatile",
+    "void", "int", "double", "boolean", "String",
+    "new", "return", "if", "else", "while", "for", "break", "continue",
+    "this", "super", "null", "true", "false", "instanceof",
+})
+
+# Multi-character operators, longest first.
+OPERATORS = (
+    ">>>=", "<<=", ">>=", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+)
+
+PUNCT = "(){}[];,."
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'ident', 'keyword', 'int', 'double', 'str', 'op', 'punct', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniJava source; raises :class:`LexError` with position."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(f"{msg} at line {line}, col {col}")
+
+    while i < n:
+        c = source[i]
+        # Whitespace
+        if c in " \t\r":
+            i += 1; col += 1
+            continue
+        if c == "\n":
+            i += 1; line += 1; col = 1
+            continue
+        # Comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        start_line, start_col = line, col
+        # Identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # Numbers
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_double = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_double = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_double = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            tokens.append(Token("double" if is_double else "int", text,
+                                start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # String literals
+        if c == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("newline in string literal")
+                if source[j] == "\\":
+                    if j + 1 >= n:
+                        raise error("bad escape")
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc))
+                    if buf[-1] is None:
+                        raise error(f"unknown escape \\{esc}")
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("str", "".join(buf), start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Char literals become int tokens (Java chars are ints to us)
+        if c == "'":
+            if i + 2 < n and source[i + 1] != "\\" and source[i + 2] == "'":
+                tokens.append(Token("int", str(ord(source[i + 1])),
+                                    start_line, start_col))
+                i += 3; col += 3
+                continue
+            raise error("bad char literal")
+        # Operators
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, start_line, start_col))
+                i += len(op); col += len(op)
+                break
+        else:
+            if c in PUNCT:
+                tokens.append(Token("punct", c, start_line, start_col))
+                i += 1; col += 1
+            else:
+                raise error(f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,550 @@
+"""Recursive-descent parser for MiniJava.
+
+Produces the AST of :mod:`repro.lang.ast_nodes`.  The parser is
+deliberately name-resolution-free: ``Foo.bar`` parses as a field access
+on a ``VarRef`` and the checker decides whether ``Foo`` is a variable or
+a class.  Compound assignments (``+=``, ``++``) are desugared here into
+plain assignments over a re-parsed target expression; targets are
+therefore evaluated per occurrence (documented MiniJava deviation —
+targets with side effects are rejected by taste, not by the grammar).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from .ast_nodes import (
+    ArrayIndex, Assign, Binary, Block, BoolLit, Break, Call, Cast, ClassDecl,
+    Continue, DoubleLit, Expr, ExprStmt, FieldAccess, FieldDecl, For, If,
+    InstanceOf, IntLit, MethodDecl, New, NewArray, NullLit, Param, Program,
+    Return, Stmt, StrLit, SuperCall, SyncBlock, This, Unary, VarDecl, VarRef,
+    While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """A syntax error, with source position."""
+    pass
+
+
+PRIMITIVE_TYPE_KEYWORDS = ("int", "double", "boolean", "String", "void")
+
+_BIN_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">=", "instanceof"),
+    ("<<", ">>", ">>>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        """The current (unconsumed) token."""
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        """Look ahead without consuming."""
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, msg: str) -> ParseError:
+        """Build a ParseError at the current token."""
+        t = self.cur
+        return ParseError(f"{msg} (got {t.kind} {t.text!r} at line {t.line})")
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        """Consume a token of the given kind/text or fail."""
+        t = self.cur
+        if t.kind != kind or (text is not None and t.text != text):
+            raise self.error(f"expected {text or kind}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        """Consume the token if it matches; else None."""
+        t = self.cur
+        if t.kind == kind and (text is None or t.text == text):
+            return self.advance()
+        return None
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        """True if the current token matches."""
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _at_type_start(self) -> bool:
+        t = self.cur
+        if t.kind == "keyword" and t.text in ("int", "double", "boolean", "String"):
+            return True
+        return False
+
+    def parse_type(self) -> str:
+        """A type name, including [] suffixes."""
+        t = self.cur
+        if t.kind == "keyword" and t.text in ("int", "double", "boolean"):
+            base = self.advance().text
+        elif t.kind == "keyword" and t.text == "String":
+            self.advance()
+            base = "str"
+        elif t.kind == "ident":
+            base = self.advance().text
+        else:
+            raise self.error("expected a type")
+        while self.at("punct", "[") and self.peek().text == "]":
+            self.advance(); self.advance()
+            base += "[]"
+        return base
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        """The whole compilation unit."""
+        prog = Program(line=1)
+        while not self.at("eof"):
+            prog.classes.append(self.parse_class())
+        return prog
+
+    def parse_class(self) -> ClassDecl:
+        """One class declaration."""
+        start = self.expect("keyword", "class")
+        name = self.expect("ident").text
+        super_name = "Object"
+        if self.accept("keyword", "extends"):
+            if self.at("keyword", "String"):
+                raise self.error("cannot extend String")
+            super_name = self.expect("ident").text
+        decl = ClassDecl(line=start.line, name=name, super_name=super_name)
+        self.expect("punct", "{")
+        while not self.accept("punct", "}"):
+            self.parse_member(decl)
+        return decl
+
+    def parse_member(self, decl: ClassDecl) -> None:
+        """One field, method or constructor declaration."""
+        line = self.cur.line
+        mods = set()
+        while self.cur.kind == "keyword" and self.cur.text in (
+            "static", "synchronized", "native", "volatile"
+        ):
+            mods.add(self.advance().text)
+        # Constructor: ClassName '(' ...
+        if (
+            self.cur.kind == "ident"
+            and self.cur.text == decl.name
+            and self.peek().text == "("
+        ):
+            if mods - set():
+                if mods & {"static", "native", "volatile"}:
+                    raise self.error("bad constructor modifiers")
+            self.advance()
+            method = self._parse_method_rest(
+                name="<init>", ret="void", mods=mods, line=line,
+                is_constructor=True,
+            )
+            decl.methods.append(method)
+            return
+        if self.accept("keyword", "void"):
+            ret = "void"
+            name = self.expect("ident").text
+            if not self.at("punct", "("):
+                raise self.error("void is only valid as a return type")
+            decl.methods.append(
+                self._parse_method_rest(name, ret, mods, line)
+            )
+            return
+        type_ = self.parse_type()
+        name = self.expect("ident").text
+        if self.at("punct", "("):
+            decl.methods.append(self._parse_method_rest(name, type_, mods, line))
+            return
+        # Field
+        if mods & {"synchronized", "native"}:
+            raise self.error("bad field modifiers")
+        init = None
+        if self.accept("op", "="):
+            init = self._parse_const_literal(type_)
+        self.expect("punct", ";")
+        decl.fields.append(FieldDecl(
+            line=line, name=name, type=type_,
+            is_static="static" in mods, volatile="volatile" in mods,
+            init=init,
+        ))
+
+    def _parse_const_literal(self, type_: str):
+        neg = bool(self.accept("op", "-"))
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            v = -int(t.text) if neg else int(t.text)
+            return float(v) if type_ == "double" else v
+        if t.kind == "double":
+            self.advance()
+            return -float(t.text) if neg else float(t.text)
+        if t.kind == "str" and not neg:
+            self.advance()
+            return t.text
+        if t.kind == "keyword" and t.text in ("true", "false") and not neg:
+            self.advance()
+            return 1 if t.text == "true" else 0
+        raise self.error("field initializers must be literals")
+
+    def _parse_method_rest(
+        self, name: str, ret: str, mods: set, line: int,
+        is_constructor: bool = False,
+    ) -> MethodDecl:
+        self.expect("punct", "(")
+        params: List[Param] = []
+        if not self.at("punct", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(Param(line=self.cur.line, name=pname, type=ptype))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        body = None
+        if "native" in mods:
+            self.expect("punct", ";")
+        else:
+            body = self.parse_block()
+        return MethodDecl(
+            line=line, name=name, params=params, ret=ret, body=body,
+            is_static="static" in mods,
+            is_synchronized="synchronized" in mods,
+            is_native="native" in mods,
+            is_constructor=is_constructor,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> Block:
+        """A braced statement list."""
+        start = self.expect("punct", "{")
+        block = Block(line=start.line)
+        while not self.accept("punct", "}"):
+            block.stmts.append(self.parse_stmt())
+        return block
+
+    def parse_stmt(self) -> Stmt:
+        """One statement."""
+        t = self.cur
+        if t.kind == "punct" and t.text == "{":
+            return self.parse_block()
+        if t.kind == "keyword":
+            if t.text == "if":
+                return self._parse_if()
+            if t.text == "while":
+                return self._parse_while()
+            if t.text == "for":
+                return self._parse_for()
+            if t.text == "return":
+                self.advance()
+                value = None if self.at("punct", ";") else self.parse_expr()
+                self.expect("punct", ";")
+                return Return(line=t.line, value=value)
+            if t.text == "break":
+                self.advance(); self.expect("punct", ";")
+                return Break(line=t.line)
+            if t.text == "continue":
+                self.advance(); self.expect("punct", ";")
+                return Continue(line=t.line)
+            if t.text == "synchronized":
+                self.advance()
+                self.expect("punct", "(")
+                lock = self.parse_expr()
+                self.expect("punct", ")")
+                body = self.parse_block()
+                return SyncBlock(line=t.line, lock=lock, body=body)
+            if t.text == "super" and self.peek().text == "(":
+                self.advance(); self.advance()
+                args = self._parse_args()
+                self.expect("punct", ";")
+                return SuperCall(line=t.line, args=args)
+        decl = self._try_parse_vardecl()
+        if decl is not None:
+            return decl
+        expr = self.parse_expr()
+        self.expect("punct", ";")
+        return ExprStmt(line=t.line, expr=expr)
+
+    def _try_parse_vardecl(self) -> Optional[VarDecl]:
+        t = self.cur
+        is_decl = False
+        if self._at_type_start():
+            is_decl = True
+        elif t.kind == "ident":
+            nxt = self.peek()
+            if nxt.kind == "ident":
+                is_decl = True  # Foo x
+            elif nxt.text == "[" and self.peek(2).text == "]":
+                is_decl = True  # Foo[] x
+        if not is_decl:
+            return None
+        line = t.line
+        type_ = self.parse_type()
+        name = self.expect("ident").text
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("punct", ";")
+        return VarDecl(line=line, name=name, type=type_, init=init)
+
+    def _parse_if(self) -> If:
+        t = self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then = self.parse_stmt()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self.parse_stmt()
+        return If(line=t.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> While:
+        t = self.expect("keyword", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        body = self.parse_stmt()
+        return While(line=t.line, cond=cond, body=body)
+
+    def _parse_for(self) -> For:
+        t = self.expect("keyword", "for")
+        self.expect("punct", "(")
+        init: Optional[Stmt] = None
+        if not self.at("punct", ";"):
+            init = self._try_parse_vardecl()
+            if init is None:
+                init = ExprStmt(line=self.cur.line, expr=self.parse_expr())
+                self.expect("punct", ";")
+        else:
+            self.expect("punct", ";")
+        cond = None
+        if not self.at("punct", ";"):
+            cond = self.parse_expr()
+        self.expect("punct", ";")
+        update = None
+        if not self.at("punct", ")"):
+            update = self.parse_expr()
+        self.expect("punct", ")")
+        body = self.parse_stmt()
+        return For(line=t.line, init=init, cond=cond, update=update, body=body)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        """One expression (assignment level)."""
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_binary(0)
+        t = self.cur
+        if t.kind == "op" and t.text in _ASSIGN_OPS:
+            self._check_lvalue(left)
+            self.advance()
+            rhs = self._parse_assignment()
+            if t.text != "=":
+                rhs = Binary(
+                    line=t.line, op=t.text[0],
+                    left=copy.deepcopy(left), right=rhs,
+                )
+            return Assign(line=t.line, target=left, value=rhs)
+        if t.kind == "op" and t.text in ("++", "--"):
+            self._check_lvalue(left)
+            self.advance()
+            one = IntLit(line=t.line, value=1)
+            rhs = Binary(
+                line=t.line, op="+" if t.text == "++" else "-",
+                left=copy.deepcopy(left), right=one,
+            )
+            return Assign(line=t.line, target=left, value=rhs)
+        return left
+
+    def _check_lvalue(self, expr: Expr) -> None:
+        if not isinstance(expr, (VarRef, FieldAccess, ArrayIndex)):
+            raise self.error("invalid assignment target")
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BIN_LEVELS):
+            return self._parse_unary()
+        ops = _BIN_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while True:
+            t = self.cur
+            if "instanceof" in ops and t.kind == "keyword" and t.text == "instanceof":
+                self.advance()
+                klass = self.expect("ident").text
+                left = InstanceOf(line=t.line, operand=left, klass=klass)
+                continue
+            if t.kind == "op" and t.text in ops:
+                self.advance()
+                right = self._parse_binary(level + 1)
+                left = Binary(line=t.line, op=t.text, left=left, right=right)
+                continue
+            return left
+
+    def _parse_unary(self) -> Expr:
+        t = self.cur
+        if t.kind == "op" and t.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._parse_unary()
+            if t.text == "-" and isinstance(operand, IntLit):
+                return IntLit(line=t.line, value=-operand.value)
+            if t.text == "-" and isinstance(operand, DoubleLit):
+                return DoubleLit(line=t.line, value=-operand.value)
+            return Unary(line=t.line, op=t.text, operand=operand)
+        # Cast: '(' type ')' unary
+        if t.kind == "punct" and t.text == "(":
+            nxt = self.peek()
+            if nxt.kind == "keyword" and nxt.text in ("int", "double", "boolean"):
+                self.advance()
+                target = self.parse_type()
+                self.expect("punct", ")")
+                return Cast(line=t.line, target_type=target,
+                            operand=self._parse_unary())
+            if nxt.kind == "ident" and self.peek(2).text == ")":
+                after = self.peek(3)
+                if after.kind in ("ident", "int", "double", "str") or (
+                    after.kind == "keyword" and after.text in ("this", "new")
+                ) or after.text == "(":
+                    self.advance()
+                    target = self.parse_type()
+                    self.expect("punct", ")")
+                    return Cast(line=t.line, target_type=target,
+                                operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("punct", "."):
+                name = self._expect_member_name()
+                if self.at("punct", "("):
+                    self.advance()
+                    args = self._parse_args()
+                    expr = Call(line=self.cur.line, obj=expr, name=name,
+                                args=args)
+                else:
+                    expr = FieldAccess(line=self.cur.line, obj=expr, name=name)
+                continue
+            if self.at("punct", "[") and self.peek().text != "]":
+                self.advance()
+                idx = self.parse_expr()
+                self.expect("punct", "]")
+                expr = ArrayIndex(line=self.cur.line, arr=expr, index=idx)
+                continue
+            return expr
+
+    def _expect_member_name(self) -> str:
+        t = self.cur
+        if t.kind == "ident":
+            return self.advance().text
+        # `length` is an identifier, but allow keyword-ish member names
+        raise self.error("expected member name")
+
+    def _parse_args(self) -> List[Expr]:
+        args: List[Expr] = []
+        if not self.at("punct", ")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        return args
+
+    def _parse_primary(self) -> Expr:
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            return IntLit(line=t.line, value=int(t.text))
+        if t.kind == "double":
+            self.advance()
+            return DoubleLit(line=t.line, value=float(t.text))
+        if t.kind == "str":
+            self.advance()
+            return StrLit(line=t.line, value=t.text)
+        if t.kind == "keyword":
+            if t.text == "true":
+                self.advance(); return BoolLit(line=t.line, value=True)
+            if t.text == "false":
+                self.advance(); return BoolLit(line=t.line, value=False)
+            if t.text == "null":
+                self.advance(); return NullLit(line=t.line)
+            if t.text == "this":
+                self.advance(); return This(line=t.line)
+            if t.text == "new":
+                return self._parse_new()
+            if t.text == "String":
+                # String.xxx static-style call is not supported; strings
+                # are used via instance methods.
+                raise self.error("String used as a value")
+        if t.kind == "punct" and t.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        if t.kind == "ident":
+            name = self.advance().text
+            if self.at("punct", "("):
+                self.advance()
+                args = self._parse_args()
+                return Call(line=t.line, obj=None, name=name, args=args)
+            return VarRef(line=t.line, name=name)
+        raise self.error("expected an expression")
+
+    def _parse_new(self) -> Expr:
+        t = self.expect("keyword", "new")
+        # new T[expr] ([])* | new Class(args)
+        if self.cur.kind == "keyword" and self.cur.text in ("int", "double", "boolean", "String"):
+            base = "str" if self.cur.text == "String" else self.cur.text
+            self.advance()
+        else:
+            base = self.expect("ident").text
+        if self.at("punct", "["):
+            self.advance()
+            length = self.parse_expr()
+            self.expect("punct", "]")
+            elem = base
+            while self.at("punct", "[") and self.peek().text == "]":
+                self.advance(); self.advance()
+                elem += "[]"
+            return NewArray(line=t.line, elem_type=elem, length=length)
+        self.expect("punct", "(")
+        args = self._parse_args()
+        return New(line=t.line, klass=base, args=args)
+
+
+def parse(source: str) -> Program:
+    """Parse MiniJava source text into a :class:`Program` AST."""
+    return Parser(source).parse_program()

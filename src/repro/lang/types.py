@@ -1,0 +1,731 @@
+"""Type checker / resolver for MiniJava.
+
+Annotates the AST in place: every expression gets a ``type``; ``VarRef``
+nodes are resolved to locals (with slot numbers), implicit-``this``
+fields, or static fields; ``Call`` nodes get owner class + dispatch kind;
+implicit ``int``→``double`` widenings become explicit :class:`Conv`
+nodes; ``arr.length`` becomes :class:`ArrayLength`.  The code generator
+then never has to guess.
+
+The bootstrap classes (Object/Thread/Math/Sys/String) enter the class
+table from their class files, so programs type-check against exactly the
+signatures the VM executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..jvm.classfile import ClassFile
+from ..jvm.intrinsics import bootstrap_classfiles
+from .ast_nodes import (
+    ArrayIndex, ArrayLength, Assign, Binary, Block, BoolLit, Break, Call,
+    Cast, ClassDecl, Continue, Conv, DoubleLit, Expr, ExprStmt, FieldAccess,
+    FieldDecl, For, If, InstanceOf, IntLit, MethodDecl, New, NewArray,
+    NullLit, Param, Program, Return, Stmt, StrLit, SuperCall, SyncBlock,
+    This, Unary, VarDecl, VarRef, While,
+)
+
+NUMERIC = ("int", "double")
+
+
+class TypeError_(SyntaxError):
+    """A MiniJava type error (named to avoid clashing with builtins)."""
+
+
+def is_array(t: str) -> bool:
+    """True for T[] type names."""
+    return t.endswith("[]")
+
+
+def elem_of(t: str) -> str:
+    """Element type of an array type name."""
+    return t[:-2]
+
+
+@dataclass
+class FieldSig:
+    """Resolved field signature with its declaring class."""
+    name: str
+    type: str
+    is_static: bool
+    declaring: str
+    volatile: bool = False
+
+
+@dataclass
+class MethodSig:
+    """Resolved method signature with its declaring class."""
+    name: str
+    params: List[str]
+    ret: str
+    is_static: bool
+    is_native: bool
+    declaring: str
+
+
+@dataclass
+class ClassInfo:
+    """One class's member tables for resolution."""
+    name: str
+    super_name: Optional[str]
+    fields: Dict[str, FieldSig] = field(default_factory=dict)
+    methods: Dict[str, MethodSig] = field(default_factory=dict)
+    is_bootstrap: bool = False
+
+
+class ClassTable:
+    """All known classes: program classes + bootstrap signatures."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        for cf in bootstrap_classfiles():
+            self._add_classfile(cf)
+
+    def _add_classfile(self, cf: ClassFile) -> None:
+        info = ClassInfo(cf.name, cf.super_name, is_bootstrap=True)
+        for f in cf.fields:
+            info.fields[f.name] = FieldSig(f.name, f.type, f.is_static, cf.name, f.volatile)
+        for m in cf.methods.values():
+            info.methods[m.name] = MethodSig(
+                m.name, list(m.params), m.ret, m.is_static, m.is_native, cf.name
+            )
+        self.classes[cf.name] = info
+
+    def add_class(self, decl: ClassDecl) -> ClassInfo:
+        """Register a program class; rejects duplicates."""
+        if decl.name in self.classes:
+            raise TypeError_(f"duplicate class {decl.name} (line {decl.line})")
+        info = ClassInfo(decl.name, decl.super_name)
+        for f in decl.fields:
+            if f.name in info.fields:
+                raise TypeError_(f"duplicate field {decl.name}.{f.name}")
+            info.fields[f.name] = FieldSig(f.name, f.type, f.is_static, decl.name, f.volatile)
+        for m in decl.methods:
+            if m.name in info.methods:
+                raise TypeError_(f"duplicate method {decl.name}.{m.name}")
+            info.methods[m.name] = MethodSig(
+                m.name, [p.type for p in m.params], m.ret,
+                m.is_static, m.is_native, decl.name,
+            )
+        self.classes[decl.name] = info
+        return info
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ClassInfo:
+        """ClassInfo by name, or a type error."""
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise TypeError_(f"unknown class {name!r}") from None
+
+    def is_class(self, name: str) -> bool:
+        """True if the name is a known class."""
+        return name in self.classes
+
+    def supers(self, name: str):
+        """The class and all its ancestors, nearest first."""
+        current: Optional[str] = name
+        while current is not None:
+            info = self.get(current)
+            yield info
+            current = info.super_name
+
+    def find_field(self, class_name: str, field_name: str) -> Optional[FieldSig]:
+        """Resolve a field through the superclass chain."""
+        for info in self.supers(class_name):
+            f = info.fields.get(field_name)
+            if f is not None:
+                return f
+        return None
+
+    def find_method(self, class_name: str, method_name: str) -> Optional[MethodSig]:
+        """Resolve a method through the superclass chain."""
+        for info in self.supers(class_name):
+            m = info.methods.get(method_name)
+            if m is not None:
+                return m
+        return None
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        """Subtype test (Object is a universal supertype)."""
+        if sup == "Object":
+            return True
+        return any(info.name == sup for info in self.supers(sub))
+
+    def validate_hierarchy(self) -> None:
+        """Reject unknown superclasses and cycles."""
+        for name, info in self.classes.items():
+            seen = {name}
+            current = info.super_name
+            while current is not None:
+                if current in seen:
+                    raise TypeError_(f"inheritance cycle through {name}")
+                if current not in self.classes:
+                    raise TypeError_(
+                        f"class {name} extends unknown class {current}"
+                    )
+                seen.add(current)
+                current = self.classes[current].super_name
+
+    def is_valid_type(self, t: str) -> bool:
+        """True for primitives, known classes, and their arrays."""
+        base = t
+        while base.endswith("[]"):
+            base = base[:-2]
+        return base in ("int", "double", "boolean", "str") or base in self.classes
+
+
+class _Scope:
+    """Lexically scoped locals with method-lifetime slot numbering."""
+
+    def __init__(self, checker: "Checker") -> None:
+        self.checker = checker
+        self.stack: List[Dict[str, tuple[int, str]]] = [{}]
+        self.next_slot = 0
+
+    def push(self) -> None:
+        self.stack.append({})
+
+    def pop(self) -> None:
+        self.stack.pop()
+
+    def declare(self, name: str, type_: str, line: int) -> int:
+        for frame in self.stack:
+            if name in frame:
+                raise TypeError_(
+                    f"variable {name!r} already declared (line {line})"
+                )
+        slot = self.next_slot
+        self.next_slot += 1
+        self.stack[-1][name] = (slot, type_)
+        return slot
+
+    def lookup(self, name: str) -> Optional[tuple[int, str]]:
+        for frame in reversed(self.stack):
+            if name in frame:
+                return frame[name]
+        return None
+
+
+class Checker:
+    """Checks one program; leaves the AST annotated for codegen."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.table = ClassTable()
+        for decl in program.classes:
+            self.table.add_class(decl)
+        self.table.validate_hierarchy()
+        self._class: Optional[ClassDecl] = None
+        self._method: Optional[MethodDecl] = None
+        self._scope: Optional[_Scope] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------
+    def check(self) -> ClassTable:
+        """Run the checker over every class; returns the class table."""
+        for decl in self.program.classes:
+            self._check_class(decl)
+        return self.table
+
+    def _err(self, node, msg: str) -> TypeError_:
+        return TypeError_(f"{msg} (line {node.line})")
+
+    # ------------------------------------------------------------------
+    def _check_class(self, decl: ClassDecl) -> None:
+        self._class = decl
+        for f in decl.fields:
+            if not self.table.is_valid_type(f.type):
+                raise self._err(f, f"unknown field type {f.type!r}")
+            if f.type == "void":
+                raise self._err(f, "field of type void")
+        has_ctor = any(m.is_constructor for m in decl.methods)
+        if not has_ctor:
+            # Implicit no-arg constructor; validated against super in codegen.
+            pass
+        for m in decl.methods:
+            self._check_method(decl, m)
+        self._class = None
+
+    def _check_method(self, decl: ClassDecl, m: MethodDecl) -> None:
+        if m.is_native:
+            raise self._err(
+                m,
+                f"user-defined native methods are not supported "
+                f"({decl.name}.{m.name}); the paper's rewriter has the same "
+                f"restriction (§4)",
+            )
+        if m.is_synchronized and m.is_static:
+            raise self._err(m, "static synchronized methods are unsupported")
+        if m.ret != "void" and not self.table.is_valid_type(m.ret):
+            raise self._err(m, f"unknown return type {m.ret!r}")
+        self._method = m
+        self._scope = _Scope(self)
+        if not m.is_static:
+            self._scope.declare("this", decl.name, m.line)
+        for p in m.params:
+            if not self.table.is_valid_type(p.type) or p.type == "void":
+                raise self._err(p, f"bad parameter type {p.type!r}")
+            p.slot = self._scope.declare(p.name, p.type, p.line)  # type: ignore[attr-defined]
+        assert m.body is not None
+        self._check_block(m.body, top_level=True)
+        m.max_locals = self._scope.next_slot  # type: ignore[attr-defined]
+        if m.ret != "void" and not self._always_returns(m.body):
+            raise self._err(m, f"method {m.name} may not return a value")
+        self._method = None
+        self._scope = None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _check_block(self, block: Block, top_level: bool = False) -> None:
+        assert self._scope is not None
+        self._scope.push()
+        for i, stmt in enumerate(block.stmts):
+            if isinstance(stmt, SuperCall) and not (
+                top_level and i == 0 and self._method is not None
+                and self._method.is_constructor
+            ):
+                raise self._err(
+                    stmt, "super(...) only as the first statement of a "
+                    "constructor"
+                )
+            self._check_stmt(stmt)
+        self._scope.pop()
+
+    def _check_stmt(self, stmt: Stmt) -> None:
+        assert self._scope is not None and self._method is not None
+        if isinstance(stmt, Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, VarDecl):
+            if not self.table.is_valid_type(stmt.type) or stmt.type == "void":
+                raise self._err(stmt, f"bad variable type {stmt.type!r}")
+            if stmt.init is not None:
+                t = self._check_expr(stmt.init)
+                stmt.init = self._coerce(stmt.init, t, stmt.type, stmt)
+            stmt.slot = self._scope.declare(stmt.name, stmt.type, stmt.line)  # type: ignore[attr-defined]
+        elif isinstance(stmt, ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            self._require_boolean(stmt.cond, "if condition")
+            self._check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise)
+        elif isinstance(stmt, While):
+            self._require_boolean(stmt.cond, "while condition")
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, For):
+            self._scope.push()
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._require_boolean(stmt.cond, "for condition")
+            if stmt.update is not None:
+                self._check_expr(stmt.update)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scope.pop()
+        elif isinstance(stmt, Return):
+            ret = self._method.ret
+            if stmt.value is None:
+                if ret != "void":
+                    raise self._err(stmt, f"must return a {ret}")
+            else:
+                if ret == "void":
+                    raise self._err(stmt, "void method returns a value")
+                t = self._check_expr(stmt.value)
+                stmt.value = self._coerce(stmt.value, t, ret, stmt)
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                raise self._err(stmt, "break/continue outside a loop")
+        elif isinstance(stmt, SyncBlock):
+            t = self._check_expr(stmt.lock)
+            if not self._is_ref(t):
+                raise self._err(stmt, f"cannot synchronize on {t}")
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, SuperCall):
+            decl = self._class
+            assert decl is not None
+            super_name = decl.super_name
+            sig = self.table.find_method(super_name, "<init>")
+            if sig is None:
+                raise self._err(stmt, f"no constructor in {super_name}")
+            self._check_args(stmt, stmt.args, sig.params, f"super of {decl.name}")
+            stmt.super_class = super_name  # type: ignore[attr-defined]
+        else:  # pragma: no cover - parser produces no other statements
+            raise self._err(stmt, f"unknown statement {type(stmt).__name__}")
+
+    def _require_boolean(self, expr: Expr, what: str) -> None:
+        t = self._check_expr(expr)
+        if t != "boolean":
+            raise self._err(expr, f"{what} must be boolean, got {t}")
+
+    def _always_returns(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, Return):
+            return True
+        if isinstance(stmt, Block):
+            return any(self._always_returns(s) for s in stmt.stmts)
+        if isinstance(stmt, If):
+            return (
+                stmt.otherwise is not None
+                and self._always_returns(stmt.then)
+                and self._always_returns(stmt.otherwise)
+            )
+        if isinstance(stmt, SyncBlock):
+            return self._always_returns(stmt.body)
+        if isinstance(stmt, While):
+            # `while (true)` without break is treated as returning.
+            return (
+                isinstance(stmt.cond, BoolLit) and stmt.cond.value
+                and not self._has_break(stmt.body)
+            )
+        return False
+
+    def _has_break(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, Break):
+            return True
+        if isinstance(stmt, Block):
+            return any(self._has_break(s) for s in stmt.stmts)
+        if isinstance(stmt, If):
+            return self._has_break(stmt.then) or (
+                stmt.otherwise is not None and self._has_break(stmt.otherwise)
+            )
+        if isinstance(stmt, SyncBlock):
+            return self._has_break(stmt.body)
+        return False  # nested loops consume their own breaks
+
+    # ------------------------------------------------------------------
+    # Type utilities
+    # ------------------------------------------------------------------
+    def _is_ref(self, t: str) -> bool:
+        return t == "str" or t == "null" or is_array(t) or (
+            t not in ("int", "double", "boolean", "void") and self.table.is_class(t)
+        )
+
+    def _assignable(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return True
+        if src == "int" and dst == "double":
+            return True
+        if src == "null" and self._is_ref(dst):
+            return True
+        if dst == "Object" and self._is_ref(src):
+            return True
+        if self.table.is_class(src) and self.table.is_class(dst):
+            return self.table.is_subclass(src, dst)
+        return False
+
+    def _coerce(self, expr: Expr, src: str, dst: str, at) -> Expr:
+        if src == dst:
+            return expr
+        if src == "int" and dst == "double":
+            conv = Conv(line=expr.line, kind="i2d", operand=expr)
+            conv.type = "double"
+            return conv
+        if not self._assignable(src, dst):
+            raise self._err(at, f"cannot assign {src} to {dst}")
+        return expr
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: Expr) -> str:
+        t = self._infer(expr)
+        expr.type = t
+        return t
+
+    def _infer(self, expr: Expr) -> str:
+        assert self._scope is not None and self._class is not None
+        if isinstance(expr, IntLit):
+            return "int"
+        if isinstance(expr, DoubleLit):
+            return "double"
+        if isinstance(expr, BoolLit):
+            return "boolean"
+        if isinstance(expr, StrLit):
+            return "str"
+        if isinstance(expr, NullLit):
+            return "null"
+        if isinstance(expr, This):
+            if self._method is not None and self._method.is_static:
+                raise self._err(expr, "this in a static method")
+            return self._class.name
+        if isinstance(expr, VarRef):
+            return self._infer_varref(expr)
+        if isinstance(expr, FieldAccess):
+            return self._infer_field_access(expr)
+        if isinstance(expr, ArrayIndex):
+            at = self._check_expr(expr.arr)
+            if not is_array(at):
+                raise self._err(expr, f"indexing a non-array ({at})")
+            it = self._check_expr(expr.index)
+            if it != "int":
+                raise self._err(expr, f"array index must be int, got {it}")
+            return elem_of(at)
+        if isinstance(expr, Call):
+            return self._infer_call(expr)
+        if isinstance(expr, New):
+            return self._infer_new(expr)
+        if isinstance(expr, NewArray):
+            if not self.table.is_valid_type(expr.elem_type):
+                raise self._err(expr, f"unknown array type {expr.elem_type!r}")
+            lt = self._check_expr(expr.length)
+            if lt != "int":
+                raise self._err(expr, "array length must be int")
+            return expr.elem_type + "[]"
+        if isinstance(expr, Binary):
+            return self._infer_binary(expr)
+        if isinstance(expr, Unary):
+            return self._infer_unary(expr)
+        if isinstance(expr, Assign):
+            return self._infer_assign(expr)
+        if isinstance(expr, Cast):
+            return self._infer_cast(expr)
+        if isinstance(expr, InstanceOf):
+            t = self._check_expr(expr.operand)
+            if not self._is_ref(t):
+                raise self._err(expr, "instanceof on a non-reference")
+            self.table.get(expr.klass)
+            return "boolean"
+        if isinstance(expr, Conv):
+            self._check_expr(expr.operand)
+            return "double" if expr.kind == "i2d" else "int"
+        if isinstance(expr, ArrayLength):
+            return "int"
+        raise self._err(expr, f"unknown expression {type(expr).__name__}")
+
+    def _infer_varref(self, expr: VarRef) -> str:
+        assert self._scope is not None and self._class is not None
+        hit = self._scope.lookup(expr.name)
+        if hit is not None:
+            slot, t = hit
+            expr.resolved = "local"
+            expr.slot = slot
+            return t
+        f = self.table.find_field(self._class.name, expr.name)
+        if f is not None:
+            if f.is_static:
+                expr.resolved = "static"
+                expr.klass = f.declaring
+                return f.type
+            if self._method is not None and self._method.is_static:
+                raise self._err(
+                    expr, f"instance field {expr.name} in a static method"
+                )
+            expr.resolved = "field"
+            expr.klass = f.declaring
+            return f.type
+        if self.table.is_class(expr.name):
+            raise self._err(
+                expr, f"class name {expr.name} used as a value"
+            )
+        raise self._err(expr, f"undefined variable {expr.name!r}")
+
+    def _infer_field_access(self, expr: FieldAccess) -> str:
+        assert self._scope is not None
+        # ClassName.field (static)?
+        if (
+            isinstance(expr.obj, VarRef)
+            and self._scope.lookup(expr.obj.name) is None
+            and self.table.is_class(expr.obj.name)
+        ):
+            f = self.table.find_field(expr.obj.name, expr.name)
+            if f is None or not f.is_static:
+                raise self._err(
+                    expr, f"no static field {expr.obj.name}.{expr.name}"
+                )
+            expr.obj = None
+            expr.klass = f.declaring
+            return f.type
+        t = self._check_expr(expr.obj)
+        if is_array(t):
+            if expr.name == "length":
+                # Rewrite in place into ArrayLength semantics; codegen keys
+                # off klass == "<arraylength>".
+                expr.klass = "<arraylength>"
+                return "int"
+            raise self._err(expr, f"arrays have no field {expr.name!r}")
+        if not self.table.is_class(t):
+            raise self._err(expr, f"field access on {t}")
+        f = self.table.find_field(t, expr.name)
+        if f is None:
+            raise self._err(expr, f"no field {t}.{expr.name}")
+        if f.is_static:
+            raise self._err(
+                expr, f"static field {expr.name} accessed via instance"
+            )
+        expr.klass = f.declaring
+        return f.type
+
+    def _check_args(self, at, args: List[Expr], params: List[str], what: str) -> None:
+        if len(args) != len(params):
+            raise self._err(
+                at, f"{what}: expected {len(params)} args, got {len(args)}"
+            )
+        for i, (arg, pt) in enumerate(zip(args, params)):
+            t = self._check_expr(arg)
+            args[i] = self._coerce(arg, t, pt, at)
+
+    def _infer_call(self, expr: Call) -> str:
+        assert self._scope is not None and self._class is not None
+        if expr.obj is None:
+            # Unqualified call: method of the current class.
+            sig = self.table.find_method(self._class.name, expr.name)
+            if sig is None:
+                raise self._err(expr, f"undefined method {expr.name!r}")
+            if sig.is_static:
+                expr.kind = "static"
+                expr.klass = sig.declaring
+            else:
+                if self._method is not None and self._method.is_static:
+                    raise self._err(
+                        expr,
+                        f"instance method {expr.name} called from static "
+                        f"context",
+                    )
+                expr.kind = "virtual_this"
+                expr.klass = sig.declaring
+            self._check_args(expr, expr.args, sig.params, expr.name)
+            return sig.ret
+        # ClassName.m(...) static?
+        if (
+            isinstance(expr.obj, VarRef)
+            and self._scope.lookup(expr.obj.name) is None
+            and self.table.is_class(expr.obj.name)
+        ):
+            sig = self.table.find_method(expr.obj.name, expr.name)
+            if sig is None or not sig.is_static:
+                raise self._err(
+                    expr, f"no static method {expr.obj.name}.{expr.name}"
+                )
+            expr.obj = None
+            expr.kind = "static"
+            expr.klass = sig.declaring
+            self._check_args(expr, expr.args, sig.params, expr.name)
+            return sig.ret
+        t = self._check_expr(expr.obj)
+        if t == "str":
+            owner = "String"
+        elif is_array(t):
+            owner = "Object"
+        elif self.table.is_class(t):
+            owner = t
+        else:
+            raise self._err(expr, f"method call on {t}")
+        sig = self.table.find_method(owner, expr.name)
+        if sig is None:
+            raise self._err(expr, f"no method {owner}.{expr.name}")
+        if sig.is_static:
+            raise self._err(
+                expr, f"static method {expr.name} called via instance"
+            )
+        expr.kind = "virtual"
+        expr.klass = owner if owner in ("String",) else sig.declaring
+        self._check_args(expr, expr.args, sig.params, expr.name)
+        return sig.ret
+
+    def _infer_new(self, expr: New) -> str:
+        info = self.table.get(expr.klass)
+        if info.is_bootstrap and expr.klass not in ("Thread", "Object"):
+            raise self._err(expr, f"cannot instantiate {expr.klass}")
+        sig = self.table.find_method(expr.klass, "<init>")
+        params = sig.params if sig is not None else []
+        self._check_args(expr, expr.args, params, f"new {expr.klass}")
+        return expr.klass
+
+    def _infer_binary(self, expr: Binary) -> str:
+        op = expr.op
+        lt = self._check_expr(expr.left)
+        rt = self._check_expr(expr.right)
+        if op == "+" and ("str" in (lt, rt)):
+            expr.str_concat = True  # type: ignore[attr-defined]
+            return "str"
+        if op in ("+", "-", "*", "/", "%"):
+            if lt not in NUMERIC or rt not in NUMERIC:
+                raise self._err(expr, f"arithmetic on {lt} and {rt}")
+            if "double" in (lt, rt):
+                expr.left = self._coerce(expr.left, lt, "double", expr)
+                expr.right = self._coerce(expr.right, rt, "double", expr)
+                return "double"
+            return "int"
+        if op in ("<<", ">>", ">>>", "&", "|", "^"):
+            if lt != "int" or rt != "int":
+                raise self._err(expr, f"bitwise op {op} on {lt} and {rt}")
+            return "int"
+        if op in ("<", "<=", ">", ">="):
+            if lt not in NUMERIC or rt not in NUMERIC:
+                raise self._err(expr, f"comparison on {lt} and {rt}")
+            if "double" in (lt, rt):
+                expr.left = self._coerce(expr.left, lt, "double", expr)
+                expr.right = self._coerce(expr.right, rt, "double", expr)
+            return "boolean"
+        if op in ("==", "!="):
+            numeric = lt in NUMERIC and rt in NUMERIC
+            both_bool = lt == "boolean" and rt == "boolean"
+            refs = self._is_ref(lt) and self._is_ref(rt)
+            if numeric:
+                if "double" in (lt, rt):
+                    expr.left = self._coerce(expr.left, lt, "double", expr)
+                    expr.right = self._coerce(expr.right, rt, "double", expr)
+            elif not (both_bool or refs):
+                raise self._err(expr, f"cannot compare {lt} and {rt}")
+            return "boolean"
+        if op in ("&&", "||"):
+            if lt != "boolean" or rt != "boolean":
+                raise self._err(expr, f"{op} on {lt} and {rt}")
+            return "boolean"
+        raise self._err(expr, f"unknown operator {op}")
+
+    def _infer_unary(self, expr: Unary) -> str:
+        t = self._check_expr(expr.operand)
+        if expr.op == "-":
+            if t not in NUMERIC:
+                raise self._err(expr, f"negating {t}")
+            return t
+        if expr.op == "!":
+            if t != "boolean":
+                raise self._err(expr, f"! on {t}")
+            return "boolean"
+        if expr.op == "~":
+            if t != "int":
+                raise self._err(expr, f"~ on {t}")
+            return "int"
+        raise self._err(expr, f"unknown unary {expr.op}")
+
+    def _infer_assign(self, expr: Assign) -> str:
+        tt = self._check_expr(expr.target)
+        if isinstance(expr.target, FieldAccess) and expr.target.klass == "<arraylength>":
+            raise self._err(expr, "array length is not assignable")
+        vt = self._check_expr(expr.value)
+        expr.value = self._coerce(expr.value, vt, tt, expr)
+        return tt
+
+    def _infer_cast(self, expr: Cast) -> str:
+        t = self._check_expr(expr.operand)
+        dst = expr.target_type
+        if dst == "int":
+            if t == "double":
+                return "int"
+            if t == "int":
+                return "int"
+            raise self._err(expr, f"cannot cast {t} to int")
+        if dst == "double":
+            if t in NUMERIC:
+                return "double"
+            raise self._err(expr, f"cannot cast {t} to double")
+        if self.table.is_class(dst) or is_array(dst):
+            if not self._is_ref(t):
+                raise self._err(expr, f"cannot cast {t} to {dst}")
+            return dst
+        raise self._err(expr, f"bad cast target {dst!r}")
+
+
+def check_program(program: Program) -> ClassTable:
+    """Type-check and annotate a parsed program; returns the class table."""
+    return Checker(program).check()

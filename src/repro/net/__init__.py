@@ -1,0 +1,22 @@
+"""Simulated IP network substrate.
+
+Stands in for the paper's 100 Mbit Ethernet + Java sockets: typed messages
+with exact wire-size accounting (:mod:`repro.net.message`), a latency/
+bandwidth network model (:mod:`repro.net.simnet`), reliable ordered
+endpoints (:mod:`repro.net.transport`) and traffic statistics
+(:mod:`repro.net.stats`).
+"""
+
+from .message import HEADER_BYTES, Message, estimate_size
+from .simnet import SimNetwork
+from .stats import NetStats
+from .transport import Transport
+
+__all__ = [
+    "HEADER_BYTES",
+    "Message",
+    "estimate_size",
+    "SimNetwork",
+    "NetStats",
+    "Transport",
+]

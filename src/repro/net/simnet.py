@@ -1,0 +1,105 @@
+"""Simulated IP network.
+
+Models the paper's testbed interconnect (100 Mbit Ethernet between
+workstations) as point-to-point delivery with
+
+    one-way latency = (fixed(src) + fixed(dst)) / 2  +  size * per_byte
+
+where the fixed term and per-byte term come from the endpoints' JVM-brand
+cost models (the paper's Table 3 shows the communication stack cost differs
+between JVM brands).  The per-byte term of a transfer is the slower of the
+two endpoints'.
+
+Delivery is reliable.  By default it is also FIFO per directed link; a
+seeded jitter mode can reorder raw deliveries to exercise the transport
+layer's sequence-number reassembly (failure-injection tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..sim.cost_model import COMM_FIXED_NS, COMM_PER_BYTE_NS, CostModel
+from ..sim.engine import SimEngine
+from .message import Message
+from .stats import NetStats
+
+Handler = Callable[[Message], None]
+
+
+class SimNetwork:
+    """Point-to-point simulated network between registered endpoints."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        jitter_ns: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.stats = NetStats()
+        self._handlers: Dict[int, Handler] = {}
+        self._cost_models: Dict[int, CostModel] = {}
+        self._last_delivery: Dict[tuple[int, int], int] = {}
+        self._jitter_ns = jitter_ns
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, cost_model: CostModel, handler: Handler) -> None:
+        """Attach an endpoint: its brand cost model and delivery callback."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+        self._cost_models[node_id] = cost_model
+
+    def detach(self, node_id: int) -> None:
+        """Remove an endpoint; in-flight messages to it are dropped."""
+        self._handlers.pop(node_id, None)
+        self._cost_models.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """The attached endpoints, sorted."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def latency_ns(self, src: int, dst: int, size_bytes: int) -> int:
+        """One-way latency for a message of the given size."""
+        cm_src = self._cost_models[src]
+        cm_dst = self._cost_models[dst]
+        fixed = (cm_src[COMM_FIXED_NS] + cm_dst[COMM_FIXED_NS]) // 2
+        per_byte = max(cm_src[COMM_PER_BYTE_NS], cm_dst[COMM_PER_BYTE_NS])
+        return fixed + size_bytes * per_byte
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Send a message; the destination handler fires after the modelled
+        latency.  Same-node sends are delivered with a minimal loopback
+        delay (still asynchronously, to keep handler re-entrancy simple).
+        """
+        if msg.dst not in self._handlers:
+            raise KeyError(f"no endpoint attached for node {msg.dst}")
+        if msg.src not in self._cost_models:
+            raise KeyError(f"no endpoint attached for node {msg.src}")
+        self.stats.record(msg)
+        if msg.src == msg.dst:
+            delay = 500  # loopback
+        else:
+            delay = self.latency_ns(msg.src, msg.dst, msg.size_bytes)
+            if self._jitter_ns:
+                delay += int(self._rng.integers(0, self._jitter_ns))
+        self.engine.schedule(delay, lambda: self._deliver(msg))
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            return  # endpoint detached while message in flight: drop
+        handler(msg)

@@ -1,0 +1,46 @@
+"""Network traffic accounting.
+
+Tracks message and byte counts globally, per message type and per directed
+link, so benchmarks can report communication volume alongside time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .message import Message
+
+
+@dataclass
+class NetStats:
+    messages: int = 0
+    bytes: int = 0
+    by_type: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    by_link: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        """Account one sent message (totals, per type, per link)."""
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        n, b = self.by_type.get(msg.msg_type, (0, 0))
+        self.by_type[msg.msg_type] = (n + 1, b + msg.size_bytes)
+        link = (msg.src, msg.dst)
+        n, b = self.by_link.get(link, (0, 0))
+        self.by_link[link] = (n + 1, b + msg.size_bytes)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.messages = 0
+        self.bytes = 0
+        self.by_type.clear()
+        self.by_link.clear()
+
+    def summary(self) -> str:
+        """Multi-line human-readable totals."""
+        lines = [f"total: {self.messages} msgs, {self.bytes} bytes"]
+        for mtype in sorted(self.by_type):
+            n, b = self.by_type[mtype]
+            lines.append(f"  {mtype}: {n} msgs, {b} bytes")
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Access-check insertion (§4, Figure 3).
+
+Before every heap access — field read/write, array load/store, array
+length — the rewriter inserts a DSM check that peeks the object
+reference at the correct stack depth and falls through when the replica
+is valid.  The access itself is flagged ``checked`` so the interpreter
+bills the rewritten access cost (Table 1's methodology).
+
+Accesses to ``volatile`` fields are additionally bracketed by
+acquire/release on the holder object, mapping volatiles onto the
+release-acquire semantics of the revised JMM exactly as §3 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..jvm.bytecode import Instr, Op
+from ..jvm.classfile import ClassFile, FieldInfo, MethodInfo
+from .remap import expand_code
+
+
+class FieldTable:
+    """(class, field) resolution across the rewritten class hierarchy."""
+
+    def __init__(self, classfiles: Dict[str, ClassFile]) -> None:
+        self._classfiles = classfiles
+
+    def find(self, class_name: str, field_name: str) -> Optional[FieldInfo]:
+        current: Optional[str] = class_name
+        while current is not None:
+            cf = self._classfiles.get(current)
+            if cf is None:
+                return None
+            f = cf.field(field_name)
+            if f is not None:
+                return f
+            current = cf.super_name
+        return None
+
+
+def insert_access_checks(cf: ClassFile, fields: FieldTable) -> Dict[str, int]:
+    """Instrument all methods of one class; returns per-kind check counts."""
+    counts = {"read": 0, "write": 0, "volatile": 0}
+    for method in cf.methods.values():
+        if method.is_native or not method.code:
+            continue
+        _instrument_method(method, fields, counts)
+    cf.instrumented = True
+    return counts
+
+
+def _instrument_method(method: MethodInfo, fields: FieldTable, counts) -> None:
+    def expand(instr: Instr, pc: int):
+        op = instr.op
+        if instr.checked:
+            return [instr]  # hand-instrumented (runtime bootstrap code)
+        if op is Op.GETFIELD:
+            f = fields.find(instr.a, instr.b)
+            if f is not None and f.volatile:
+                counts["volatile"] += 1
+                return _volatile_read(instr)
+            counts["read"] += 1
+            instr.checked = True
+            return [Instr(Op.DSM_READCHECK, 0, line=instr.line), instr]
+        if op is Op.PUTFIELD:
+            f = fields.find(instr.a, instr.b)
+            if f is not None and f.volatile:
+                counts["volatile"] += 1
+                return _volatile_write(instr)
+            counts["write"] += 1
+            instr.checked = True
+            return [Instr(Op.DSM_WRITECHECK, 1, line=instr.line), instr]
+        if op is Op.ARRLOAD:
+            counts["read"] += 1
+            instr.checked = True
+            return [Instr(Op.DSM_READCHECK, 1, line=instr.line), instr]
+        if op is Op.ARRSTORE:
+            counts["write"] += 1
+            instr.checked = True
+            return [Instr(Op.DSM_WRITECHECK, 2, line=instr.line), instr]
+        if op is Op.ARRAYLENGTH:
+            counts["read"] += 1
+            instr.checked = True
+            return [Instr(Op.DSM_READCHECK, 0, line=instr.line), instr]
+        return [instr]
+
+    expand_code(method, expand)
+
+
+def _volatile_read(instr: Instr):
+    """[ref] → acquire; checked read; release → [value].
+
+    Encapsulates the access in an acquire-release block (§3), giving the
+    volatile read acquire semantics: the token transfer delivers the
+    write notices that invalidate stale replicas.
+    """
+    instr.checked = True
+    line = instr.line
+    return [
+        Instr(Op.DUP, line=line),
+        Instr(Op.DSM_ACQUIRE, line=line),
+        Instr(Op.DUP, line=line),
+        Instr(Op.DSM_READCHECK, 0, line=line),
+        instr,                              # [ref, value]
+        Instr(Op.SWAP, line=line),
+        Instr(Op.DSM_RELEASE, line=line),   # [value]
+    ]
+
+
+def _volatile_write(instr: Instr):
+    """[ref, value] → acquire; checked write; release → []."""
+    instr.checked = True
+    line = instr.line
+    return [
+        Instr(Op.SWAP, line=line),          # [value, ref]
+        Instr(Op.DUP, line=line),           # [value, ref, ref]
+        Instr(Op.DSM_ACQUIRE, line=line),   # [value, ref]
+        Instr(Op.DUP_X1, line=line),        # [ref, value, ref]
+        Instr(Op.SWAP, line=line),          # [ref, ref, value]
+        Instr(Op.DSM_WRITECHECK, 1, line=line),
+        instr,                              # [ref]
+        Instr(Op.DSM_RELEASE, line=line),
+    ]

@@ -1,0 +1,180 @@
+"""Redundant access-check elimination (§6.2's planned optimization).
+
+"To reduce the overhead of the heap data accesses, we are currently
+working on methods to eliminate unnecessary access checks" — citing the
+runtime optimizations of Veldema et al. [19].  This pass implements the
+classic fine-grain-DSM variant: within a region of straight-line code
+containing no synchronization point, a second *read* check against the
+same reference is redundant and the guarded access may run at original
+speed.
+
+Soundness under LRC: a thread is only obliged to observe remote writes
+when *it* passes an acquire.  A read check validates the replica; until
+the thread's next acquire (or a call, which may acquire internally, or a
+control-flow merge, where we lose track) re-reading that replica — even
+if the protocol has invalidated it asynchronously in the meantime — is
+an LRC-legal stale read.  Write checks are **never** eliminated: they
+create the twin that write collection depends on, and an unchecked write
+to an asynchronously-flushed replica could be lost.
+
+The analysis is deliberately conservative:
+
+* region boundaries: branch targets (leaders), branches themselves,
+  invokes, DSM acquire/release, monitor ops — all clear the known set;
+* provenance is tracked for references loaded from local slots (a store
+  to the slot evicts it) and for C_static holder references produced by
+  DSM_STATICREF (always the same per-class singleton, so a second check
+  on the same class's holder within a region is redundant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..jvm.bytecode import BRANCHES, Instr, Op
+from ..jvm.classfile import ClassFile, MethodInfo
+from .remap import expand_code
+from .sync_rewrite import MethodResolver
+
+# Stack effect (pops, pushes) for provenance simulation; invokes handled
+# separately via the resolver.
+_EFFECT: Dict[Op, Tuple[int, int]] = {
+    Op.CONST: (0, 1), Op.LOAD: (0, 1), Op.STORE: (1, 0), Op.IINC: (0, 0),
+    Op.ADD: (2, 1), Op.SUB: (2, 1), Op.MUL: (2, 1), Op.DIV: (2, 1),
+    Op.REM: (2, 1), Op.NEG: (1, 1), Op.SHL: (2, 1), Op.SHR: (2, 1),
+    Op.USHR: (2, 1), Op.AND: (2, 1), Op.OR: (2, 1), Op.XOR: (2, 1),
+    Op.CMP: (2, 1), Op.I2D: (1, 1), Op.D2I: (1, 1), Op.CONCAT: (2, 1),
+    Op.POP: (1, 0), Op.GOTO: (0, 0), Op.IF: (1, 0), Op.IF_CMP: (2, 0),
+    Op.NEW: (0, 1), Op.GETFIELD: (1, 1), Op.PUTFIELD: (2, 0),
+    Op.GETSTATIC: (0, 1), Op.PUTSTATIC: (1, 0),
+    Op.INSTANCEOF: (1, 1), Op.CHECKCAST: (1, 1),
+    Op.RETURN: (0, 0), Op.RETVAL: (1, 0),
+    Op.NEWARRAY: (1, 1), Op.ARRLOAD: (2, 1), Op.ARRSTORE: (3, 0),
+    Op.ARRAYLENGTH: (1, 1),
+    Op.MONITORENTER: (1, 0), Op.MONITOREXIT: (1, 0),
+    Op.DSM_READCHECK: (0, 0), Op.DSM_WRITECHECK: (0, 0),
+    Op.DSM_ACQUIRE: (1, 0), Op.DSM_RELEASE: (1, 0),
+    Op.DSM_STATICREF: (0, 1),
+}
+
+_INVOKES = (Op.INVOKEVIRTUAL, Op.INVOKESTATIC, Op.INVOKESPECIAL)
+_BARRIERS = frozenset({
+    Op.DSM_ACQUIRE, Op.DSM_RELEASE, Op.MONITORENTER, Op.MONITOREXIT,
+    *_INVOKES,
+})
+
+
+def eliminate_redundant_read_checks(
+    cf: ClassFile, resolver: MethodResolver
+) -> int:
+    """Remove provably-redundant read checks in one class; returns count."""
+    removed = 0
+    for method in cf.methods.values():
+        if not method.is_native and method.code:
+            removed += _process_method(method, resolver)
+    return removed
+
+
+def _process_method(method: MethodInfo, resolver: MethodResolver) -> int:
+    code = method.code
+    leaders: Set[int] = {0}
+    for instr in code:
+        if instr.op is Op.GOTO:
+            leaders.add(instr.a)
+        elif instr.op in (Op.IF, Op.IF_CMP):
+            leaders.add(instr.b)
+
+    to_remove: Set[int] = set()
+    # Provenance stack: each cell is a local slot index (int), a
+    # ("static", class) holder token, or None for unknown.
+    stack: List[Optional[object]] = []
+    validated: Set[object] = set()
+
+    for pc, instr in enumerate(code):
+        if pc in leaders:
+            # Control-flow merge: lose everything (conservative); the
+            # verifier guarantees a consistent depth, which we cannot
+            # know locally, so restart provenance empty — any peek past
+            # the region start simply resolves to "unknown".
+            stack = []
+            validated = set()
+        op = instr.op
+
+        if op is Op.DSM_READCHECK:
+            prov = _peek(stack, instr.a)
+            if prov is not None:
+                guarded = code[pc + 1] if pc + 1 < len(code) else None
+                if prov in validated and guarded is not None and (
+                    guarded.checked in (True, "static")
+                ) and pc + 1 not in leaders:
+                    to_remove.add(pc)
+                    # The access runs at (near-)original speed again — the
+                    # JIT optimization the check was defeating is restored.
+                    # (Holder-field reads then bill plain field cost, a
+                    # close stand-in for the original static read.)
+                    guarded.checked = False
+                else:
+                    validated.add(prov)
+            continue
+        if op is Op.DSM_WRITECHECK:
+            # The write check fetches + twins: the object is then also
+            # valid for reading within this region.
+            prov = _peek(stack, instr.a)
+            if prov is not None:
+                validated.add(prov)
+            continue
+
+        if op in _BARRIERS:
+            validated = set()
+
+        if op is Op.STORE or op is Op.IINC:
+            validated.discard(instr.a)
+
+        # --- provenance stack update -------------------------------
+        if op is Op.LOAD:
+            stack.append(instr.a)
+        elif op is Op.DSM_STATICREF:
+            stack.append(("static", instr.a))
+        elif op is Op.DUP:
+            stack.append(_peek(stack, 0))
+        elif op is Op.DUP_X1:
+            b = _pop(stack); a = _pop(stack)
+            stack.extend((b, a, b))
+        elif op is Op.SWAP:
+            if len(stack) >= 2:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            else:
+                stack = []
+        elif op in _INVOKES:
+            target = resolver.resolve(instr.a, instr.b)
+            pops = target.nargs if target is not None else len(stack)
+            pushes = 0 if target is None or target.ret == "void" else 1
+            _apply(stack, pops, pushes)
+        else:
+            pops, pushes = _EFFECT[op]
+            _apply(stack, pops, pushes)
+
+    if not to_remove:
+        return 0
+
+    def expand(instr: Instr, pc: int):
+        return [] if pc in to_remove else [instr]
+
+    expand_code(method, expand)
+    return len(to_remove)
+
+
+def _peek(stack: List[Optional[int]], depth: int) -> Optional[int]:
+    if depth < len(stack):
+        return stack[-1 - depth]
+    return None
+
+
+def _pop(stack: List[Optional[int]]) -> Optional[int]:
+    return stack.pop() if stack else None
+
+
+def _apply(stack: List[Optional[int]], pops: int, pushes: int) -> None:
+    for _ in range(pops):
+        _pop(stack)
+    stack.extend([None] * pushes)

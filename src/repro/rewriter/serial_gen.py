@@ -1,0 +1,46 @@
+"""Serializer generation (§4, Figure 2's ``DSM_serialize`` family).
+
+For each rewritten class we generate a :class:`ClassSpec`: the ordered
+list of field kinds matching the *runtime layout* (inherited fields
+first).  The DSM interprets the spec to serialize, deserialize and diff
+instances — the data-driven equivalent of the per-class utility methods
+the paper's rewriter emits as bytecode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dsm.serialization import ClassSpec, kind_of_type
+from ..jvm.classfile import ClassFile
+from ..jvm.errors import LinkError
+
+
+def build_specs(classfiles: Dict[str, ClassFile]) -> Dict[str, ClassSpec]:
+    """Specs for every class, in inheritance layout order."""
+    specs: Dict[str, ClassSpec] = {}
+    cache: Dict[str, List[Tuple[str, str]]] = {}
+
+    def layout(name: str) -> List[Tuple[str, str]]:
+        hit = cache.get(name)
+        if hit is not None:
+            return hit
+        cf = classfiles.get(name)
+        if cf is None:
+            raise LinkError(f"serializer generation: unknown class {name!r}")
+        rows: List[Tuple[str, str]] = []
+        if cf.super_name is not None:
+            rows.extend(layout(cf.super_name))
+        for f in cf.instance_fields():
+            rows.append((f.name, f.type))
+        cache[name] = rows
+        return rows
+
+    for name in classfiles:
+        rows = layout(name)
+        specs[name] = ClassSpec(
+            class_name=name,
+            kinds=tuple(kind_of_type(t) for _, t in rows),
+            field_names=tuple(n for n, _ in rows),
+        )
+    return specs

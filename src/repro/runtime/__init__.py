@@ -1,0 +1,31 @@
+"""The JavaSplit runtime: worker pool, load balancing, class
+distribution, and the public execution API."""
+
+from .classreg import ClassRegistry, ClassShipment
+from .config import RuntimeConfig
+from .javasplit import (
+    DeadlockError,
+    JavaSplitRuntime,
+    RunReport,
+    run_distributed,
+    run_original,
+)
+from .scheduler import (
+    LeastLoadedScheduler,
+    PinnedScheduler,
+    PlacementTracker,
+    RandomScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from .worker import WorkerNode, build_worker
+
+__all__ = [
+    "ClassRegistry", "ClassShipment",
+    "RuntimeConfig",
+    "DeadlockError", "JavaSplitRuntime", "RunReport",
+    "run_distributed", "run_original",
+    "LeastLoadedScheduler", "PinnedScheduler", "PlacementTracker",
+    "RandomScheduler", "RoundRobinScheduler", "make_scheduler",
+    "WorkerNode", "build_worker",
+]

@@ -1,0 +1,39 @@
+"""Class registry: distributing rewritten classes to worker nodes (§2).
+
+"The resulting rewritten classes are sent to one of the worker nodes
+that starts executing the application's main method."  Rewriting and
+class distribution happen before the timed execution in the paper's
+methodology, so the registry loads classes at simulated t=0 and accounts
+the shipped bytes in the run report rather than on the simulated wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..jvm.classfile import ClassFile
+from ..jvm.jvm import JVM
+
+
+@dataclass
+class ClassShipment:
+    """What one worker received: class count and bytes."""
+    classes: int
+    bytes: int
+
+
+class ClassRegistry:
+    """Holds the rewritten class files and installs them on worker JVMs."""
+
+    def __init__(self, classfiles: Dict[str, ClassFile]) -> None:
+        self.classfiles = dict(classfiles)
+        self.total_bytes = sum(cf.wire_size() for cf in classfiles.values())
+
+    def install(self, jvm: JVM) -> ClassShipment:
+        """Load every rewritten class into one worker JVM."""
+        jvm.load_classes(list(self.classfiles.values()))
+        return ClassShipment(len(self.classfiles), self.total_bytes)
+
+    def __len__(self) -> int:
+        return len(self.classfiles)

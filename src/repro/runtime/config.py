@@ -1,0 +1,60 @@
+"""Runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..dsm.protocol import DsmConfig
+from ..sim.node import DEFAULT_QUANTUM_NS
+
+
+@dataclass
+class RuntimeConfig:
+    """Cluster + protocol configuration for one JavaSplit execution.
+
+    Defaults model the paper's testbed: dual-processor nodes on a
+    100 Mbit network (the bandwidth lives in the brand cost models).
+    ``brands`` may name one brand for all nodes or one per node — the
+    paper explicitly mixes JVM brands in a single execution (§6).
+    """
+
+    num_nodes: int = 1
+    cpus_per_node: int = 2
+    brands: Sequence[str] = ("sun",)
+    dsm: DsmConfig = field(default_factory=DsmConfig)
+    scheduler: str = "least-loaded"
+    quantum_ns: int = DEFAULT_QUANTUM_NS
+    net_jitter_ns: int = 0
+    seed: int = 0
+    max_events: int = 200_000_000
+    master_node: int = 0
+    # Instruction-cost time dilation (see CostModel.scaled): lets small
+    # simulated inputs reproduce the compute:communication ratio of the
+    # paper's full-size workloads.
+    time_dilation: int = 1
+    # Cost calibration: "app" (default; §6.2 application-level slowdowns)
+    # or "micro" (Table 1/2 repeated-access microbenchmark numbers).
+    cost_profile: str = "app"
+
+    def brand_of(self, node_id: int) -> str:
+        """JVM brand name for one node (single- or per-node list)."""
+        if len(self.brands) == 1:
+            return self.brands[0]
+        if len(self.brands) != self.num_nodes:
+            raise ValueError(
+                f"brands must have 1 or num_nodes entries, got "
+                f"{len(self.brands)} for {self.num_nodes} nodes"
+            )
+        return self.brands[node_id]
+
+    def validate(self) -> None:
+        """Reject inconsistent configurations early."""
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.cpus_per_node < 1:
+            raise ValueError("cpus_per_node must be >= 1")
+        if not (0 <= self.master_node < self.num_nodes):
+            raise ValueError("master_node out of range")
+        for i in range(self.num_nodes):
+            self.brand_of(i)  # raises on mismatch

@@ -1,0 +1,72 @@
+"""Worker-node assembly: simulated node + JVM + transport + DSM engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dsm.protocol import DsmConfig, DsmEngine
+from ..dsm.serialization import ClassSpec
+from ..dsm.directory import ClassIdRegistry
+from ..jvm.jvm import JVM
+from ..net.simnet import SimNetwork
+from ..net.transport import Transport
+from ..rewriter.bootstrap import register_rewritten_natives
+from ..sim.cost_model import get_brand
+from ..sim.engine import SimEngine
+from ..sim.node import Node
+from .classreg import ClassRegistry
+
+
+@dataclass
+class WorkerNode:
+    """One participating workstation."""
+
+    node_id: int
+    node: Node
+    jvm: JVM
+    transport: Transport
+    dsm: DsmEngine
+
+
+def build_worker(
+    engine: SimEngine,
+    network: SimNetwork,
+    registry: ClassRegistry,
+    node_id: int,
+    brand: str,
+    cpus: int,
+    quantum_ns: int,
+    specs: Dict[str, ClassSpec],
+    class_registry: ClassIdRegistry,
+    dsm_config: DsmConfig,
+    choose_spawn_node: Callable[[], int],
+    static_gids: Dict[str, Tuple[int, str]],
+    console: List[str],
+    master_node: int,
+    time_dilation: int = 1,
+    cost_profile: str = "app",
+) -> WorkerNode:
+    """Bring up one worker: any machine with a standard JVM can join."""
+    cost_model = get_brand(brand, cost_profile).scaled(time_dilation)
+    node = Node(engine, node_id, cost_model, num_cpus=cpus, quantum_ns=quantum_ns)
+    jvm = JVM(node)
+    # The distributed execution runs only javasplit classes.
+    jvm.object_class = "javasplit.Object"
+    jvm.string_class = "javasplit.String"
+    registry.install(jvm)
+    register_rewritten_natives(jvm)
+    transport = Transport(network, node_id, cost_model)
+    dsm = DsmEngine(
+        jvm,
+        transport,
+        specs=specs,
+        class_registry=class_registry,
+        config=dsm_config,
+        choose_spawn_node=choose_spawn_node,
+        static_gids=static_gids,
+        console=console,
+        master_node=master_node,
+    )
+    jvm.hooks = dsm
+    return WorkerNode(node_id, node, jvm, transport, dsm)

@@ -1,0 +1,36 @@
+"""Discrete-event cluster simulation substrate.
+
+Replaces the paper's physical cluster (dual-CPU Xeons, wall-clock time)
+with a deterministic event engine (:mod:`repro.sim.engine`), per-node CPU
+scheduling (:mod:`repro.sim.node`) and per-JVM-brand instruction cost
+models (:mod:`repro.sim.cost_model`).
+"""
+
+from .cost_model import BRANDS, IBM, SUN, CostModel, get_brand
+from .engine import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    EventHandle,
+    SimEngine,
+    SimulationError,
+)
+from .node import DEFAULT_QUANTUM_NS, ExecStream, Node, StreamState
+
+__all__ = [
+    "BRANDS",
+    "IBM",
+    "SUN",
+    "CostModel",
+    "get_brand",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "NS_PER_US",
+    "EventHandle",
+    "SimEngine",
+    "SimulationError",
+    "DEFAULT_QUANTUM_NS",
+    "ExecStream",
+    "Node",
+    "StreamState",
+]

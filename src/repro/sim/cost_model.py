@@ -1,0 +1,245 @@
+"""Per-"JVM brand" instruction cost models.
+
+The paper evaluates JavaSplit on two real JVMs (Sun JDK 1.4.0 and IBM JDK
+1.3.0) and observes sharply different instrumentation slowdowns (Table 1):
+IBM's JVM optimizes repeated heap accesses to ~an order of magnitude below
+Sun's, so the same absolute access-check cost is a much larger *relative*
+slowdown there ("the access checks stand in the way of optimizations
+employed in the IBM JVM").
+
+We reproduce that mechanism with data: each brand is a table of simulated
+instruction costs (integer nanoseconds).  Heap-access opcodes have two
+entries — the plain cost and the ``*_checked`` cost billed when the
+rewriter has prepended an access check (the checked cost covers both the
+check fast path of Figure 3 and the de-optimized access).  The tables are
+calibrated so the *ratios* match Table 1/Table 2 of the paper; absolute
+numbers are an arbitrary nanosecond scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+# ---------------------------------------------------------------------------
+# Cost keys
+# ---------------------------------------------------------------------------
+# Heap accesses (Table 1 rows)
+FIELD_READ = "field_read"
+FIELD_WRITE = "field_write"
+STATIC_READ = "static_read"
+STATIC_WRITE = "static_write"
+ARRAY_READ = "array_read"
+ARRAY_WRITE = "array_write"
+
+
+def checked(key: str) -> str:
+    """Cost key billed for a heap access guarded by a DSM access check."""
+    return key + "_checked"
+
+
+# Synchronization (Table 2 rows)
+MONITOR_ENTER = "monitor_enter"          # original Java acquire
+MONITOR_EXIT = "monitor_exit"
+LOCAL_LOCK_OP = "local_lock_op"          # §4.4 lock-counter acquire/release
+SHARED_ACQUIRE = "shared_acquire"        # DSM handler, lock already cached
+SHARED_RELEASE = "shared_release"
+
+# Everything else
+CONST = "const"
+LOCAL = "local"          # load/store of a local variable slot
+ARITH = "arith"
+BRANCH = "branch"
+STACK = "stack"          # dup/pop/swap
+INVOKE = "invoke"
+RETURN_ = "return"
+ALLOC = "alloc"
+ALLOC_ARRAY = "alloc_array"
+NATIVE = "native"
+CHECK_HIT = "check_hit"  # standalone access-check fast path (for statics ref)
+CONVERT = "convert"
+
+# Communication (Table 3): latency = fixed + size * per_byte
+COMM_FIXED_NS = "comm_fixed_ns"
+COMM_PER_BYTE_NS = "comm_per_byte_ns"
+# CPU cost billed for running a DSM protocol handler on a node
+PROTO_HANDLER_NS = "proto_handler_ns"
+# Cost of serializing/deserializing one byte of DSM payload
+SERIALIZE_PER_BYTE_NS = "serialize_per_byte_ns"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Immutable cost table for one JVM brand."""
+
+    brand: str
+    costs: Dict[str, int] = field(default_factory=dict)
+
+    def cost(self, key: str) -> int:
+        """Cost in nanoseconds for one key; unknown keys raise."""
+        try:
+            return self.costs[key]
+        except KeyError:
+            raise KeyError(f"brand {self.brand!r} has no cost for {key!r}") from None
+
+    def __getitem__(self, key: str) -> int:
+        return self.cost(key)
+
+    def scaled(self, dilation: int) -> "CostModel":
+        """A time-dilated copy: instruction-execution costs ×``dilation``,
+        communication-path costs unchanged.
+
+        Rationale: the paper's workloads run for minutes on real hardware
+        (e.g. Series with N=100000), which sets the compute:communication
+        ratio; a Python-interpreted simulation cannot execute that many
+        instructions.  Dilation makes each simulated instruction stand
+        for ``dilation`` real ones — weak-scaling the workload without
+        executing it — so small inputs reproduce the full-size ratio.
+        All intra-brand cost *ratios* (Tables 1 and 2) are preserved.
+        """
+        if dilation == 1:
+            return self
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        # Communication costs and synchronization-handler costs are
+        # per-event constants in the real system — they do not grow with
+        # the workload — so weak-scaling leaves them alone.  (Checked
+        # heap accesses in compute loops *do* scale, which is what keeps
+        # the instrumentation-slowdown factor of §6.2 intact.)
+        unscaled = {
+            COMM_FIXED_NS, COMM_PER_BYTE_NS, PROTO_HANDLER_NS,
+            SERIALIZE_PER_BYTE_NS,
+            MONITOR_ENTER, MONITOR_EXIT, LOCAL_LOCK_OP,
+            SHARED_ACQUIRE, SHARED_RELEASE,
+        }
+        return CostModel(
+            self.brand,
+            {
+                key: (value if key in unscaled else value * dilation)
+                for key, value in self.costs.items()
+            },
+        )
+
+
+def _table(base: Dict[str, int]) -> Dict[str, int]:
+    missing = _ALL_KEYS - set(base)
+    if missing:  # pragma: no cover - construction-time sanity
+        raise ValueError(f"cost table missing keys: {sorted(missing)}")
+    return dict(base)
+
+
+_ALL_KEYS = {
+    FIELD_READ, FIELD_WRITE, STATIC_READ, STATIC_WRITE, ARRAY_READ,
+    ARRAY_WRITE,
+    checked(FIELD_READ), checked(FIELD_WRITE), checked(STATIC_READ),
+    checked(STATIC_WRITE), checked(ARRAY_READ), checked(ARRAY_WRITE),
+    MONITOR_ENTER, MONITOR_EXIT, LOCAL_LOCK_OP, SHARED_ACQUIRE,
+    SHARED_RELEASE,
+    CONST, LOCAL, ARITH, BRANCH, STACK, INVOKE, RETURN_, ALLOC, ALLOC_ARRAY,
+    NATIVE, CHECK_HIT, CONVERT,
+    COMM_FIXED_NS, COMM_PER_BYTE_NS, PROTO_HANDLER_NS, SERIALIZE_PER_BYTE_NS,
+}
+
+# ---------------------------------------------------------------------------
+# Brand tables
+# ---------------------------------------------------------------------------
+# "sun"-like brand: expensive baseline heap accesses, so access checks cost
+# a factor of only ~2-6x (Table 1, left half).
+SUN = CostModel(
+    "sun",
+    _table({
+        FIELD_READ: 84, checked(FIELD_READ): 182,      # 2.17x
+        FIELD_WRITE: 97, checked(FIELD_WRITE): 248,    # 2.56x
+        # A rewritten static access = DSM_STATICREF (CHECK_HIT) + checked
+        # holder-field access, so the checked entries here are set such
+        # that CHECK_HIT + checked == the Table 1 rewritten latency.
+        STATIC_READ: 80, checked(STATIC_READ): 132,    # 2.2x incl. CHECK_HIT
+        STATIC_WRITE: 85, checked(STATIC_WRITE): 217,  # 3.1x incl. CHECK_HIT
+        ARRAY_READ: 98, checked(ARRAY_READ): 545,      # 5.56x
+        ARRAY_WRITE: 123, checked(ARRAY_WRITE): 505,   # 4.1x
+        MONITOR_ENTER: 906, MONITOR_EXIT: 450,
+        LOCAL_LOCK_OP: 196,                            # 0.22x of original
+        SHARED_ACQUIRE: 2810, SHARED_RELEASE: 1400,    # 3.1x of original
+        CONST: 3, LOCAL: 3, ARITH: 4, BRANCH: 4, STACK: 2,
+        INVOKE: 45, RETURN_: 20, ALLOC: 90, ALLOC_ARRAY: 120,
+        NATIVE: 35, CHECK_HIT: 40, CONVERT: 4,
+        COMM_FIXED_NS: 600_000, COMM_PER_BYTE_NS: 88,
+        PROTO_HANDLER_NS: 4_000, SERIALIZE_PER_BYTE_NS: 12,
+    }),
+)
+
+# "ibm"-like brand: heavily optimized baseline heap accesses (roughly an
+# order of magnitude cheaper than "sun"); the access check defeats the
+# optimization, so the checked cost is similar in absolute terms and the
+# slowdown factors land in the 12-55x band (Table 1, right half).
+IBM = CostModel(
+    "ibm",
+    _table({
+        FIELD_READ: 7, checked(FIELD_READ): 163,       # 23.3x
+        FIELD_WRITE: 6, checked(FIELD_WRITE): 74,      # 12.3x
+        STATIC_READ: 6, checked(STATIC_READ): 96,      # 26.8x incl. CHECK_HIT
+        STATIC_WRITE: 6, checked(STATIC_WRITE): 21,    # 12.2x incl. CHECK_HIT
+        ARRAY_READ: 9, checked(ARRAY_READ): 499,       # 55.4x
+        ARRAY_WRITE: 19, checked(ARRAY_WRITE): 498,    # 26.2x
+        MONITOR_ENTER: 934, MONITOR_EXIT: 460,
+        LOCAL_LOCK_OP: 547,                            # 0.59x of original
+        SHARED_ACQUIRE: 3270, SHARED_RELEASE: 1600,    # 3.5x of original
+        CONST: 1, LOCAL: 1, ARITH: 2, BRANCH: 2, STACK: 1,
+        INVOKE: 25, RETURN_: 12, ALLOC: 70, ALLOC_ARRAY: 95,
+        NATIVE: 22, CHECK_HIT: 40, CONVERT: 2,
+        COMM_FIXED_NS: 90_000, COMM_PER_BYTE_NS: 91,
+        PROTO_HANDLER_NS: 3_000, SERIALIZE_PER_BYTE_NS: 10,
+    }),
+)
+
+# ---------------------------------------------------------------------------
+# Application profile (§6.2)
+# ---------------------------------------------------------------------------
+# Table 1's IBM originals are micro-benchmark numbers: "the optimized
+# latency of REPEATED accesses to the same data in IBM's JVM ... one order
+# of magnitude smaller".  The paper then observes that "none of the tested
+# real applications has ever exhibited such instrumentation slowdown. We
+# attribute this to non-trivial access patterns" — i.e. real applications
+# do not trigger the repeated-access optimization, so their *original*
+# heap accesses run at un-quickened cost while the checked costs are the
+# same, which lands the app-level slowdown in the 3-5.5x band the paper
+# reports for IBM (and leaves Sun, which shows no such optimization in
+# Table 1, unchanged).  The "app" profile encodes exactly that.
+_IBM_APP_ORIGINALS = {
+    FIELD_READ: 45,    # checked 163 -> 3.6x app slowdown
+    FIELD_WRITE: 20,   # checked 74  -> 3.7x
+    STATIC_READ: 40,   # checked 96+40 CHECK_HIT -> 3.4x
+    STATIC_WRITE: 18,  # checked 21+40 -> 3.4x
+    ARRAY_READ: 90,    # checked 499 -> 5.5x
+    ARRAY_WRITE: 95,   # checked 498 -> 5.2x
+}
+
+IBM_APP = CostModel("ibm", {**IBM.costs, **_IBM_APP_ORIGINALS})
+
+BRANDS: Dict[str, CostModel] = {"sun": SUN, "ibm": IBM}
+_APP_BRANDS: Dict[str, CostModel] = {"sun": SUN, "ibm": IBM_APP}
+
+PROFILE_MICRO = "micro"
+PROFILE_APP = "app"
+
+
+def get_brand(name: str, profile: str = PROFILE_MICRO) -> CostModel:
+    """Look up a brand cost model by name (``"sun"`` or ``"ibm"``).
+
+    ``profile="micro"`` is the Table 1/2 calibration (repeated-access
+    loops); ``profile="app"`` is the application calibration (§6.2's
+    observed app-level slowdowns).  They differ only in the IBM brand's
+    original heap-access costs — see the comment above ``IBM_APP``.
+    """
+    table = {
+        PROFILE_MICRO: BRANDS,
+        PROFILE_APP: _APP_BRANDS,
+    }.get(profile)
+    if table is None:
+        raise KeyError(f"unknown cost profile {profile!r}")
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown JVM brand {name!r}; available: {sorted(BRANDS)}"
+        ) from None

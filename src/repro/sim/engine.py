@@ -1,0 +1,192 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the clock substrate for the whole reproduction.  The paper runs on
+real wall-clock time over a real cluster; we replace that with a single
+event heap keyed by ``(time, sequence)`` so that every experiment is
+exactly replayable.  Simulated time is kept in integer **nanoseconds** to
+avoid floating-point drift in long runs.
+
+The engine knows nothing about JVMs, networks or DSM protocols: those
+layers schedule callbacks here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimEngine.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling an already-fired event is a no-op."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancel() was called."""
+        return self._event.cancelled
+
+    @property
+    def time(self) -> int:
+        """Absolute simulated firing time of the event."""
+        return self._event.time
+
+
+class SimEngine:
+    """A minimal, deterministic event loop with an integer-ns clock.
+
+    Events scheduled at the same timestamp fire in scheduling order
+    (FIFO), which makes concurrent protocol interleavings deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: list[_Event] = []
+        self._events_fired: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now / NS_PER_SEC
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far."""
+        return self._events_fired
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay_ns`` from now.
+
+        ``delay_ns`` must be a non-negative integer; a zero delay fires
+        after all events already queued for the current instant.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        event = _Event(self._now + int(delay_ns), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} < now {self._now}"
+            )
+        return self.schedule(time_ns - self._now, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single earliest pending event.
+
+        Returns ``False`` when the heap is empty (nothing fired).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap time went backwards")
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until exhaustion or until a bound trips.
+
+        Parameters
+        ----------
+        until_ns:
+            Stop before firing any event with ``time > until_ns``; the
+            clock is advanced to ``until_ns`` on a clean timeout.
+        max_events:
+            Fire at most this many events (a runaway-loop backstop).
+        stop_when:
+            Checked after each event; run stops once it returns True.
+
+        Returns the number of events fired during this call.
+        """
+        fired = 0
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_ns is not None and head.time > until_ns:
+                    self._now = max(self._now, until_ns)
+                    break
+                if not self.step():  # pragma: no cover - head checked above
+                    break
+                fired += 1
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return fired
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain.  ``max_events`` guards runaways."""
+        fired = self.run(max_events=max_events)
+        if self._heap and fired >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimEngine(now={self._now}ns, pending={self.pending})"

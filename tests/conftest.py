@@ -1,0 +1,41 @@
+"""Shared test helpers: quick JVM construction and program execution."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import pytest
+
+from repro.jvm import JVM, bootstrap_classfiles
+from repro.sim import Node, SimEngine, get_brand
+
+
+def make_jvm(brand: str = "sun", cpus: int = 2, quantum_ns: int = 50_000):
+    """A fresh engine + node + JVM with bootstrap classes loaded."""
+    engine = SimEngine()
+    node = Node(engine, 0, get_brand(brand), num_cpus=cpus, quantum_ns=quantum_ns)
+    jvm = JVM(node)
+    jvm.load_classes(bootstrap_classfiles())
+    return engine, node, jvm
+
+
+def run_main(
+    classfiles,
+    main_class: str,
+    args: Optional[List[Any]] = None,
+    brand: str = "sun",
+    cpus: int = 2,
+    max_events: int = 5_000_000,
+):
+    """Load classes, run static main to completion, return (jvm, thread)."""
+    engine, node, jvm = make_jvm(brand=brand, cpus=cpus)
+    jvm.load_classes(list(classfiles))
+    thread = jvm.start_main(main_class, args)
+    engine.run_until_idle(max_events=max_events)
+    jvm.check_no_failures()
+    return jvm, thread
+
+
+@pytest.fixture
+def jvm_env():
+    return make_jvm()

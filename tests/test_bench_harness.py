@@ -1,0 +1,104 @@
+"""Tests for the benchmark harness utilities (formatting + micro
+program generation)."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    AccessLatencyRow,
+    AcquireCostRow,
+    FigureResult,
+    SweepPoint,
+    access_micro_source,
+    format_figure,
+    format_table1,
+    format_table2,
+    format_table3,
+    measure_comm_latency,
+)
+from repro.bench.micro import sync_micro_source
+from repro.bench.tables import RESULTS_DIR, emit
+from repro.lang import compile_source
+from repro.runtime import run_original
+
+
+# ---------------------------------------------------------------------------
+# Micro program generation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kind", [
+    "field read", "field write", "static read", "static write",
+    "array read", "array write",
+])
+def test_access_micros_compile_and_run(kind):
+    for baseline in (False, True):
+        src = access_micro_source(kind, iters=10, baseline=baseline)
+        report = run_original(source=src)
+        assert report.result is not None
+
+
+def test_sync_micro_compiles():
+    src = sync_micro_source("synchronized (o) { s += 1; }", iters=5)
+    report = run_original(source=src)
+    assert report.result == 5
+
+
+def test_unknown_micro_kind_rejected():
+    with pytest.raises(KeyError):
+        access_micro_source("register read")
+
+
+# ---------------------------------------------------------------------------
+# Formatters
+# ---------------------------------------------------------------------------
+def test_format_table1_layout():
+    rows = {
+        "sun": [AccessLatencyRow("field read", "sun", 84.0, 182.0)],
+        "ibm": [AccessLatencyRow("field read", "ibm", 7.0, 163.0)],
+    }
+    text = format_table1(rows)
+    assert "field read" in text
+    assert "2.17" in text
+    assert "23.29" in text
+
+
+def test_format_table2_layout():
+    rows = {
+        "sun": [AcquireCostRow("original", "sun", 1368.0),
+                AcquireCostRow("local object", "sun", 404.0)],
+    }
+    text = format_table2(rows)
+    assert "original" in text and "local object" in text
+    assert "1368.0" in text
+
+
+def test_format_table3_layout():
+    rows = {"sun": measure_comm_latency("sun")}
+    text = format_table3(rows)
+    assert "65000" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # header + 4 sizes
+
+
+def test_format_figure_layout():
+    res = FigureResult(
+        app="demo", brand="sun", baseline_time_s=10.0, baseline_result=42,
+        points=[SweepPoint(1, 12.0, 0.83), SweepPoint(2, 6.0, 1.67)],
+    )
+    text = format_figure([res])
+    assert "demo / sun" in text
+    assert "0.83" in text and "1.67" in text
+    assert "result = 42" in text
+
+
+def test_emit_persists_under_results(tmp_path, monkeypatch):
+    import repro.bench.tables as tables
+
+    monkeypatch.setattr(tables, "RESULTS_DIR", str(tmp_path))
+    tables.emit("unit_test_artifact", "hello table")
+    out = tmp_path / "unit_test_artifact.txt"
+    assert out.read_text() == "hello table\n"
+
+
+def test_results_dir_points_into_benchmarks():
+    assert RESULTS_DIR.endswith(os.path.join("benchmarks", "results"))

@@ -1,0 +1,100 @@
+"""Cost-model tests: brand tables, profiles, scaling."""
+
+import pytest
+
+from repro.sim import BRANDS, IBM, SUN, CostModel, get_brand
+from repro.sim import cost_model as cm
+from repro.sim.cost_model import IBM_APP, PROFILE_APP, PROFILE_MICRO
+
+
+def test_brands_registered():
+    assert set(BRANDS) == {"sun", "ibm"}
+    assert get_brand("sun") is SUN
+    assert get_brand("ibm") is IBM
+
+
+def test_unknown_brand_rejected():
+    with pytest.raises(KeyError):
+        get_brand("oracle")
+    with pytest.raises(KeyError):
+        get_brand("sun", profile="bogus")
+
+
+def test_missing_key_rejected():
+    with pytest.raises(KeyError):
+        SUN["no_such_cost"]
+
+
+def test_table1_micro_ratio_calibration():
+    """The micro tables encode the paper's Table 1 slowdowns."""
+    for brand, lo, hi in ((SUN, 2.0, 6.0), (IBM, 11.0, 56.0)):
+        for key in (cm.FIELD_READ, cm.FIELD_WRITE, cm.ARRAY_READ,
+                    cm.ARRAY_WRITE):
+            ratio = brand[cm.checked(key)] / brand[key]
+            assert lo <= ratio <= hi, (brand.brand, key, ratio)
+
+
+def test_ibm_micro_originals_much_cheaper_than_sun():
+    for key in (cm.FIELD_READ, cm.FIELD_WRITE, cm.STATIC_READ,
+                cm.ARRAY_READ):
+        assert IBM[key] * 4 < SUN[key]
+
+
+def test_app_profile_slowdowns_in_paper_band():
+    """§6.2: application-level slowdown 1.5-6 (sun), 3-5.5 (ibm)."""
+    for brand in (get_brand("sun", PROFILE_APP), get_brand("ibm", PROFILE_APP)):
+        for key in (cm.FIELD_READ, cm.FIELD_WRITE, cm.ARRAY_READ,
+                    cm.ARRAY_WRITE):
+            ratio = brand[cm.checked(key)] / brand[key]
+            assert 1.5 <= ratio <= 6.0, (brand.brand, key, ratio)
+
+
+def test_app_profile_only_differs_for_ibm_originals():
+    assert get_brand("sun", PROFILE_APP) is SUN
+    for key in (cm.checked(cm.FIELD_READ), cm.ARITH, cm.COMM_FIXED_NS,
+                cm.SHARED_ACQUIRE):
+        assert IBM_APP[key] == IBM[key]
+    assert IBM_APP[cm.FIELD_READ] > IBM[cm.FIELD_READ]
+
+
+def test_scaled_multiplies_instructions_only():
+    scaled = SUN.scaled(10)
+    assert scaled[cm.ARITH] == SUN[cm.ARITH] * 10
+    assert scaled[cm.FIELD_READ] == SUN[cm.FIELD_READ] * 10
+    assert scaled[cm.checked(cm.ARRAY_WRITE)] == SUN[cm.checked(cm.ARRAY_WRITE)] * 10
+    # Communication and sync handlers are per-event constants.
+    for key in (cm.COMM_FIXED_NS, cm.COMM_PER_BYTE_NS, cm.PROTO_HANDLER_NS,
+                cm.SERIALIZE_PER_BYTE_NS, cm.MONITOR_ENTER, cm.MONITOR_EXIT,
+                cm.LOCAL_LOCK_OP, cm.SHARED_ACQUIRE, cm.SHARED_RELEASE):
+        assert scaled[key] == SUN[key], key
+
+
+def test_scaled_identity_and_validation():
+    assert SUN.scaled(1) is SUN
+    with pytest.raises(ValueError):
+        SUN.scaled(0)
+
+
+def test_scaling_preserves_table1_ratios():
+    scaled = IBM.scaled(123)
+    for key in (cm.FIELD_READ, cm.ARRAY_READ):
+        assert (
+            scaled[cm.checked(key)] / scaled[key]
+            == IBM[cm.checked(key)] / IBM[key]
+        )
+
+
+def test_table2_calibration():
+    """local < original < shared, both brands (§4.4 / Table 2)."""
+    for brand in (SUN, IBM):
+        assert brand[cm.LOCAL_LOCK_OP] < brand[cm.MONITOR_ENTER]
+        assert brand[cm.MONITOR_ENTER] < brand[cm.SHARED_ACQUIRE]
+
+
+def test_comm_calibration_close_to_table3():
+    """65000 B one-way ~6 ms on 100 Mbit (Table 3)."""
+    for brand in (SUN, IBM):
+        lat = brand[cm.COMM_FIXED_NS] + 65_000 * brand[cm.COMM_PER_BYTE_NS]
+        assert 5e6 < lat < 8e6
+    # IBM's fixed cost is much smaller (0.09 vs 0.64 ms at 65 B).
+    assert IBM[cm.COMM_FIXED_NS] * 3 < SUN[cm.COMM_FIXED_NS]

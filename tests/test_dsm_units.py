@@ -1,0 +1,407 @@
+"""Unit tests for the DSM building blocks (no protocol engine)."""
+
+import pytest
+
+from repro.dsm import (
+    ClassIdRegistry,
+    ClassSpec,
+    GidAllocator,
+    LockRequest,
+    LockToken,
+    Notice,
+    NoticeTable,
+    SerializationError,
+    VectorClock,
+    attach_header,
+    home_of,
+)
+from repro.dsm.diffs import apply_diff, compute_diff, make_twin
+from repro.dsm.objectstate import ObjState
+from repro.dsm.serialization import (
+    K_DOUBLE,
+    K_INT,
+    K_REF,
+    K_STR,
+    deserialize_any,
+    deserialize_into,
+    serialize_any,
+    serialize_array,
+    serialize_object,
+)
+from repro.dsm.write_notices import MODE_FULL
+from repro.jvm.heap import ArrayObj
+
+
+# ---------------------------------------------------------------------------
+# Gids and homes
+# ---------------------------------------------------------------------------
+def test_gid_encodes_home():
+    alloc = GidAllocator(5)
+    gid = alloc.allocate()
+    assert home_of(gid) == 5
+    assert alloc.allocate() != gid
+
+
+def test_gids_unique_across_nodes():
+    a, b = GidAllocator(0), GidAllocator(1)
+    gids = {a.allocate() for _ in range(100)} | {b.allocate() for _ in range(100)}
+    assert len(gids) == 200
+
+
+def test_home_of_rejects_null_gid():
+    with pytest.raises(ValueError):
+        home_of(0)
+
+
+def test_class_id_registry_deterministic():
+    r1 = ClassIdRegistry(["B", "A", "C"])
+    r2 = ClassIdRegistry(["C", "A", "B"])
+    for name in ("A", "B", "C"):
+        assert r1.class_id_for(name) == r2.class_id_for(name)
+    assert r1.class_name_for(r1.class_id_for("B")) == "B"
+
+
+def test_class_id_registry_unknown_raises():
+    reg = ClassIdRegistry(["A"])
+    with pytest.raises(KeyError):
+        reg.class_id_for("Nope")
+    with pytest.raises(KeyError):
+        reg.class_name_for(99)
+
+
+# ---------------------------------------------------------------------------
+# Vector clocks
+# ---------------------------------------------------------------------------
+def test_vector_clock_tick_and_merge():
+    a = VectorClock()
+    a.tick(1); a.tick(1); a.tick(2)
+    b = VectorClock()
+    b.tick(2); b.tick(2); b.tick(3)
+    a.merge(b)
+    assert a.get(1) == 2 and a.get(2) == 2 and a.get(3) == 1
+
+
+def test_vector_clock_dominates():
+    a = VectorClock({1: 2, 2: 1})
+    b = VectorClock({1: 1})
+    assert a.dominates(b)
+    assert not b.dominates(a)
+    assert a.dominates(a.copy())
+
+
+def test_vector_clock_never_decreases():
+    a = VectorClock({1: 5})
+    with pytest.raises(ValueError):
+        a.set(1, 3)
+
+
+def test_vector_clock_wire_size_grows_with_entries():
+    a = VectorClock({i: 1 for i in range(10)})
+    b = VectorClock({1: 1})
+    assert a.wire_size() > b.wire_size()
+
+
+# ---------------------------------------------------------------------------
+# Write notices
+# ---------------------------------------------------------------------------
+def test_bounded_table_keeps_latest_only():
+    t = NoticeTable()
+    assert t.add(Notice(7, 1))
+    assert t.add(Notice(7, 3))
+    assert not t.add(Notice(7, 2))  # stale
+    assert t.required_scalar(7) == 3
+    assert t.stored_notices == 1
+
+
+def test_full_mode_log_grows_without_bound():
+    t = NoticeTable(MODE_FULL)
+    for v in range(100):
+        t.add(Notice(7, v + 1))
+    assert t.stored_notices == 100
+    bounded = NoticeTable()
+    for v in range(100):
+        bounded.add(Notice(7, v + 1))
+    assert bounded.stored_notices == 1
+    assert t.storage_bytes() > bounded.storage_bytes()
+
+
+def test_delta_since_updates_snapshot():
+    t = NoticeTable()
+    t.add(Notice(1, 5))
+    t.add(Notice(2, 2))
+    seen = {}
+    delta = t.delta_since(seen)
+    assert {(n.gid, n.version) for n in delta} == {(1, 5), (2, 2)}
+    # Second call sends nothing new.
+    assert t.delta_since(seen) == []
+    t.add(Notice(1, 6))
+    delta = t.delta_since(seen)
+    assert [(n.gid, n.version) for n in delta] == [(1, 6)]
+
+
+def test_vector_notices_track_per_writer():
+    t = NoticeTable()
+    t.add(Notice(1, 3, writer=0))
+    t.add(Notice(1, 2, writer=1))
+    assert t.required_vector(1) == {0: 3, 1: 2}
+    seen = {}
+    delta = t.delta_since_vector(seen)
+    assert len(delta) == 2
+    assert t.delta_since_vector(seen) == []
+
+
+# ---------------------------------------------------------------------------
+# Lock tokens
+# ---------------------------------------------------------------------------
+def test_lock_queue_priority_then_fifo():
+    token = LockToken(1)
+    token.enqueue(LockRequest(0, 10, priority=5))
+    token.enqueue(LockRequest(0, 11, priority=9))
+    token.enqueue(LockRequest(0, 12, priority=5))
+    order = [token.pop_next().thread_id for _ in range(3)]
+    assert order == [11, 10, 12]
+
+
+def test_lock_wait_notify_moves_entries():
+    token = LockToken(1)
+    token.park_waiter(LockRequest(0, 10, restore_count=3))
+    token.park_waiter(LockRequest(1, 11))
+    assert token.pop_next() is None
+    assert token.notify_one()
+    req = token.pop_next()
+    assert req.thread_id == 10 and req.restore_count == 3
+    token.notify_all()
+    assert token.pop_next().thread_id == 11
+    assert not token.notify_one()
+
+
+def test_token_wire_size_tracks_queues():
+    empty = LockToken(1).wire_size()
+    token = LockToken(1)
+    for i in range(5):
+        token.enqueue(LockRequest(0, i))
+    assert token.wire_size() > empty
+
+
+# ---------------------------------------------------------------------------
+# Serialization & diffs (with a fake resolver)
+# ---------------------------------------------------------------------------
+class FakeObj:
+    """Stands in for a heap Obj: fields + class_name + header."""
+
+    def __init__(self, class_name, fields):
+        self.class_name = class_name
+        self.fields = fields
+        self.header = None
+
+
+class FakeResolver:
+    def __init__(self):
+        self.registry = ClassIdRegistry(["Point", "Node", "int[]"])
+        self.objects = {}
+        self.next_gid = 1
+
+    def gid_for(self, ref):
+        hdr = attach_header(ref)
+        if not hdr.gid:
+            hdr.gid = (1 << 40) | self.next_gid
+            self.next_gid += 1
+            self.objects[hdr.gid] = ref
+        return hdr.gid
+
+    def class_id_for(self, name):
+        return self.registry.class_id_for(name)
+
+    def class_name_for(self, cid):
+        return self.registry.class_name_for(cid)
+
+    def replica_for(self, gid, class_name):
+        obj = self.objects.get(gid)
+        if obj is None:
+            obj = FakeObj(class_name, [])
+            self.objects[gid] = obj
+        return obj
+
+
+POINT_SPEC = ClassSpec("Point", (K_INT, K_DOUBLE, K_STR, K_REF))
+
+
+def test_object_serialize_roundtrip():
+    res = FakeResolver()
+    other = FakeObj("Point", [1, 1.0, None, None])
+    obj = FakeObj("Point", [42, 3.25, "hi", other])
+    data = serialize_object(obj, POINT_SPEC, res)
+    out = FakeObj("Point", [0, 0.0, None, None])
+    deserialize_into(out, POINT_SPEC, data, res)
+    assert out.fields[0] == 42
+    assert out.fields[1] == 3.25
+    assert out.fields[2] == "hi"
+    assert out.fields[3] is other  # resolved through the gid
+
+
+def test_serialize_null_ref_and_null_str():
+    res = FakeResolver()
+    obj = FakeObj("Point", [0, 0.0, None, None])
+    data = serialize_object(obj, POINT_SPEC, res)
+    out = FakeObj("Point", [9, 9.9, "x", obj])
+    deserialize_into(out, POINT_SPEC, data, res)
+    assert out.fields == [0, 0.0, None, None]
+
+
+def test_serialize_layout_mismatch_rejected():
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0])  # too few fields
+    with pytest.raises(SerializationError):
+        serialize_object(obj, POINT_SPEC, res)
+
+
+def test_int_array_roundtrip():
+    res = FakeResolver()
+    arr = ArrayObj("int", 5)
+    arr.data = [1, -2, 3, 0, 7]
+    data = serialize_array(arr, res)
+    out = ArrayObj("int", 0)
+    deserialize_any(out, None, data, res)
+    assert out.data == [1, -2, 3, 0, 7]
+
+
+def test_ref_array_roundtrip_creates_stubs():
+    res = FakeResolver()
+    a = FakeObj("Point", [1, 1.0, None, None])
+    arr = ArrayObj("Point", 2)
+    arr.data = [a, None]
+    data = serialize_array(arr, res)
+    out = ArrayObj("Point", 0)
+    deserialize_any(out, None, data, res)
+    assert out.data[0] is a
+    assert out.data[1] is None
+
+
+def test_huge_int_rejected():
+    res = FakeResolver()
+    arr = ArrayObj("int", 1)
+    arr.data = [1 << 70]
+    with pytest.raises(SerializationError):
+        serialize_array(arr, res)
+
+
+# ---------------------------------------------------------------------------
+# Twins & diffs
+# ---------------------------------------------------------------------------
+def test_diff_only_changed_fields():
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0, "a", None])
+    twin = make_twin(obj)
+    obj.fields[0] = 99
+    diff = compute_diff(obj, twin, POINT_SPEC, res)
+    assert diff is not None
+    master = FakeObj("Point", [1, 2.0, "a", None])
+    n = apply_diff(master, POINT_SPEC, diff, res)
+    assert n == 1
+    assert master.fields == [99, 2.0, "a", None]
+
+
+def test_no_change_yields_none():
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0, "a", None])
+    twin = make_twin(obj)
+    assert compute_diff(obj, twin, POINT_SPEC, res) is None
+
+
+def test_diff_multiple_writers_merge_disjoint_fields():
+    res = FakeResolver()
+    master = FakeObj("Point", [0, 0.0, None, None])
+    # Writer A changes field 0; writer B changes field 1.
+    wa = FakeObj("Point", [0, 0.0, None, None])
+    ta = make_twin(wa); wa.fields[0] = 5
+    wb = FakeObj("Point", [0, 0.0, None, None])
+    tb = make_twin(wb); wb.fields[1] = 7.5
+    apply_diff(master, POINT_SPEC, compute_diff(wa, ta, POINT_SPEC, res), res)
+    apply_diff(master, POINT_SPEC, compute_diff(wb, tb, POINT_SPEC, res), res)
+    assert master.fields == [5, 7.5, None, None]
+
+
+def test_array_diff_roundtrip():
+    res = FakeResolver()
+    arr = ArrayObj("double", 4)
+    twin = make_twin(arr)
+    arr.data[2] = 9.5
+    diff = compute_diff(arr, twin, None, res)
+    master = ArrayObj("double", 4)
+    apply_diff(master, None, diff, res)
+    assert master.data == [0.0, 0.0, 9.5, 0.0]
+
+
+def test_diff_ref_field_ships_gid():
+    res = FakeResolver()
+    target = FakeObj("Point", [3, 0.0, None, None])
+    obj = FakeObj("Point", [0, 0.0, None, None])
+    twin = make_twin(obj)
+    obj.fields[3] = target
+    diff = compute_diff(obj, twin, POINT_SPEC, res)
+    master = FakeObj("Point", [0, 0.0, None, None])
+    apply_diff(master, POINT_SPEC, diff, res)
+    assert master.fields[3] is target
+    assert target.header.gid != 0  # got promoted during serialization
+
+
+def test_twin_length_mismatch_rejected():
+    res = FakeResolver()
+    arr = ArrayObj("int", 3)
+    twin = make_twin(arr)
+    arr.data.append(5)  # illegal resize
+    with pytest.raises(SerializationError):
+        compute_diff(arr, twin, None, res)
+
+
+# ---------------------------------------------------------------------------
+# Array-region bookkeeping (§4.3 extension)
+# ---------------------------------------------------------------------------
+def test_region_info_bounds_and_mapping():
+    from repro.dsm.protocol import RegionInfo
+    from repro.dsm.objectstate import ObjState
+
+    reg = RegionInfo(elems=32, states=[ObjState.INVALID] * 4,
+                     versions=[0] * 4)
+    assert reg.n_regions == 4
+    assert reg.region_of(0) == 0
+    assert reg.region_of(31) == 0
+    assert reg.region_of(32) == 1
+    assert reg.region_of(127) == 3
+    assert reg.bounds(0, 100) == (0, 32)
+    assert reg.bounds(3, 100) == (96, 100)  # trailing partial region
+
+
+def test_region_diff_roundtrip_local_indices():
+    from repro.dsm.diffs import (
+        apply_region_diff, compute_region_diff, make_region_twin,
+    )
+    from repro.jvm.heap import ArrayObj
+
+    res = FakeResolver()
+    arr = ArrayObj("int", 100)
+    twin = make_region_twin(arr, 32, 64)
+    arr.data[40] = 7
+    arr.data[63] = 9
+    arr.data[10] = 99  # outside the region: must not appear in the diff
+    diff = compute_region_diff(arr, 32, twin, res)
+    master = ArrayObj("int", 100)
+    n = apply_region_diff(master, 32, diff, res)
+    assert n == 2
+    assert master.data[40] == 7 and master.data[63] == 9
+    assert master.data[10] == 0
+
+
+def test_region_serialize_roundtrip():
+    from repro.dsm.diffs import deserialize_region, serialize_region
+    from repro.jvm.heap import ArrayObj
+
+    res = FakeResolver()
+    arr = ArrayObj("double", 50)
+    for i in range(50):
+        arr.data[i] = float(i)
+    data = serialize_region(arr, 10, 20, res)
+    out = ArrayObj("double", 50)
+    deserialize_region(out, 10, data, res)
+    assert out.data[10:20] == [float(i) for i in range(10, 20)]
+    assert out.data[0] == 0.0 and out.data[20] == 0.0

@@ -1,0 +1,86 @@
+"""Dynamic worker join (§2): new nodes enlist mid-execution."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.rewriter import rewrite_application
+from repro.runtime import JavaSplitRuntime, RuntimeConfig
+from repro.sim import NS_PER_MS
+
+TWO_WAVES = """
+class Counter { int v; }
+class Incr extends Thread {
+    Counter c;
+    Incr(Counter c) { this.c = c; }
+    void run() {
+        for (int i = 0; i < 40; i++) { synchronized (c) { c.v += 1; } }
+    }
+}
+class Main {
+    static int main() {
+        Counter c = new Counter();
+        Incr[] first = new Incr[4];
+        for (int i = 0; i < 4; i++) { first[i] = new Incr(c); first[i].start(); }
+        for (int i = 0; i < 4; i++) { first[i].join(); }
+        // Second wave: by now a new node has joined the pool.
+        Incr[] second = new Incr[4];
+        for (int i = 0; i < 4; i++) { second[i] = new Incr(c); second[i].start(); }
+        for (int i = 0; i < 4; i++) { second[i].join(); }
+        return c.v;
+    }
+}
+"""
+
+
+def _runtime():
+    return JavaSplitRuntime(
+        rewrite_application(compile_source(TWO_WAVES)),
+        RuntimeConfig(num_nodes=2),
+    )
+
+
+def test_joined_worker_receives_threads():
+    rt = _runtime()
+    rt.schedule_join(2 * NS_PER_MS)
+    report = rt.run()
+    assert report.result == 320
+    assert len(rt.workers) == 3
+    # The late node took some of the second wave.
+    assert report.placements.get(2, 0) > 0
+
+
+def test_joined_worker_faults_in_shared_state():
+    rt = _runtime()
+    rt.schedule_join(2 * NS_PER_MS)
+    rt.run()
+    late = rt.workers[2]
+    assert late.dsm.stats.fetches > 0
+    assert len(late.jvm.classes) == len(rt.registry)
+
+
+def test_join_with_different_brand():
+    rt = _runtime()
+    rt.schedule_join(2 * NS_PER_MS, brand="ibm")
+    report = rt.run()
+    assert report.result == 320
+    assert rt.workers[2].jvm.cost_model.brand == "ibm"
+
+
+def test_multiple_joins():
+    rt = _runtime()
+    rt.schedule_join(1 * NS_PER_MS)
+    rt.schedule_join(2 * NS_PER_MS)
+    rt.schedule_join(3 * NS_PER_MS)
+    report = rt.run()
+    assert report.result == 320
+    assert len(rt.workers) == 5
+
+
+def test_join_after_quiesce_is_harmless():
+    """A node joining when all work is done just idles."""
+    rt = _runtime()
+    rt.schedule_join(10_000 * NS_PER_MS)  # far after completion
+    report = rt.run()
+    assert report.result == 320
+    assert len(rt.workers) == 3
+    assert rt.workers[2].node.idle

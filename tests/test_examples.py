@@ -1,0 +1,56 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+(The ray-tracer scaling example is exercised by its own benchmark; it is
+too slow for the unit suite.)
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+
+def run_example(name):
+    path = os.path.join(EXAMPLES, name)
+    runpy.run_path(path, run_name="__main__")
+
+
+def test_quickstart_example(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "original" in out
+    assert "4 node(s)" in out
+    assert "sum of squares below 8000" in out
+
+
+def test_producer_consumer_example(capsys):
+    run_example("producer_consumer.py")
+    out = capsys.readouterr().out
+    assert "1275" in out
+    assert "token moves" in out
+
+
+def test_cycle_stealing_example(capsys):
+    run_example("cycle_stealing.py")
+    out = capsys.readouterr().out
+    assert "cluster grew 2 -> 4 nodes" in out
+
+
+def test_heterogeneous_cluster_example(capsys):
+    run_example("heterogeneous_cluster.py")
+    out = capsys.readouterr().out
+    assert "best tour" in out
+    assert "dsm.token" in out
+
+
+def test_examples_have_docstrings_and_main():
+    for name in os.listdir(EXAMPLES):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(EXAMPLES, name)) as fh:
+            source = fh.read()
+        assert source.lstrip().startswith('"""'), name
+        assert '__main__' in source, name

@@ -1,0 +1,152 @@
+"""Bootstrap native-method behaviour (Math / Sys / String / Object)."""
+
+import math
+
+import pytest
+
+from repro.jvm import ClassBuilder, Op
+
+from conftest import run_main
+
+
+def run_expr_src(lang_src):
+    from repro.lang import compile_source
+    from repro.runtime import run_original
+
+    return run_original(source=lang_src)
+
+
+def test_math_unary_functions_match_python():
+    src = """
+    class Main {
+        static double main() {
+            double s = 0.0;
+            s += Math.sqrt(2.0);
+            s += Math.sin(1.0);
+            s += Math.cos(1.0);
+            s += Math.tan(0.5);
+            s += Math.log(10.0);
+            s += Math.exp(1.0);
+            return s;
+        }
+    }
+    """
+    expected = (math.sqrt(2) + math.sin(1) + math.cos(1) + math.tan(0.5)
+                + math.log(10) + math.exp(1))
+    assert abs(run_expr_src(src).result - expected) < 1e-12
+
+
+def test_math_floor_ceil_return_doubles():
+    src = """
+    class Main {
+        static double main() { return Math.floor(2.7) + Math.ceil(2.1); }
+    }
+    """
+    assert run_expr_src(src).result == 2.0 + 3.0
+
+
+def test_math_abs_and_minmax():
+    src = """
+    class Main {
+        static double main() {
+            return Math.abs(-2.5) + Math.min(1.0, 2.0) + Math.max(1.0, 2.0)
+                 + (double) Math.iabs(-3) + (double) Math.imin(5, 9)
+                 + (double) Math.imax(5, 9);
+        }
+    }
+    """
+    assert run_expr_src(src).result == 2.5 + 1.0 + 2.0 + 3 + 5 + 9
+
+
+def test_math_atan2_quadrants():
+    src = """
+    class Main {
+        static double main() { return Math.atan2(1.0, -1.0); }
+    }
+    """
+    assert abs(run_expr_src(src).result - math.atan2(1, -1)) < 1e-12
+
+
+def test_sys_time_reflects_simulated_clock():
+    src = """
+    class Main {
+        static int main() {
+            int t0 = Sys.nanoTime();
+            double x = 0.0;
+            for (int i = 0; i < 1000; i++) { x += Math.sqrt((double) i); }
+            int t1 = Sys.nanoTime();
+            return t1 - t0;
+        }
+    }
+    """
+    elapsed = run_expr_src(src).result
+    assert elapsed > 0
+
+
+def test_sys_current_time_millis_units():
+    src = """
+    class Main {
+        static int main() { return Sys.currentTimeMillis(); }
+    }
+    """
+    # At the very start of the simulation the clock is < 1 ms.
+    assert run_expr_src(src).result == 0
+
+
+def test_string_natives():
+    src = """
+    class Main {
+        static int main() {
+            String s = "hello world";
+            int acc = 0;
+            acc += s.length();                       // 11
+            acc += s.indexOf("o");                   // 4
+            acc += s.indexOf("zz");                  // -1
+            acc += s.substring(0, 5).length();       // 5
+            if (s.substring(6, 11).equalsStr("world") == 1) { acc += 100; }
+            return acc;
+        }
+    }
+    """
+    assert run_expr_src(src).result == 11 + 4 - 1 + 5 + 100
+
+
+def test_string_charat():
+    src = """
+    class Main {
+        static int main() { return "abc".length(); }
+    }
+    """
+    # String literals receive instance methods directly.
+    assert run_expr_src(src).result == 3
+
+
+def test_print_polymorphic_concat():
+    src = """
+    class Box { int v; }
+    class Main {
+        static int main() {
+            Box b = new Box();
+            Sys.print("box=" + b + " null=" + null + " d=" + 0.5);
+            return 0;
+        }
+    }
+    """
+    rep = run_expr_src(src)
+    line = rep.console[0]
+    assert line.startswith("box=Box@")
+    assert "null=null" in line
+    assert line.endswith("d=0.5")
+
+
+def test_notify_without_waiters_is_noop():
+    src = """
+    class Main {
+        static int main() {
+            Object o = new Object();
+            synchronized (o) { o.notify(); o.notifyAll(); }
+            return 1;
+        }
+    }
+    """
+    assert run_expr_src(src).result == 1

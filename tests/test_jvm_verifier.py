@@ -1,0 +1,183 @@
+"""Verifier tests: structural bytecode validation."""
+
+import pytest
+
+from repro.jvm import ClassBuilder, ClassFormatError, Op, bootstrap_classfiles, verify_classfiles
+from repro.jvm.verifier import Verifier
+
+
+def _verify(*builders):
+    classes = bootstrap_classfiles() + [b.build() for b in builders]
+    verify_classfiles(classes)
+
+
+def _main_builder():
+    cb = ClassBuilder("M")
+    return cb
+
+
+def test_bootstrap_classes_verify():
+    verify_classfiles(bootstrap_classfiles())
+
+
+def test_valid_method_passes():
+    cb = _main_builder()
+    mb = cb.method("main", ret="int", flags=["static"])
+    mb.const(1)
+    mb.const(2)
+    mb.emit(Op.ADD)
+    mb.retval()
+    cb.finish(mb)
+    _verify(cb)
+
+
+def test_fall_off_end_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.const(1)
+    mb.emit(Op.POP)
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="fall off"):
+        _verify(cb)
+
+
+def test_stack_underflow_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.emit(Op.POP)
+    mb.ret()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="underflow"):
+        _verify(cb)
+
+
+def test_retval_needs_value():
+    cb = _main_builder()
+    mb = cb.method("main", ret="int", flags=["static"])
+    mb.retval()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="underflow"):
+        _verify(cb)
+
+
+def test_branch_out_of_range_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.emit(Op.GOTO, 99)
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="target"):
+        _verify(cb)
+
+
+def test_inconsistent_stack_depth_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", ret="int", flags=["static"])
+    # Two paths reach the same pc with different stack depths.
+    after = mb.label()
+    mb.const(1)
+    mb.if_("eq", after)    # depth 0 on the taken path...
+    mb.const(5)            # ...depth 1 on the fall-through
+    mb.mark(after)
+    mb.const(0)
+    mb.retval()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="inconsistent"):
+        _verify(cb)
+
+
+def test_local_index_out_of_range_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"], max_locals=1)
+    mb.emit(Op.LOAD, 5)
+    mb.emit(Op.POP)
+    mb.ret()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="local index"):
+        _verify(cb)
+
+
+def test_bad_condition_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    end = mb.label()
+    mb.const(0)
+    mb.emit(Op.IF, "bogus", end)
+    mb.mark(end)
+    mb.ret()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="condition"):
+        _verify(cb)
+
+
+def test_dsm_op_in_uninstrumented_class_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.const(None)
+    mb.emit(Op.DSM_ACQUIRE)
+    mb.ret()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="un-instrumented"):
+        _verify(cb)
+
+
+def test_dsm_op_in_instrumented_class_allowed():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.const(None)
+    mb.emit(Op.DSM_ACQUIRE)
+    mb.ret()
+    cb.finish(mb)
+    cf = cb.build()
+    cf.instrumented = True
+    verify_classfiles(bootstrap_classfiles() + [cf])
+
+
+def test_unknown_invoke_target_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.invoke(Op.INVOKESTATIC, "Nowhere", "nothing")
+    mb.ret()
+    cb.finish(mb)
+    with pytest.raises(ClassFormatError, match="unknown class"):
+        _verify(cb)
+
+
+def test_invoke_resolves_through_superclass():
+    base = ClassBuilder("VBase")
+    m = base.method("f", ret="int")
+    m.const(1); m.retval()
+    base.finish(m)
+    init = base.method("<init>")
+    init.load(0); init.invoke(Op.INVOKESPECIAL, "Object", "<init>"); init.ret()
+    base.finish(init)
+
+    sub = ClassBuilder("VSub", super_name="VBase")
+    init = sub.method("<init>")
+    init.load(0); init.invoke(Op.INVOKESPECIAL, "VBase", "<init>"); init.ret()
+    sub.finish(init)
+
+    use = ClassBuilder("VUse")
+    mb = use.method("main", ret="int", flags=["static"])
+    mb.emit(Op.NEW, "VSub")
+    mb.emit(Op.DUP)
+    mb.invoke(Op.INVOKESPECIAL, "VSub", "<init>")
+    mb.invoke(Op.INVOKEVIRTUAL, "VSub", "f")  # declared on VBase
+    mb.retval()
+    use.finish(mb)
+    verify_classfiles(
+        bootstrap_classfiles() + [base.build(), sub.build(), use.build()]
+    )
+
+
+def test_check_depth_exceeding_stack_rejected():
+    cb = _main_builder()
+    mb = cb.method("main", flags=["static"])
+    mb.const(None)
+    mb.emit(Op.DSM_READCHECK, 3)  # only 1 value on the stack
+    mb.emit(Op.POP)
+    mb.ret()
+    cb.finish(mb)
+    cf = cb.build()
+    cf.instrumented = True
+    with pytest.raises(ClassFormatError, match="check depth"):
+        verify_classfiles(bootstrap_classfiles() + [cf])

@@ -1,0 +1,651 @@
+"""End-to-end MiniJava compiler tests: source → bytecode → VM result."""
+
+import pytest
+
+from repro.lang import CompileError, ParseError, TypeError_, compile_source
+
+from conftest import run_main
+
+
+def run_src(source: str, main_class: str = "Main", **kw):
+    classes = compile_source(source)
+    jvm, thread = run_main(classes, main_class, **kw)
+    return thread.result, jvm
+
+
+def result_of(source: str, **kw):
+    return run_src(source, **kw)[0]
+
+
+# ---------------------------------------------------------------------------
+# Expressions & statements
+# ---------------------------------------------------------------------------
+def test_arithmetic_precedence():
+    src = "class Main { static int main() { return 2 + 3 * 4 - 10 / 2; } }"
+    assert result_of(src) == 9
+
+
+def test_integer_division_truncates():
+    src = "class Main { static int main() { return -7 / 2; } }"
+    assert result_of(src) == -3
+
+
+def test_double_arithmetic_and_casts():
+    src = """
+    class Main {
+        static int main() {
+            double x = 7;          // implicit widening
+            double y = x / 2.0;    // 3.5
+            return (int) (y * 2.0);
+        }
+    }
+    """
+    assert result_of(src) == 7
+
+
+def test_mixed_int_double_promotes():
+    src = "class Main { static double main() { return 1 / 2.0; } }"
+    assert result_of(src) == 0.5
+
+
+def test_boolean_logic_short_circuit():
+    src = """
+    class Main {
+        static int calls = 0;
+        static boolean bump() { calls = calls + 1; return true; }
+        static int main() {
+            boolean a = false && bump();
+            boolean b = true || bump();
+            if (a || !b) { return -1; }
+            return calls;
+        }
+    }
+    """
+    assert result_of(src) == 0
+
+
+def test_comparison_chain_with_if_else():
+    src = """
+    class Main {
+        static int classify(int x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        static int main() {
+            return classify(-5) * 100 + classify(0) * 10 + classify(7);
+        }
+    }
+    """
+    assert result_of(src) == -99  # (-1*100) + (0*10) + 1
+
+
+def test_while_loop_and_compound_assign():
+    src = """
+    class Main {
+        static int main() {
+            int acc = 0;
+            int i = 0;
+            while (i < 10) { acc += i; i++; }
+            return acc;
+        }
+    }
+    """
+    assert result_of(src) == 45
+
+
+def test_for_loop_with_break_continue():
+    src = """
+    class Main {
+        static int main() {
+            int acc = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                acc += i;
+            }
+            return acc;   // 1+3+5+7+9 = 25
+        }
+    }
+    """
+    assert result_of(src) == 25
+
+
+def test_nested_loops_break_inner_only():
+    src = """
+    class Main {
+        static int main() {
+            int count = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 10; j++) {
+                    if (j == 2) { break; }
+                    count++;
+                }
+            }
+            return count;
+        }
+    }
+    """
+    assert result_of(src) == 6
+
+
+def test_string_concat_and_print():
+    src = """
+    class Main {
+        static int main() {
+            Sys.print("value=" + 42 + " pi=" + 3.5);
+            return 0;
+        }
+    }
+    """
+    result, jvm = run_src(src)
+    assert jvm.output == ["value=42 pi=3.5"]
+
+
+def test_string_methods():
+    src = """
+    class Main {
+        static int main() {
+            String s = "hello world";
+            return s.length() + s.indexOf("world");
+        }
+    }
+    """
+    assert result_of(src) == 17
+
+
+def test_bitwise_and_shifts():
+    src = """
+    class Main {
+        static int main() {
+            int x = 1 << 10;
+            x = x | 15;
+            x = x & ~3;
+            return x >> 2;
+        }
+    }
+    """
+    assert result_of(src) == (((1 << 10) | 15) & ~3) >> 2
+
+
+def test_unary_not_materialized():
+    src = """
+    class Main {
+        static int main() {
+            boolean t = !(3 < 2);
+            if (t) { return 1; }
+            return 0;
+        }
+    }
+    """
+    assert result_of(src) == 1
+
+
+def test_char_literals_are_ints():
+    src = "class Main { static int main() { return 'a' + 1; } }"
+    assert result_of(src) == ord("a") + 1
+
+
+def test_comments_ignored():
+    src = """
+    // leading comment
+    class Main {
+        /* block
+           comment */
+        static int main() { return 5; } // trailing
+    }
+    """
+    assert result_of(src) == 5
+
+
+# ---------------------------------------------------------------------------
+# Classes, objects, inheritance
+# ---------------------------------------------------------------------------
+def test_fields_constructor_methods():
+    src = """
+    class Vec {
+        double x;
+        double y;
+        Vec(double x0, double y0) { x = x0; y = y0; }
+        double dot(Vec o) { return x * o.x + y * o.y; }
+    }
+    class Main {
+        static int main() {
+            Vec a = new Vec(1.0, 2.0);
+            Vec b = new Vec(3.0, 4.0);
+            return (int) a.dot(b);
+        }
+    }
+    """
+    assert result_of(src) == 11
+
+
+def test_this_disambiguates_params():
+    src = """
+    class C {
+        int v;
+        C(int v) { this.v = v; }
+        int get() { return this.v; }
+    }
+    class Main { static int main() { return new C(9).get(); } }
+    """
+    assert result_of(src) == 9
+
+
+def test_inheritance_and_virtual_dispatch():
+    src = """
+    class Shape {
+        double area() { return 0.0; }
+        String name() { return "shape"; }
+    }
+    class Circle extends Shape {
+        double r;
+        Circle(double r) { this.r = r; }
+        double area() { return 3.0 * r * r; }
+        String name() { return "circle"; }
+    }
+    class Square extends Shape {
+        double s;
+        Square(double s) { this.s = s; }
+        double area() { return s * s; }
+    }
+    class Main {
+        static int main() {
+            Shape a = new Circle(2.0);
+            Shape b = new Square(3.0);
+            Sys.print(a.name() + "+" + b.name());
+            return (int) (a.area() + b.area());
+        }
+    }
+    """
+    result, jvm = run_src(src)
+    assert result == 21
+    assert jvm.output == ["circle+shape"]
+
+
+def test_super_constructor_chain():
+    src = """
+    class A {
+        int base;
+        A(int b) { base = b; }
+    }
+    class B extends A {
+        int extra;
+        B(int b, int e) { super(b); extra = e; }
+        int total() { return base + extra; }
+    }
+    class Main { static int main() { return new B(10, 5).total(); } }
+    """
+    assert result_of(src) == 15
+
+
+def test_static_fields_and_methods():
+    src = """
+    class Registry {
+        static int count = 100;
+        static int next() { count = count + 1; return count; }
+    }
+    class Main {
+        static int main() {
+            Registry.next();
+            Registry.next();
+            return Registry.count;
+        }
+    }
+    """
+    assert result_of(src) == 102
+
+
+def test_instanceof_and_class_cast():
+    src = """
+    class Animal { int noise() { return 0; } }
+    class Dog extends Animal {
+        int noise() { return 1; }
+        int fetch() { return 99; }
+    }
+    class Main {
+        static int main() {
+            Animal a = new Dog();
+            if (a instanceof Dog) {
+                Dog d = (Dog) a;
+                return d.fetch();
+            }
+            return -1;
+        }
+    }
+    """
+    assert result_of(src) == 99
+
+
+def test_null_checks_and_ref_equality():
+    src = """
+    class Node { Node next; int v; }
+    class Main {
+        static int main() {
+            Node n = new Node();
+            if (n.next == null) { n.v = 7; }
+            Node m = n;
+            if (m == n) { n.v = n.v + 1; }
+            return n.v;
+        }
+    }
+    """
+    assert result_of(src) == 8
+
+
+def test_recursive_methods():
+    src = """
+    class Main {
+        static int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        static int main() { return fact(10); }
+    }
+    """
+    assert result_of(src) == 3628800
+
+
+# ---------------------------------------------------------------------------
+# Arrays
+# ---------------------------------------------------------------------------
+def test_array_basics():
+    src = """
+    class Main {
+        static int main() {
+            int[] a = new int[10];
+            for (int i = 0; i < a.length; i++) { a[i] = i * i; }
+            int sum = 0;
+            for (int i = 0; i < a.length; i++) { sum += a[i]; }
+            return sum;
+        }
+    }
+    """
+    assert result_of(src) == sum(i * i for i in range(10))
+
+
+def test_array_of_objects():
+    src = """
+    class Box { int v; Box(int v) { this.v = v; } }
+    class Main {
+        static int main() {
+            Box[] boxes = new Box[3];
+            for (int i = 0; i < 3; i++) { boxes[i] = new Box(i + 1); }
+            return boxes[0].v + boxes[1].v + boxes[2].v;
+        }
+    }
+    """
+    assert result_of(src) == 6
+
+
+def test_nested_arrays():
+    src = """
+    class Main {
+        static int main() {
+            int[][] grid = new int[3][];
+            for (int i = 0; i < 3; i++) {
+                grid[i] = new int[4];
+                for (int j = 0; j < 4; j++) { grid[i][j] = i * 4 + j; }
+            }
+            return grid[2][3];
+        }
+    }
+    """
+    assert result_of(src) == 11
+
+
+def test_double_array():
+    src = """
+    class Main {
+        static double main() {
+            double[] xs = new double[4];
+            xs[0] = 1.5; xs[1] = 2.5; xs[2] = 3.0; xs[3] = 3.0;
+            double s = 0.0;
+            for (int i = 0; i < xs.length; i++) { s += xs[i]; }
+            return s;
+        }
+    }
+    """
+    assert result_of(src) == 10.0
+
+
+def test_array_passed_to_method_aliases():
+    src = """
+    class Main {
+        static void fill(int[] a, int v) {
+            for (int i = 0; i < a.length; i++) { a[i] = v; }
+        }
+        static int main() {
+            int[] a = new int[5];
+            fill(a, 3);
+            return a[4];
+        }
+    }
+    """
+    assert result_of(src) == 3
+
+
+# ---------------------------------------------------------------------------
+# Math natives
+# ---------------------------------------------------------------------------
+def test_math_functions():
+    src = """
+    class Main {
+        static int main() {
+            double x = Math.sqrt(144.0) + Math.pow(2.0, 5.0);
+            return (int) x + Math.imax(3, 9);
+        }
+    }
+    """
+    assert result_of(src) == 12 + 32 + 9
+
+
+# ---------------------------------------------------------------------------
+# Threads and synchronization through the source language
+# ---------------------------------------------------------------------------
+def test_synchronized_block_counter():
+    src = """
+    class Counter { int v; }
+    class Incr extends Thread {
+        Counter c;
+        int n;
+        Incr(Counter c, int n) { this.c = c; this.n = n; }
+        void run() {
+            for (int i = 0; i < n; i++) {
+                synchronized (c) { c.v += 1; }
+            }
+        }
+    }
+    class Main {
+        static int main() {
+            Counter c = new Counter();
+            Incr a = new Incr(c, 500);
+            Incr b = new Incr(c, 500);
+            a.start(); b.start();
+            a.join(); b.join();
+            return c.v;
+        }
+    }
+    """
+    assert result_of(src) == 1000
+
+
+def test_synchronized_method():
+    src = """
+    class Account {
+        int balance;
+        synchronized void deposit(int amount) { balance += amount; }
+        synchronized int get() { return balance; }
+    }
+    class Depositor extends Thread {
+        Account acct;
+        Depositor(Account a) { acct = a; }
+        void run() {
+            for (int i = 0; i < 100; i++) { acct.deposit(2); }
+        }
+    }
+    class Main {
+        static int main() {
+            Account acct = new Account();
+            Depositor[] ds = new Depositor[4];
+            for (int i = 0; i < 4; i++) { ds[i] = new Depositor(acct); ds[i].start(); }
+            for (int i = 0; i < 4; i++) { ds[i].join(); }
+            return acct.get();
+        }
+    }
+    """
+    assert result_of(src) == 800
+
+
+def test_wait_notify_through_source():
+    src = """
+    class Flag { int raised; }
+    class Raiser extends Thread {
+        Flag f;
+        Raiser(Flag f) { this.f = f; }
+        void run() {
+            synchronized (f) { f.raised = 1; f.notifyAll(); }
+        }
+    }
+    class Main {
+        static int main() {
+            Flag f = new Flag();
+            new Raiser(f).start();
+            synchronized (f) {
+                while (f.raised == 0) { f.wait(); }
+            }
+            return f.raised;
+        }
+    }
+    """
+    assert result_of(src) == 1
+
+
+def test_return_inside_synchronized_releases_monitor():
+    src = """
+    class Lockbox {
+        int v;
+        int readTwice() {
+            synchronized (this) { if (v == 0) { return -1; } }
+            synchronized (this) { return v; }
+        }
+    }
+    class Main {
+        static int main() {
+            Lockbox b = new Lockbox();
+            int first = b.readTwice();
+            b.v = 5;
+            return first + b.readTwice();
+        }
+    }
+    """
+    assert result_of(src) == 4
+
+
+# ---------------------------------------------------------------------------
+# Compile-time error detection
+# ---------------------------------------------------------------------------
+def test_type_error_assign_double_to_int():
+    src = "class Main { static int main() { int x = 1.5; return x; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_undefined_variable_rejected():
+    src = "class Main { static int main() { return nope; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_undefined_method_rejected():
+    src = "class Main { static int main() { return missing(); } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_wrong_arg_count_rejected():
+    src = """
+    class Main {
+        static int f(int a, int b) { return a + b; }
+        static int main() { return f(1); }
+    }
+    """
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_condition_must_be_boolean():
+    src = "class Main { static int main() { if (1) { return 1; } return 0; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_missing_return_rejected():
+    src = "class Main { static int main() { int x = 1; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_break_outside_loop_rejected():
+    src = "class Main { static void main() { break; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_duplicate_variable_rejected():
+    src = "class Main { static void main() { int x = 1; int x = 2; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_unknown_class_rejected():
+    src = "class Main { static void main() { Widget w = null; } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_extends_unknown_rejected():
+    src = "class Main extends Ghost { static void main() { } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_this_in_static_rejected():
+    src = """
+    class Main {
+        int v;
+        static int main() { return this.v; }
+    }
+    """
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_native_user_method_rejected():
+    src = "class Main { native int magic(); static void main() { } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_static_synchronized_rejected():
+    src = "class Main { static synchronized void main() { } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_parse_error_reported_with_line():
+    src = "class Main { static int main() { return 1 +; } }"
+    with pytest.raises(ParseError):
+        compile_source(src)
+
+
+def test_inheritance_cycle_rejected():
+    src = "class A extends B { } class B extends A { }"
+    with pytest.raises(TypeError_):
+        compile_source(src)
+
+
+def test_sync_on_primitive_rejected():
+    src = "class Main { static void main() { synchronized (3) { } } }"
+    with pytest.raises(TypeError_):
+        compile_source(src)

@@ -1,0 +1,261 @@
+"""Unit tests for the MiniJava lexer and parser (front-end only)."""
+
+import pytest
+
+from repro.lang import LexError, ParseError, parse, tokenize
+from repro.lang.ast_nodes import (
+    ArrayIndex, Assign, Binary, Block, Call, Cast, ClassDecl, FieldAccess,
+    For, If, InstanceOf, IntLit, MethodDecl, New, NewArray, Return, StrLit,
+    SuperCall, SyncBlock, Unary, VarDecl, VarRef, While,
+)
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]  # drop EOF
+
+
+def test_tokenize_idents_and_keywords():
+    assert kinds("class Foo extends Bar") == [
+        ("keyword", "class"), ("ident", "Foo"),
+        ("keyword", "extends"), ("ident", "Bar"),
+    ]
+
+
+def test_tokenize_numbers():
+    assert kinds("1 42 3.14 1e3 2.5e-2") == [
+        ("int", "1"), ("int", "42"), ("double", "3.14"),
+        ("double", "1e3"), ("double", "2.5e-2"),
+    ]
+
+
+def test_tokenize_string_escapes():
+    toks = tokenize(r'"a\nb\t\"q\\"')
+    assert toks[0].kind == "str"
+    assert toks[0].text == 'a\nb\t"q\\'
+
+
+def test_tokenize_char_literal_is_int():
+    toks = tokenize("'x'")
+    assert toks[0].kind == "int"
+    assert toks[0].text == str(ord("x"))
+
+
+def test_tokenize_operators_longest_match():
+    assert [t.text for t in tokenize("a >>> b >> c >= d > e")[:-1]] == [
+        "a", ">>>", "b", ">>", "c", ">=", "d", ">", "e",
+    ]
+
+
+def test_tokenize_comments_stripped():
+    assert kinds("a // line\n /* block\n */ b") == [
+        ("ident", "a"), ("ident", "b"),
+    ]
+
+
+def test_tokenize_line_numbers():
+    toks = tokenize("a\nbb\n  c")
+    assert [(t.text, t.line) for t in toks[:-1]] == [
+        ("a", 1), ("bb", 2), ("c", 3),
+    ]
+
+
+def test_tokenize_errors():
+    with pytest.raises(LexError):
+        tokenize('"unterminated')
+    with pytest.raises(LexError):
+        tokenize("/* unterminated")
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+    with pytest.raises(LexError):
+        tokenize(r'"bad \q escape"')
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def parse_one(src):
+    prog = parse(src)
+    assert len(prog.classes) == 1
+    return prog.classes[0]
+
+
+def first_stmt(src_body):
+    cls = parse_one(f"class C {{ void m() {{ {src_body} }} }}")
+    return cls.methods[0].body.stmts[0]
+
+
+def test_parse_class_structure():
+    cls = parse_one("""
+    class Point extends Shape {
+        int x;
+        static double scale = 2.0;
+        volatile int flag;
+        Point(int x) { this.x = x; }
+        synchronized int get() { return x; }
+        static void reset() { }
+    }
+    """)
+    assert cls.name == "Point" and cls.super_name == "Shape"
+    assert [f.name for f in cls.fields] == ["x", "scale", "flag"]
+    assert cls.fields[1].is_static and cls.fields[1].init == 2.0
+    assert cls.fields[2].volatile
+    ctor, get, reset = cls.methods
+    assert ctor.is_constructor and ctor.name == "<init>"
+    assert get.is_synchronized and not get.is_static
+    assert reset.is_static
+
+
+def test_parse_precedence():
+    stmt = first_stmt("int x = 1 + 2 * 3;")
+    expr = stmt.init
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+def test_parse_parentheses_override():
+    stmt = first_stmt("int x = (1 + 2) * 3;")
+    expr = stmt.init
+    assert expr.op == "*"
+    assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+
+def test_parse_logical_precedence():
+    stmt = first_stmt("boolean b = true || false && true;")
+    expr = stmt.init
+    assert expr.op == "||"
+    assert isinstance(expr.right, Binary) and expr.right.op == "&&"
+
+
+def test_parse_compound_assign_desugars():
+    stmt = first_stmt("x += 2;")
+    expr = stmt.expr
+    assert isinstance(expr, Assign)
+    assert isinstance(expr.value, Binary) and expr.value.op == "+"
+
+
+def test_parse_increment_desugars():
+    stmt = first_stmt("x++;")
+    expr = stmt.expr
+    assert isinstance(expr, Assign)
+    assert isinstance(expr.value, Binary) and expr.value.op == "+"
+    assert isinstance(expr.value.right, IntLit)
+
+
+def test_parse_array_types_and_new():
+    stmt = first_stmt("int[][] g = new int[5][];")
+    assert isinstance(stmt, VarDecl) and stmt.type == "int[][]"
+    assert isinstance(stmt.init, NewArray)
+    assert stmt.init.elem_type == "int[]"
+
+
+def test_parse_field_chain_and_index():
+    stmt = first_stmt("int v = a.b.c[3];")
+    expr = stmt.init
+    assert isinstance(expr, ArrayIndex)
+    assert isinstance(expr.arr, FieldAccess) and expr.arr.name == "c"
+    assert isinstance(expr.arr.obj, FieldAccess) and expr.arr.obj.name == "b"
+
+
+def test_parse_method_call_chain():
+    stmt = first_stmt("int v = obj.get().length();")
+    expr = stmt.expr if not hasattr(stmt, "init") else stmt.init
+    assert isinstance(expr, Call) and expr.name == "length"
+    assert isinstance(expr.obj, Call) and expr.obj.name == "get"
+
+
+def test_parse_cast_primitive():
+    stmt = first_stmt("int v = (int) 3.5;")
+    assert isinstance(stmt.init, Cast) and stmt.init.target_type == "int"
+
+
+def test_parse_cast_class():
+    stmt = first_stmt("Dog d = (Dog) animal;")
+    assert isinstance(stmt.init, Cast) and stmt.init.target_type == "Dog"
+
+
+def test_parse_parenthesized_expr_not_cast():
+    stmt = first_stmt("int v = (a) + b;")
+    assert isinstance(stmt.init, Binary) and stmt.init.op == "+"
+
+
+def test_parse_instanceof():
+    stmt = first_stmt("boolean b = x instanceof Dog;")
+    assert isinstance(stmt.init, InstanceOf) and stmt.init.klass == "Dog"
+
+
+def test_parse_control_flow_shapes():
+    cls = parse_one("""
+    class C {
+        void m() {
+            if (a) { } else { }
+            while (b) { }
+            for (int i = 0; i < 3; i++) { break; }
+            synchronized (lock) { }
+            return;
+        }
+    }
+    """)
+    stmts = cls.methods[0].body.stmts
+    assert isinstance(stmts[0], If) and stmts[0].otherwise is not None
+    assert isinstance(stmts[1], While)
+    assert isinstance(stmts[2], For)
+    assert isinstance(stmts[3], SyncBlock)
+    assert isinstance(stmts[4], Return)
+
+
+def test_parse_for_with_empty_clauses():
+    stmt = first_stmt("for (;;) { break; }")
+    assert isinstance(stmt, For)
+    assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+
+def test_parse_super_call():
+    cls = parse_one("class C { C(int x) { super(x); } }")
+    body = cls.methods[0].body.stmts
+    assert isinstance(body[0], SuperCall) and len(body[0].args) == 1
+
+
+def test_parse_native_method_has_no_body():
+    cls = parse_one("class C { native int magic(); }")
+    m = cls.methods[0]
+    assert m.is_native and m.body is None
+
+
+def test_parse_dangling_else_binds_inner():
+    stmt = first_stmt("if (a) if (b) { x = 1; } else { x = 2; }")
+    assert isinstance(stmt, If)
+    assert stmt.otherwise is None
+    assert isinstance(stmt.then, If)
+    assert stmt.then.otherwise is not None
+
+
+def test_parse_string_used_as_value_rejected():
+    with pytest.raises(ParseError):
+        parse("class C { void m() { int x = String; } }")
+
+
+def test_parse_errors_report_line():
+    with pytest.raises(ParseError, match="line 3"):
+        parse("class C {\n  void m() {\n    return 1 +;\n  }\n}")
+
+
+def test_parse_invalid_assignment_target():
+    with pytest.raises(ParseError):
+        parse("class C { void m() { 1 = 2; } }")
+
+
+def test_parse_unary_constant_folding():
+    stmt = first_stmt("int x = -5;")
+    assert isinstance(stmt.init, IntLit) and stmt.init.value == -5
+    stmt = first_stmt("double x = -2.5;")
+    assert stmt.init.value == -2.5
+
+
+def test_parse_not_and_bitnot():
+    stmt = first_stmt("boolean b = !x;")
+    assert isinstance(stmt.init, Unary) and stmt.init.op == "!"
+    stmt = first_stmt("int v = ~x;")
+    assert isinstance(stmt.init, Unary) and stmt.init.op == "~"

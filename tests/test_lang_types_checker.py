@@ -1,0 +1,258 @@
+"""Focused type-checker tests (beyond the end-to-end compiler suite)."""
+
+import pytest
+
+from repro.lang import TypeError_, compile_source, parse
+from repro.lang.types import ClassTable, check_program
+
+
+def check(src):
+    return check_program(parse(src))
+
+
+def reject(src, match=None):
+    with pytest.raises(TypeError_, match=match):
+        compile_source(src)
+
+
+# ---------------------------------------------------------------------------
+# Class table
+# ---------------------------------------------------------------------------
+def test_class_table_contains_bootstrap():
+    table = ClassTable()
+    for name in ("Object", "Thread", "Math", "Sys", "String"):
+        assert table.is_class(name)
+    assert table.find_method("Thread", "start") is not None
+    assert table.find_method("Thread", "wait") is not None  # inherited
+
+
+def test_subclass_relation_transitive():
+    table = check("class A { } class B extends A { } class C extends B { }")
+    assert table.is_subclass("C", "A")
+    assert table.is_subclass("C", "Object")
+    assert not table.is_subclass("A", "C")
+
+
+def test_duplicate_class_rejected():
+    reject("class A { } class A { }", match="duplicate class")
+
+
+def test_duplicate_method_rejected():
+    reject("class A { void m() { } void m() { } }", match="duplicate method")
+
+
+def test_field_resolution_walks_supers():
+    table = check("""
+    class Base { int x; }
+    class Derived extends Base {
+        int get() { return x; }
+    }
+    """)
+    sig = table.find_field("Derived", "x")
+    assert sig is not None and sig.declaring == "Base"
+
+
+# ---------------------------------------------------------------------------
+# Conversions and operators
+# ---------------------------------------------------------------------------
+def test_int_widens_in_args_and_return():
+    compile_source("""
+    class A {
+        static double half(double x) { return x / 2.0; }
+        static double main() { return half(7); }   // int arg widens
+    }
+    """)
+
+
+def test_double_does_not_narrow_implicitly():
+    reject("class A { static int main() { return 1.5; } }")
+    reject("class A { static void main() { int x; x = 2.0; } }")
+
+
+def test_null_assignable_to_refs_only():
+    compile_source("class A { static void main() { String s = null; int[] a = null; A x = null; } }")
+    reject("class A { static void main() { int x = null; } }")
+
+
+def test_subtype_assignment():
+    compile_source("""
+    class Animal { }
+    class Dog extends Animal { }
+    class A {
+        static void main() { Animal a = new Dog(); Object o = a; }
+    }
+    """)
+    reject("""
+    class Animal { }
+    class Dog extends Animal { }
+    class A { static void main() { Dog d = new Animal(); } }
+    """)
+
+
+def test_string_concat_typing():
+    compile_source("""
+    class A {
+        static String main() { return "n=" + 1 + ", x=" + 2.5 + ", b=" + "s"; }
+    }
+    """)
+
+
+def test_arithmetic_on_refs_rejected():
+    reject("class A { static void main() { A x = new A(); A y = new A(); int z = 0; if (x < y) { z = 1; } } }")
+
+
+def test_logical_ops_need_booleans():
+    reject("class A { static void main() { boolean b = 1 && 2; } }")
+    reject("class A { static void main() { boolean b = !3; } }")
+
+
+def test_bitwise_needs_ints():
+    reject("class A { static void main() { double d = 1.5 << 2; } }")
+
+
+def test_comparisons_mixed_numeric_ok():
+    compile_source("class A { static boolean main() { return 1 < 2.5; } }")
+
+
+def test_ref_equality_needs_compatible_kinds():
+    reject("class A { static boolean main() { return new A() == 3; } }")
+
+
+# ---------------------------------------------------------------------------
+# Statements and scoping
+# ---------------------------------------------------------------------------
+def test_for_scope_is_local_to_loop():
+    compile_source("""
+    class A {
+        static int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) { s += i; }
+            for (int i = 9; i < 12; i++) { s += i; }   // re-declare OK
+            return s;
+        }
+    }
+    """)
+
+
+def test_use_of_for_variable_outside_rejected():
+    reject("""
+    class A {
+        static int main() {
+            for (int i = 0; i < 3; i++) { }
+            return i;
+        }
+    }
+    """)
+
+
+def test_block_scoping():
+    compile_source("""
+    class A {
+        static int main() {
+            { int x = 1; }
+            { int x = 2; }
+            return 0;
+        }
+    }
+    """)
+
+
+def test_shadowing_within_nested_scope_rejected():
+    reject("""
+    class A {
+        static void main() {
+            int x = 1;
+            { int x = 2; }
+        }
+    }
+    """)
+
+
+def test_super_only_first_in_constructor():
+    reject("""
+    class B { B(int x) { } }
+    class C extends B {
+        C() { int y = 1; super(y); }
+    }
+    """, match="super")
+
+
+def test_missing_explicit_super_args_rejected():
+    # B has only a 1-arg ctor: C's implicit super() cannot resolve.
+    with pytest.raises(Exception):
+        compile_source("""
+        class B { B(int x) { } }
+        class C extends B { C() { } }
+        """)
+
+
+def test_return_paths_through_if_else():
+    compile_source("""
+    class A {
+        static int main() {
+            if (1 < 2) { return 1; } else { return 2; }
+        }
+    }
+    """)
+    compile_source("""
+    class A {
+        static int main() {
+            while (true) { }
+        }
+    }
+    """)
+
+
+def test_void_method_cannot_return_value():
+    reject("class A { static void main() { return 3; } }")
+
+
+def test_array_index_must_be_int():
+    reject("class A { static void main() { int[] a = new int[3]; a[1.5] = 1; } }")
+    reject("class A { static void main() { int[] a = new int[2.0]; } }")
+
+
+def test_array_length_not_assignable():
+    reject("class A { static void main() { int[] a = new int[3]; a.length = 5; } }")
+
+
+def test_instance_method_from_static_rejected():
+    reject("""
+    class A {
+        int v;
+        int get() { return v; }
+        static int main() { return get(); }
+    }
+    """)
+
+
+def test_static_method_via_instance_rejected():
+    reject("""
+    class A {
+        static int f() { return 1; }
+        static int main() { return new A().f(); }
+    }
+    """)
+
+
+def test_cannot_instantiate_math_or_sys():
+    reject("class A { static void main() { Math m = new Math(); } }")
+    reject("class A { static void main() { Sys s = new Sys(); } }")
+
+
+def test_can_instantiate_thread_and_object():
+    compile_source("""
+    class A {
+        static void main() {
+            Thread t = new Thread();
+            Object o = new Object();
+        }
+    }
+    """)
+
+
+def test_volatile_fields_accepted():
+    compile_source("""
+    class F { volatile int flag; }
+    class A { static int main() { F f = new F(); f.flag = 1; return f.flag; } }
+    """)

@@ -1,0 +1,212 @@
+"""Unit tests for the simulated network and transport layers."""
+
+import pytest
+
+from repro.net import HEADER_BYTES, Message, NetStats, SimNetwork, Transport, estimate_size
+from repro.net.message import estimate_size as est
+from repro.sim import IBM, SUN, NS_PER_MS, SimEngine
+from repro.sim.cost_model import COMM_FIXED_NS, COMM_PER_BYTE_NS
+
+
+# ---------------------------------------------------------------------------
+# Message / size estimation
+# ---------------------------------------------------------------------------
+def test_estimate_size_scalars():
+    assert est(None) == 1
+    assert est(True) == 1
+    assert est(7) == 8
+    assert est(3.14) == 8
+    assert est(b"abcd") == 8
+    assert est("hi") == 6
+
+
+def test_estimate_size_containers():
+    assert est([1, 2]) == 4 + 16
+    assert est({"a": 1}) == 4 + est("a") + 8
+
+
+def test_estimate_size_rejects_unknown():
+    class Foo:
+        pass
+
+    with pytest.raises(TypeError):
+        est(Foo())
+
+
+def test_message_size_includes_header():
+    m = Message("ping", 0, 1, {"x": 1})
+    assert m.size_bytes == HEADER_BYTES + est({"x": 1})
+
+
+def test_message_explicit_size_wins():
+    m = Message("ping", 0, 1, {"x": 1}, size_bytes=1234)
+    assert m.size_bytes == 1234
+
+
+def test_message_ids_unique():
+    a = Message("t", 0, 1)
+    b = Message("t", 0, 1)
+    assert a.msg_id != b.msg_id
+
+
+# ---------------------------------------------------------------------------
+# SimNetwork latency model
+# ---------------------------------------------------------------------------
+def _net_pair(brand_a=SUN, brand_b=SUN, **kw):
+    eng = SimEngine()
+    net = SimNetwork(eng, **kw)
+    inbox_a, inbox_b = [], []
+    net.attach(0, brand_a, inbox_a.append)
+    net.attach(1, brand_b, inbox_b.append)
+    return eng, net, inbox_a, inbox_b
+
+
+def test_latency_model_formula():
+    eng, net, _, _ = _net_pair()
+    size = 1000
+    expected = SUN[COMM_FIXED_NS] + size * SUN[COMM_PER_BYTE_NS]
+    assert net.latency_ns(0, 1, size) == expected
+
+
+def test_latency_mixed_brands_uses_mean_fixed_and_max_per_byte():
+    eng, net, _, _ = _net_pair(SUN, IBM)
+    size = 100
+    fixed = (SUN[COMM_FIXED_NS] + IBM[COMM_FIXED_NS]) // 2
+    pb = max(SUN[COMM_PER_BYTE_NS], IBM[COMM_PER_BYTE_NS])
+    assert net.latency_ns(0, 1, size) == fixed + size * pb
+
+
+def test_delivery_happens_after_latency():
+    eng, net, _, inbox_b = _net_pair()
+    m = Message("ping", 0, 1, {}, size_bytes=100)
+    net.send(m)
+    assert inbox_b == []
+    eng.run_until_idle()
+    assert inbox_b == [m]
+    assert eng.now == net.latency_ns(0, 1, 100)
+
+
+def test_table3_shape_65000_bytes_about_6ms():
+    """Paper Table 3: ~6 ms one-way at 65000 B on 100 Mbit."""
+    eng, net, _, _ = _net_pair()
+    lat = net.latency_ns(0, 1, 65_000)
+    assert 5 * NS_PER_MS < lat < 8 * NS_PER_MS
+
+
+def test_send_to_unattached_raises():
+    eng = SimEngine()
+    net = SimNetwork(eng)
+    net.attach(0, SUN, lambda m: None)
+    with pytest.raises(KeyError):
+        net.send(Message("x", 0, 99))
+    with pytest.raises(KeyError):
+        net.send(Message("x", 99, 0))
+
+
+def test_double_attach_rejected():
+    eng = SimEngine()
+    net = SimNetwork(eng)
+    net.attach(0, SUN, lambda m: None)
+    with pytest.raises(ValueError):
+        net.attach(0, SUN, lambda m: None)
+
+
+def test_detach_drops_in_flight():
+    eng, net, _, inbox_b = _net_pair()
+    net.send(Message("ping", 0, 1, {}))
+    net.detach(1)
+    eng.run_until_idle()
+    assert inbox_b == []
+
+
+def test_stats_accounting():
+    eng, net, _, _ = _net_pair()
+    net.send(Message("a", 0, 1, {}, size_bytes=100))
+    net.send(Message("a", 0, 1, {}, size_bytes=50))
+    net.send(Message("b", 1, 0, {}, size_bytes=10))
+    assert net.stats.messages == 3
+    assert net.stats.bytes == 160
+    assert net.stats.by_type["a"] == (2, 150)
+    assert net.stats.by_link[(0, 1)] == (2, 150)
+    net.stats.reset()
+    assert net.stats.messages == 0
+
+
+def test_loopback_send_is_fast_and_async():
+    eng, net, inbox_a, _ = _net_pair()
+    net.send(Message("self", 0, 0, {}))
+    assert inbox_a == []
+    eng.run_until_idle()
+    assert len(inbox_a) == 1
+    assert eng.now < 10_000
+
+
+# ---------------------------------------------------------------------------
+# Transport: typed dispatch + FIFO reassembly
+# ---------------------------------------------------------------------------
+def _transport_pair(jitter_ns=0, seed=0):
+    eng = SimEngine()
+    net = SimNetwork(eng, jitter_ns=jitter_ns, seed=seed)
+    ta = Transport(net, 0, SUN)
+    tb = Transport(net, 1, SUN)
+    return eng, net, ta, tb
+
+
+def test_transport_typed_dispatch():
+    eng, net, ta, tb = _transport_pair()
+    got = []
+    tb.on("hello", lambda m: got.append(m.payload["n"]))
+    ta.send(1, "hello", {"n": 42})
+    eng.run_until_idle()
+    assert got == [42]
+
+
+def test_transport_unknown_type_raises():
+    eng, net, ta, tb = _transport_pair()
+    ta.send(1, "mystery", {})
+    with pytest.raises(RuntimeError, match="no handler"):
+        eng.run_until_idle()
+
+
+def test_transport_duplicate_handler_rejected():
+    eng, net, ta, tb = _transport_pair()
+    tb.on("x", lambda m: None)
+    with pytest.raises(ValueError):
+        tb.on("x", lambda m: None)
+
+
+def test_transport_fifo_without_jitter():
+    eng, net, ta, tb = _transport_pair()
+    got = []
+    tb.on("seq", lambda m: got.append(m.payload["i"]))
+    for i in range(20):
+        ta.send(1, "seq", {"i": i})
+    eng.run_until_idle()
+    assert got == list(range(20))
+
+
+def test_transport_fifo_under_jitter():
+    """Sequence numbers restore FIFO even when the raw net reorders."""
+    eng, net, ta, tb = _transport_pair(jitter_ns=5 * NS_PER_MS, seed=7)
+    got = []
+    tb.on("seq", lambda m: got.append(m.payload["i"]))
+    for i in range(50):
+        ta.send(1, "seq", {"i": i})
+    eng.run_until_idle()
+    assert got == list(range(50))
+
+
+def test_transport_fifo_independent_per_source():
+    eng = SimEngine()
+    net = SimNetwork(eng, jitter_ns=2 * NS_PER_MS, seed=3)
+    t0 = Transport(net, 0, SUN)
+    t1 = Transport(net, 1, SUN)
+    t2 = Transport(net, 2, IBM)
+    got = []
+    t0.on("m", lambda m: got.append((m.src, m.payload["i"])))
+    for i in range(10):
+        t1.send(0, "m", {"i": i})
+        t2.send(0, "m", {"i": i})
+    eng.run_until_idle()
+    assert [i for s, i in got if s == 1] == list(range(10))
+    assert [i for s, i in got if s == 2] == list(range(10))

@@ -1,0 +1,272 @@
+"""Property-based tests (hypothesis) on core data structures and the
+end-to-end coherence guarantee."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+# Wall-clock varies a lot on shared CI machines (and these tests run a
+# whole simulated cluster); keep hypothesis focused on inputs, not time.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.dsm import ClassSpec, LockRequest, LockToken, Notice, NoticeTable, VectorClock
+from repro.dsm.diffs import apply_diff, compute_diff, make_twin
+from repro.dsm.serialization import (
+    K_DOUBLE, K_INT, K_STR, deserialize_into, serialize_object,
+)
+from repro.jvm.interpreter import java_ddiv, java_idiv, java_irem
+
+# ---------------------------------------------------------------------------
+# Java arithmetic semantics
+# ---------------------------------------------------------------------------
+ints = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+@given(a=ints, b=ints.filter(lambda x: x != 0))
+def test_java_division_identity(a, b):
+    q = java_idiv(a, b)
+    r = java_irem(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # Remainder sign follows the dividend (JLS 15.17.3).
+    assert r == 0 or (r > 0) == (a > 0)
+
+
+@given(a=ints, b=ints.filter(lambda x: x != 0))
+def test_java_division_truncates_toward_zero(a, b):
+    assert java_idiv(a, b) == int(a / b) if abs(a) < 2**52 else True
+
+
+@given(a=st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_java_ddiv_by_zero_never_raises(a):
+    out = java_ddiv(a, 0.0)
+    assert math.isnan(out) or math.isinf(out)
+
+
+# ---------------------------------------------------------------------------
+# Vector clocks
+# ---------------------------------------------------------------------------
+clock_entries = st.dictionaries(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=100),
+    max_size=6,
+)
+
+
+@given(a=clock_entries, b=clock_entries)
+def test_vector_clock_merge_commutative(a, b):
+    x = VectorClock(a); x.merge(VectorClock(b))
+    y = VectorClock(b); y.merge(VectorClock(a))
+    assert x == y
+
+
+@given(a=clock_entries)
+def test_vector_clock_merge_idempotent(a):
+    x = VectorClock(a)
+    x.merge(VectorClock(a))
+    assert x == VectorClock(a)
+
+
+@given(a=clock_entries, b=clock_entries)
+def test_vector_clock_merge_dominates_both(a, b):
+    x = VectorClock(a)
+    x.merge(VectorClock(b))
+    assert x.dominates(VectorClock(a))
+    assert x.dominates(VectorClock(b))
+
+
+@given(a=clock_entries, b=clock_entries, c=clock_entries)
+def test_vector_clock_merge_associative(a, b, c):
+    x = VectorClock(a); x.merge(VectorClock(b)); x.merge(VectorClock(c))
+    y = VectorClock(b); y.merge(VectorClock(c))
+    z = VectorClock(a); z.merge(y)
+    assert x == z
+
+
+# ---------------------------------------------------------------------------
+# Notice tables
+# ---------------------------------------------------------------------------
+@given(versions=st.lists(st.integers(min_value=1, max_value=1000),
+                         min_size=1, max_size=50))
+def test_bounded_notice_table_keeps_max(versions):
+    t = NoticeTable()
+    for v in versions:
+        t.add(Notice(42, v))
+    assert t.required_scalar(42) == max(versions)
+    assert t.stored_notices == 1
+
+
+@given(batch=st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5),
+              st.integers(min_value=1, max_value=100)),
+    min_size=1, max_size=40,
+))
+def test_notice_delta_never_resends(batch):
+    t = NoticeTable()
+    seen = {}
+    sent = {}
+    for gid, v in batch:
+        t.add(Notice(gid, v))
+        for n in t.delta_since(seen):
+            # A delta entry must be strictly newer than anything
+            # previously delivered for that gid.
+            assert n.version > sent.get(n.gid, 0)
+            sent[n.gid] = n.version
+    # After draining, the snapshot equals the table.
+    assert t.delta_since(seen) == []
+    for gid, v in batch:
+        assert seen[gid] == t.required_scalar(gid)
+
+
+# ---------------------------------------------------------------------------
+# Lock queues
+# ---------------------------------------------------------------------------
+@given(reqs=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),   # node
+              st.integers(min_value=1, max_value=10)), # priority
+    min_size=1, max_size=20,
+))
+def test_lock_queue_priority_then_fifo_invariant(reqs):
+    token = LockToken(1)
+    for i, (node, prio) in enumerate(reqs):
+        token.enqueue(LockRequest(node, thread_id=i, priority=prio))
+    out = []
+    while True:
+        r = token.pop_next()
+        if r is None:
+            break
+        out.append(r)
+    # Priorities non-increasing; FIFO (by seq) within equal priority.
+    for a, b in zip(out, out[1:]):
+        assert a.priority > b.priority or (
+            a.priority == b.priority and a.seq < b.seq
+        )
+    assert len(out) == len(reqs)
+
+
+# ---------------------------------------------------------------------------
+# Serialization and diffs
+# ---------------------------------------------------------------------------
+class _FakeObj:
+    def __init__(self, fields):
+        self.class_name = "T"
+        self.fields = fields
+        self.header = None
+
+
+class _NullResolver:
+    def gid_for(self, ref):  # pragma: no cover - no refs generated
+        raise AssertionError
+
+    def class_id_for(self, name):  # pragma: no cover
+        raise AssertionError
+
+    def class_name_for(self, cid):  # pragma: no cover
+        raise AssertionError
+
+    def replica_for(self, gid, name):  # pragma: no cover
+        raise AssertionError
+
+
+_value_for_kind = {
+    K_INT: st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    K_DOUBLE: st.floats(allow_nan=False),
+    K_STR: st.one_of(st.none(), st.text(max_size=30)),
+}
+
+
+@st.composite
+def spec_and_fields(draw):
+    kinds = draw(st.lists(
+        st.sampled_from([K_INT, K_DOUBLE, K_STR]), min_size=1, max_size=8
+    ))
+    values = [draw(_value_for_kind[k]) for k in kinds]
+    return ClassSpec("T", tuple(kinds)), values
+
+
+@given(sf=spec_and_fields())
+def test_serializer_roundtrip(sf):
+    spec, values = sf
+    obj = _FakeObj(list(values))
+    data = serialize_object(obj, spec, _NullResolver())
+    out = _FakeObj([None] * len(values))
+    deserialize_into(out, spec, data, _NullResolver())
+    assert out.fields == values
+
+
+@given(sf=spec_and_fields(), data=st.data())
+def test_diff_patch_roundtrip(sf, data):
+    spec, values = sf
+    obj = _FakeObj(list(values))
+    twin = make_twin(obj)
+    # Mutate a random subset of slots.
+    for i, kind in enumerate(spec.kinds):
+        if data.draw(st.booleans()):
+            obj.fields[i] = data.draw(_value_for_kind[kind])
+    diff = compute_diff(obj, twin, spec, _NullResolver())
+    master = _FakeObj(list(values))
+    if diff is not None:
+        apply_diff(master, spec, diff, _NullResolver())
+    assert master.fields == obj.fields
+
+
+# ---------------------------------------------------------------------------
+# End-to-end LRC coherence on randomized workloads
+# ---------------------------------------------------------------------------
+_COHERENCE_SRC = """
+class Cell {{ int v; }}
+class W extends Thread {{
+    Cell[] cells;
+    int reps;
+    int salt;
+    W(Cell[] cells, int reps, int salt) {{
+        this.cells = cells; this.reps = reps; this.salt = salt;
+    }}
+    void run() {{
+        for (int i = 0; i < reps; i++) {{
+            Cell c = cells[(i + salt) % cells.length];
+            synchronized (c) {{ c.v += 1; }}
+        }}
+    }}
+}}
+class Main {{
+    static int main() {{
+        int ncells = {ncells};
+        int k = {threads};
+        Cell[] cells = new Cell[ncells];
+        for (int i = 0; i < ncells; i++) {{ cells[i] = new Cell(); }}
+        W[] ts = new W[k];
+        for (int i = 0; i < k; i++) {{
+            ts[i] = new W(cells, {reps}, i);
+            ts[i].start();
+        }}
+        for (int i = 0; i < k; i++) {{ ts[i].join(); }}
+        int total = 0;
+        for (int i = 0; i < ncells; i++) {{ total += cells[i].v; }}
+        return total;
+    }}
+}}
+"""
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ncells=st.integers(min_value=1, max_value=5),
+    threads=st.integers(min_value=1, max_value=6),
+    reps=st.integers(min_value=1, max_value=25),
+    nodes=st.integers(min_value=1, max_value=4),
+)
+def test_lrc_counter_coherence(ncells, threads, reps, nodes):
+    """No increment is ever lost, for any cluster layout: every write of
+    a releaser's happens-before past is visible to the next acquirer."""
+    from repro.runtime import run_distributed
+
+    src = _COHERENCE_SRC.format(ncells=ncells, threads=threads, reps=reps)
+    report = run_distributed(source=src, num_nodes=nodes)
+    assert report.result == threads * reps

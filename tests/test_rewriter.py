@@ -1,0 +1,207 @@
+"""Rewriter tests: structural properties of the transformed bytecode."""
+
+import pytest
+
+from repro.jvm import ClassFormatError, Op, verify_classfiles
+from repro.lang import compile_source
+from repro.rewriter import (
+    PREFIX,
+    RT,
+    rewrite_application,
+    rename_type,
+)
+
+COUNTER_SRC = """
+class Counter {
+    int v;
+    static int total = 10;
+    synchronized void bump() { v += 1; }
+}
+class Incr extends Thread {
+    Counter c;
+    Incr(Counter c) { this.c = c; }
+    void run() { c.bump(); }
+}
+class Main {
+    static int main() {
+        Counter c = new Counter();
+        Incr t = new Incr(c);
+        t.start();
+        t.join();
+        Counter.total += 1;
+        return c.v + Counter.total;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return rewrite_application(compile_source(COUNTER_SRC))
+
+
+def _method(result, klass, name):
+    return result.classfiles[PREFIX + klass].methods[name]
+
+
+def test_all_classes_renamed(result):
+    for name in ("Counter", "Incr", "Main"):
+        assert PREFIX + name in result.classfiles
+        assert name not in result.classfiles
+
+
+def test_rename_type_handles_arrays_and_primitives():
+    assert rename_type("int") == "int"
+    assert rename_type("double[]") == "double[]"
+    assert rename_type("Foo") == PREFIX + "Foo"
+    assert rename_type("Foo[][]") == PREFIX + "Foo[][]"
+    assert rename_type(PREFIX + "Foo") == PREFIX + "Foo"
+
+
+def test_superclass_references_renamed(result):
+    incr = result.classfiles[PREFIX + "Incr"]
+    assert incr.super_name == PREFIX + "Thread"
+
+
+def test_field_types_renamed(result):
+    incr = result.classfiles[PREFIX + "Incr"]
+    assert incr.field("c").type == PREFIX + "Counter"
+
+
+def test_rewritten_classes_verify(result):
+    verify_classfiles(result.all_classfiles())
+
+
+def test_every_heap_access_checked(result):
+    """No unchecked GETFIELD/PUTFIELD/array ops in rewritten app code."""
+    for cf in result.all_classfiles():
+        for m in cf.methods.values():
+            for instr in m.code:
+                if instr.op in (Op.GETFIELD, Op.PUTFIELD, Op.ARRLOAD,
+                                Op.ARRSTORE, Op.ARRAYLENGTH):
+                    assert instr.checked, f"{cf.name}.{m.name}: {instr}"
+
+
+def test_monitors_become_dsm_ops(result):
+    bump = _method(result, "Counter", "bump")
+    ops = [i.op for i in bump.code]
+    assert Op.MONITORENTER not in ops
+    assert Op.MONITOREXIT not in ops
+    assert Op.DSM_ACQUIRE in ops
+    assert Op.DSM_RELEASE in ops
+
+
+def test_thread_start_redirected_to_handler(result):
+    main = _method(result, "Main", "main")
+    starts = [i for i in main.code if i.b == "startThread"]
+    assert len(starts) == 1
+    assert starts[0].op is Op.INVOKESTATIC
+    assert starts[0].a == RT
+    # join stays a virtual call (implemented over the DSM in js.Thread).
+    joins = [i for i in main.code if i.b == "join"]
+    assert joins and joins[0].op is Op.INVOKEVIRTUAL
+
+
+def test_statics_moved_to_holder(result):
+    counter = result.classfiles[PREFIX + "Counter"]
+    assert counter.static_fields() == []
+    holder = result.classfiles[PREFIX + "Counter_static"]
+    f = holder.field("total")
+    assert f is not None and not f.is_static and f.init == 10
+    assert (PREFIX + "Counter") in result.static_gids
+
+
+def test_static_access_uses_holder(result):
+    main = _method(result, "Main", "main")
+    ops = [i.op for i in main.code]
+    assert Op.GETSTATIC not in ops
+    assert Op.PUTSTATIC not in ops
+    assert Op.DSM_STATICREF in ops
+
+
+def test_checks_inserted_before_accesses(result):
+    run = _method(result, "Incr", "run")
+    code = run.code
+    for pc, instr in enumerate(code):
+        if instr.op is Op.GETFIELD:
+            assert code[pc - 1].op is Op.DSM_READCHECK
+
+
+def test_branch_targets_remapped(result):
+    """All branches still land inside the method and verify cleanly."""
+    for cf in result.all_classfiles():
+        for m in cf.methods.values():
+            n = len(m.code)
+            for instr in m.code:
+                if instr.op is Op.GOTO:
+                    assert 0 <= instr.a < n
+                elif instr.op in (Op.IF, Op.IF_CMP):
+                    assert 0 <= instr.b < n
+
+
+def test_specs_cover_all_classes(result):
+    for name, cf in result.classfiles.items():
+        assert name in result.specs
+    # Thread spec includes its three int fields.
+    spec = result.specs[PREFIX + "Thread"]
+    assert spec.kinds == ("i", "i", "i")
+    # Incr inherits Thread's fields then adds the Counter ref.
+    spec = result.specs[PREFIX + "Incr"]
+    assert spec.kinds == ("i", "i", "i", "r")
+
+
+def test_registry_contains_classes_and_arrays():
+    src = """
+    class Main {
+        static int main() {
+            int[][] grid = new int[2][];
+            grid[0] = new int[3];
+            double[] xs = new double[1];
+            return grid[0].length + xs.length;
+        }
+    }
+    """
+    result = rewrite_application(compile_source(src))
+    reg = result.registry
+    assert reg.class_id_for("int[]") > 0
+    assert reg.class_id_for("int[][]") > 0
+    assert reg.class_id_for("double[]") > 0
+    assert reg.class_id_for(PREFIX + "Main") > 0
+
+
+def test_main_class_detected(result):
+    assert result.main_class == PREFIX + "Main"
+
+
+def test_double_rewrite_rejected(result):
+    with pytest.raises(ClassFormatError):
+        rewrite_application(result.all_classfiles())
+
+
+def test_stats_populated(result):
+    s = result.stats
+    assert s["thread_starts"] == 1
+    assert s["monitors"] >= 2
+    assert s["statics_moved"] == 1
+    assert s["read_checks"] > 0
+    assert s["write_checks"] > 0
+
+
+def test_volatile_access_wrapped():
+    src = """
+    class Box { volatile int flag; }
+    class Main {
+        static int main() {
+            Box b = new Box();
+            b.flag = 1;
+            return b.flag;
+        }
+    }
+    """
+    result = rewrite_application(compile_source(src))
+    main = result.classfiles[PREFIX + "Main"].methods["main"]
+    ops = [i.op for i in main.code]
+    assert ops.count(Op.DSM_ACQUIRE) == 2  # one per volatile access
+    assert ops.count(Op.DSM_RELEASE) == 2
+    assert result.stats["volatile_accesses"] == 2
+    verify_classfiles(result.all_classfiles())

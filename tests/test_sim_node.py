@@ -1,0 +1,141 @@
+"""Unit tests for node CPU scheduling."""
+
+import pytest
+
+from repro.sim import SUN, Node, SimEngine, StreamState
+
+
+class FakeStream:
+    """Consumes a fixed total of simulated ns, in per-quantum chunks."""
+
+    def __init__(self, total_ns, chunk_ns=None):
+        self.remaining = total_ns
+        self.chunk_ns = chunk_ns
+        self.finished_at = None
+
+    def run_quantum(self, budget_ns):
+        take = min(self.remaining, budget_ns)
+        if self.chunk_ns is not None:
+            take = min(take, self.chunk_ns)
+        self.remaining -= take
+        if self.remaining == 0:
+            return take, StreamState.FINISHED
+        return take, StreamState.RUNNABLE
+
+
+class BlockingStream:
+    """Runs, blocks once, must be woken externally, then finishes."""
+
+    def __init__(self, node):
+        self.node = node
+        self.phase = 0
+
+    def run_quantum(self, budget_ns):
+        if self.phase == 0:
+            self.phase = 1
+            # Arrange an external wake 1 ms later.
+            self.node.engine.schedule(1_000_000, lambda: self.node.wake(self))
+            return 100, StreamState.BLOCKED
+        return 200, StreamState.FINISHED
+
+
+def test_single_stream_runs_to_completion():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=1)
+    s = FakeStream(200_000)
+    node.add_stream(s)
+    eng.run_until_idle()
+    assert s.remaining == 0
+    assert node.finished_streams == 1
+    assert node.busy_ns == 200_000
+
+
+def test_two_cpus_run_two_streams_in_parallel():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=2)
+    a, b = FakeStream(1_000_000), FakeStream(1_000_000)
+    node.add_stream(a)
+    node.add_stream(b)
+    eng.run_until_idle()
+    # Two CPUs: wall time ~= one stream's time, busy time = both.
+    assert eng.now <= 1_100_000
+    assert node.busy_ns == 2_000_000
+
+
+def test_one_cpu_timeshares_two_streams():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=1, quantum_ns=10_000)
+    a, b = FakeStream(100_000), FakeStream(100_000)
+    node.add_stream(a)
+    node.add_stream(b)
+    eng.run_until_idle()
+    assert eng.now >= 200_000
+    assert node.finished_streams == 2
+
+
+def test_four_streams_two_cpus_wall_time():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=2)
+    streams = [FakeStream(500_000) for _ in range(4)]
+    for s in streams:
+        node.add_stream(s)
+    eng.run_until_idle()
+    assert node.busy_ns == 2_000_000
+    # 4 streams on 2 CPUs: wall time ~2x one stream's.
+    assert 1_000_000 <= eng.now <= 1_200_000
+
+
+def test_blocked_stream_waits_for_wake():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=1)
+    s = BlockingStream(node)
+    node.add_stream(s)
+    eng.run_until_idle()
+    assert node.finished_streams == 1
+    assert eng.now >= 1_000_000  # had to wait out the wake delay
+
+
+def test_wake_unblocked_stream_rejected():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=1)
+    s = FakeStream(100)
+    node.add_stream(s)
+    with pytest.raises(RuntimeError):
+        node.wake(s)
+
+
+def test_load_tracks_live_streams():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=2)
+    assert node.load == 0
+    a = FakeStream(50_000)
+    node.add_stream(a)
+    assert node.load == 1
+    eng.run_until_idle()
+    assert node.load == 0
+
+
+def test_idle_property():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=2)
+    assert node.idle
+    node.add_stream(FakeStream(10_000))
+    eng.run_until_idle()
+    assert node.idle
+
+
+def test_zero_cpu_rejected():
+    eng = SimEngine()
+    with pytest.raises(ValueError):
+        Node(eng, 0, SUN, num_cpus=0)
+
+
+def test_streams_added_mid_run_get_scheduled():
+    eng = SimEngine()
+    node = Node(eng, 0, SUN, num_cpus=2)
+    late = FakeStream(100_000)
+    eng.schedule(500_000, lambda: node.add_stream(late))
+    node.add_stream(FakeStream(100_000))
+    eng.run_until_idle()
+    assert node.finished_streams == 2
+    assert late.remaining == 0

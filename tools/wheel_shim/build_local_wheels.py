@@ -1,0 +1,90 @@
+"""Repackage installed distributions as local wheels (offline bootstrap).
+
+PEP 517 build isolation needs to pip-install `setuptools` and `wheel`
+into a fresh environment; with no index access that fails.  This script
+rebuilds both as wheels from the running environment into
+``packages/`` so a ``find-links`` entry can satisfy isolation offline.
+"""
+
+import base64
+import hashlib
+import os
+import site
+import sys
+import zipfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+OUT = os.path.join(REPO, "packages")
+
+
+def _b64(digest):
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode()
+
+
+def build_wheel(dist_name):
+    sp = site.getsitepackages()[0]
+    dist_info = next(
+        d for d in os.listdir(sp)
+        if d.lower().startswith(dist_name.lower() + "-")
+        and d.endswith(".dist-info")
+    )
+    version = dist_info[len(dist_name) + 1:-len(".dist-info")]
+    wheel_name = f"{dist_name}-{version}-py3-none-any.whl"
+    os.makedirs(OUT, exist_ok=True)
+    out_path = os.path.join(OUT, wheel_name)
+
+    records = []
+
+    def add(zf, path, arcname):
+        with open(path, "rb") as fh:
+            data = fh.read()
+        zf.writestr(arcname, data)
+        records.append(
+            f"{arcname},sha256={_b64(hashlib.sha256(data).digest())},{len(data)}"
+        )
+
+    # Top-level packages/modules come from the dist's RECORD.
+    top_level = set()
+    with open(os.path.join(sp, dist_info, "RECORD")) as fh:
+        for line in fh:
+            name = line.split(",")[0]
+            head = name.split("/")[0]
+            if not head.endswith(".dist-info") and head != "..":
+                top_level.add(head)
+
+    with zipfile.ZipFile(out_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for head in sorted(top_level):
+            full = os.path.join(sp, head)
+            if os.path.isdir(full):
+                for root, dirs, files in os.walk(full):
+                    dirs[:] = [d for d in dirs if d != "__pycache__"]
+                    for f in sorted(files):
+                        p = os.path.join(root, f)
+                        arc = os.path.relpath(p, sp).replace(os.sep, "/")
+                        add(zf, p, arc)
+            elif os.path.isfile(full):
+                add(zf, full, head)
+        # dist-info: METADATA, entry_points, WHEEL, then RECORD last.
+        di_src = os.path.join(sp, dist_info)
+        for f in sorted(os.listdir(di_src)):
+            if f in ("RECORD", "INSTALLER", "REQUESTED", "direct_url.json"):
+                continue
+            add(zf, os.path.join(di_src, f), f"{dist_info}/{f}")
+        wheel_meta = f"{dist_info}/WHEEL"
+        if not any(r.startswith(wheel_meta + ",") for r in records):
+            data = (b"Wheel-Version: 1.0\nGenerator: local-repack\n"
+                    b"Root-Is-Purelib: true\nTag: py3-none-any\n")
+            zf.writestr(wheel_meta, data)
+            records.append(
+                f"{wheel_meta},sha256="
+                f"{_b64(hashlib.sha256(data).digest())},{len(data)}"
+            )
+        records.append(f"{dist_info}/RECORD,,")
+        zf.writestr(f"{dist_info}/RECORD", "\n".join(records) + "\n")
+    print("built", out_path)
+
+
+if __name__ == "__main__":
+    for name in sys.argv[1:] or ("setuptools", "wheel"):
+        build_wheel(name)

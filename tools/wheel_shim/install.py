@@ -1,0 +1,48 @@
+"""Install the wheel shim into site-packages (offline environments).
+
+Copies the `wheel` shim package and writes a dist-info with the
+`distutils.commands` entry point setuptools uses to resolve the
+`bdist_wheel` command.  A real `wheel` installation always wins: the
+script refuses to overwrite one.
+"""
+
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main():
+    # Don't let the shim directory itself satisfy the check.
+    probe_path = [p for p in sys.path if os.path.abspath(p) != HERE]
+    import importlib.util
+
+    spec = importlib.util.find_spec("wheel")
+    if spec is not None and os.path.dirname(
+        os.path.abspath(spec.origin or "")
+    ) != os.path.join(HERE, "wheel"):
+        print("a 'wheel' package is already installed; nothing to do")
+        return 0
+    target = site.getsitepackages()[0]
+    pkg_dst = os.path.join(target, "wheel")
+    shutil.copytree(os.path.join(HERE, "wheel"), pkg_dst)
+    dist_info = os.path.join(target, "wheel-0.38.4+shim.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+        fh.write("Metadata-Version: 2.1\nName: wheel\nVersion: 0.38.4+shim\n")
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as fh:
+        fh.write("[distutils.commands]\nbdist_wheel = wheel.bdist_wheel:bdist_wheel\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as fh:
+        for root, _dirs, files in os.walk(pkg_dst):
+            for f in sorted(files):
+                rel = os.path.relpath(os.path.join(root, f), target)
+                fh.write(rel.replace(os.sep, "/") + ",,\n")
+        fh.write(os.path.basename(dist_info) + "/RECORD,,\n")
+    print(f"wheel shim installed into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Minimal offline stand-in for the `wheel` package.
+
+Provides exactly the surface setuptools' PEP 660 editable-install path
+uses (`wheel.wheelfile.WheelFile` and the `bdist_wheel` command), so
+`pip install -e .` works on machines without network access to PyPI.
+Install with:  python tools/wheel_shim/install.py
+"""
+
+__version__ = "0.38.4+shim"

@@ -1,0 +1,60 @@
+"""Just enough of wheel.bdist_wheel for setuptools' editable_wheel."""
+
+import sys
+
+from setuptools import Command
+
+WHEEL_TEMPLATE = """\
+Wheel-Version: 1.0
+Generator: wheel-shim (0.0.0)
+Root-Is-Purelib: {purelib}
+Tag: {tag}
+"""
+
+
+class bdist_wheel(Command):
+    description = "minimal bdist_wheel (editable installs only)"
+    user_options = []
+
+    def initialize_options(self):
+        self.dist_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        # Pure-python projects only (which is all this shim supports).
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        import os
+
+        tag = "-".join(self.get_tag())
+        content = WHEEL_TEMPLATE.format(purelib="true", tag=tag)
+        with open(os.path.join(wheelfile_base, "WHEEL"), "w") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        import os
+        import shutil
+
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        if os.path.exists(pkg_info):
+            shutil.copyfile(pkg_info, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copyfile(src, os.path.join(distinfo_path, extra))
+        if os.path.isdir(egginfo_path):
+            shutil.rmtree(egginfo_path, ignore_errors=True)
+
+    def run(self):  # pragma: no cover - editable installs never call run
+        raise RuntimeError(
+            "wheel-shim only supports editable installs; install the real "
+            "'wheel' package to build distributions"
+        )

@@ -1,0 +1,60 @@
+"""A RECORD-writing ZipFile, API-compatible with wheel.wheelfile."""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+
+def _urlsafe_b64(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression)
+        self._records = []
+        name = os.path.basename(str(file))
+        # {dist}-{version}-... .whl -> {dist}-{version}.dist-info/RECORD
+        parts = name.split("-")
+        self.record_path = "-".join(parts[:2]) + ".dist-info/RECORD"
+
+    # -- recording wrappers -------------------------------------------
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._record(arcname, data)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        self._record(arcname or filename, data)
+
+    def write_files(self, base_dir):
+        for root, _dirs, files in os.walk(base_dir):
+            for fname in sorted(files):
+                path = os.path.join(root, fname)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                self.write(path, arcname)
+
+    def _record(self, arcname, data):
+        if arcname == self.record_path:
+            return
+        digest = hashlib.sha256(data).digest()
+        self._records.append(
+            f"{arcname},sha256={_urlsafe_b64(digest)},{len(data)}"
+        )
+
+    def close(self):
+        if self.mode == "w" and self._records is not None:
+            lines = self._records + [f"{self.record_path},,", ""]
+            self._records = None
+            super().writestr(self.record_path, "\n".join(lines))
+        super().close()
