@@ -1,0 +1,40 @@
+"""Correctness checking: consistency oracle, invariant monitor, faults.
+
+The paper's central claim is that MTS-HLRC (scalar timestamps + bounded
+write-notice storage) preserves lazy-release-consistency semantics while
+cutting metadata cost.  This package checks that claim dynamically on
+every run it is attached to:
+
+* :class:`InvariantMonitor` — protocol invariants observed from the
+  outside (version monotonicity, single-home ownership, diff base
+  versions, the §3.1 scalar-timestamp fence, bounded notice storage).
+* :class:`SingleCopyOracle` — a sequentially-updated single-copy
+  reference heap; every fetch reply installed at a cache is cross-checked
+  against the reference state for the served version, and final heap
+  state must converge.
+* :class:`FaultInjector` / :class:`FaultPlan` — seeded drop / duplicate /
+  delay / reorder / detach faults layered under :class:`SimNetwork`
+  (requires ``reliable_transport`` so the ARQ layer can mask them).
+* :func:`run_check` — the seeded schedule-exploration runner behind
+  ``python -m repro check``.
+"""
+
+from .faults import FaultInjector, FaultPlan, FaultStats
+from .monitor import InvariantMonitor, MonitorError, Violation
+from .oracle import SingleCopyOracle, normalize_slots
+from .runner import CheckReport, SeedResult, app_source, run_check
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "MonitorError",
+    "normalize_slots",
+    "app_source",
+    "InvariantMonitor",
+    "Violation",
+    "SingleCopyOracle",
+    "CheckReport",
+    "SeedResult",
+    "run_check",
+]

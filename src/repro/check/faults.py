@@ -1,0 +1,180 @@
+"""Deterministic fault injection under the simulated network.
+
+Layers seeded faults between :class:`~repro.net.simnet.SimNetwork` and
+its endpoints by wrapping ``network.send``:
+
+* **drop** — the frame silently disappears;
+* **duplicate** — the frame is delivered twice (second copy after a
+  random extra delay);
+* **delay** — the frame is held back before entering the network;
+* **reorder** — a short random extra delay, sized so adjacent frames on
+  a link overtake each other (the jitter mode of ``SimNetwork`` applied
+  per-frame, independent of the run's base configuration);
+* **detach** — a node is unplugged mid-protocol at a chosen simulated
+  time (its in-flight messages are dropped by the network).
+
+All randomness comes from one ``numpy`` generator seeded by
+:class:`FaultPlan.seed`, so a failing schedule replays exactly.
+
+Loopback frames (``src == dst``) are never faulted — a workstation does
+not lose messages to itself — and drop/duplicate faults require the
+endpoints to run the reliable transport (``reliable_transport=True`` in
+:class:`~repro.runtime.config.RuntimeConfig`), whose ARQ layer masks
+them; without it a dropped protocol message simply deadlocks the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from ..net.message import Message
+from ..net.simnet import SimNetwork
+from ..sim.engine import NS_PER_MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.javasplit import JavaSplitRuntime
+
+#: Fault kinds accepted by :class:`FaultPlan.from_spec`.
+FAULT_KINDS = ("drop", "dup", "delay", "reorder", "detach")
+
+
+@dataclass
+class FaultPlan:
+    """What to inject, how often, and with which seed."""
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ns: int = 8 * NS_PER_MS        # max held-back time
+    reorder_rate: float = 0.0
+    reorder_window_ns: int = 2 * NS_PER_MS
+    detach_node: Optional[int] = None
+    detach_at_ns: Optional[int] = None
+
+    @classmethod
+    def from_spec(cls, faults: str, seed: int = 0,
+                  rate: float = 0.05) -> "FaultPlan":
+        """Build a plan from a comma-separated kind list, e.g.
+        ``"drop,reorder,dup"`` (the CLI's ``--faults`` syntax)."""
+        plan = cls(seed=seed)
+        for kind in filter(None, (k.strip() for k in faults.split(","))):
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (choose from "
+                    f"{', '.join(FAULT_KINDS)})")
+            if kind == "drop":
+                plan.drop_rate = rate
+            elif kind == "dup":
+                plan.dup_rate = rate
+            elif kind == "delay":
+                plan.delay_rate = rate
+            elif kind == "reorder":
+                plan.reorder_rate = max(rate, 0.2)
+            elif kind == "detach":
+                raise ValueError(
+                    "detach takes a node and a time; construct FaultPlan "
+                    "directly with detach_node/detach_at_ns")
+        return plan
+
+    @property
+    def lossy(self) -> bool:
+        """True when the plan can lose or duplicate frames (needs ARQ)."""
+        return (self.drop_rate > 0 or self.dup_rate > 0
+                or self.detach_node is not None)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did."""
+
+    seen: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    detached: List[int] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Wraps one :class:`SimNetwork`'s send path with seeded faults."""
+
+    def __init__(self, network: SimNetwork, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+        self._orig_send = network.send
+        network.send = self._send  # type: ignore[method-assign]
+        if plan.detach_node is not None:
+            at = plan.detach_at_ns if plan.detach_at_ns is not None else 0
+            network.engine.schedule_at(
+                max(at, network.engine.now),
+                lambda: self._detach(plan.detach_node))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, runtime: "JavaSplitRuntime",
+               plan: FaultPlan) -> "FaultInjector":
+        """Attach to a runtime's network; validates ARQ is on for lossy
+        plans (a dropped frame without retransmission deadlocks)."""
+        if plan.lossy and not runtime.config.reliable_transport:
+            raise ValueError(
+                "lossy fault plans (drop/dup/detach) require "
+                "RuntimeConfig(reliable_transport=True)")
+        return cls(runtime.network, plan)
+
+    def detach_now(self, node_id: int) -> None:
+        """Unplug a node immediately (scriptable from tests)."""
+        self._detach(node_id)
+
+    def _detach(self, node_id: int) -> None:
+        if self.network.is_attached(node_id):
+            self.network.detach(node_id)
+            self.stats.detached.append(node_id)
+
+    # ------------------------------------------------------------------
+    def _send(self, msg: Message) -> None:
+        if msg.src == msg.dst:
+            self._orig_send(msg)
+            return
+        self.stats.seen += 1
+        p = self.plan
+        r = self._rng.random()
+        if r < p.drop_rate:
+            self.stats.dropped += 1
+            return
+        extra = 0
+        if self._rng.random() < p.delay_rate:
+            self.stats.delayed += 1
+            extra += int(self._rng.integers(1, max(2, p.delay_ns)))
+        if self._rng.random() < p.reorder_rate:
+            self.stats.reordered += 1
+            extra += int(self._rng.integers(
+                1, max(2, p.reorder_window_ns)))
+        self._dispatch(msg, extra)
+        if self._rng.random() < p.dup_rate:
+            self.stats.duplicated += 1
+            dup_extra = int(self._rng.integers(
+                1, max(2, p.reorder_window_ns or p.delay_ns)))
+            self._dispatch(msg, extra + dup_extra)
+
+    def _dispatch(self, msg: Message, extra_ns: int) -> None:
+        if extra_ns <= 0:
+            self._orig_send(msg)
+            return
+        def later() -> None:
+            try:
+                self._orig_send(msg)
+            except KeyError:
+                # Destination (or source) detached while held back.
+                self.network.stats.dropped += 1
+        self.network.engine.schedule(extra_ns, later)
+
+    # ------------------------------------------------------------------
+    def detach_injector(self) -> None:
+        """Restore the network's original send path."""
+        self.network.send = self._orig_send  # type: ignore[method-assign]

@@ -1,0 +1,356 @@
+"""Protocol invariant monitor for the MTS-HLRC engine.
+
+Attaches to every :class:`~repro.dsm.protocol.DsmEngine` of a runtime and
+observes the protocol from the outside — it wraps hook methods and
+message handlers but keeps its own independent bookkeeping (e.g. its own
+ledger of unacked diffs), so a protocol mutation that corrupts the
+engine's internal counters is still caught.
+
+Invariants checked (violations are collected, or raised with
+``strict=True``):
+
+``release-flush``
+    A release point (``end_interval``) leaves no pending twinned writes
+    behind — the diff flush of §3 is not skippable.
+``fence``
+    In scalar-timestamp mode a lock token never leaves a node while that
+    node has diffs that are not yet acknowledged by their homes (the
+    §3.1 scalar-timestamp condition).  Checked against the monitor's own
+    diff/ack ledger.
+``version-monotonic``
+    A home's per-coherency-unit version advances by exactly one per
+    applied diff and never regresses in fetch replies.
+``diff-base``
+    A diff is only applied to a master that is at least as new as the
+    twin the diff was computed against.
+``single-home``
+    Every shared object has exactly one master copy, resident on the
+    node its gid names (``home_of``).
+``bounded-notices``
+    In bounded scalar mode a node never stores more than one notice per
+    coherency unit (the paper's §5 storage claim; vector timestamps
+    keep one per CU *per writer*).
+``fetch-version``
+    A fetch reply's version satisfies the version the cache's notice
+    table required when the fetch was issued, and never moves a replica
+    backwards in time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..dsm.objectstate import ObjState
+from ..dsm.directory import home_of
+from ..dsm.protocol import M_DIFF, SCALAR, DsmEngine
+from ..net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.javasplit import JavaSplitRuntime
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    time_ns: int
+    node: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.time_ns / 1e6:.3f}ms n{self.node}] "
+                f"{self.kind}: {self.detail}")
+
+
+class MonitorError(AssertionError):
+    """Raised in strict mode on the first violation."""
+
+
+class InvariantMonitor:
+    """Observes all DSM engines of one runtime and records violations."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self._engine = None               # sim engine, for timestamps
+        self._workers: List[Any] = []
+        # gid -> node that promoted it (single-home claims).
+        self._home_claims: Dict[int, int] = {}
+        # Independent diff/ack ledger: node -> #unacked DIFF messages.
+        self._unacked: Dict[int, int] = {}
+        # Twin base versions in flight: (writer, key) -> FIFO of bases.
+        self._bases: Dict[Tuple[int, Any], Deque[int]] = {}
+        # Highest version a home has served / applied, per key.
+        self._served: Dict[Any, int] = {}
+        # Required version recorded when a cache issued a fetch.
+        self._required: Dict[Tuple[int, Any], int] = {}
+        # Distinct CU keys ever noticed, per node (bounded-storage bound).
+        self._cu_keys: Dict[int, Set[Any]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, runtime: "JavaSplitRuntime",
+               strict: bool = False) -> "InvariantMonitor":
+        """Instrument every worker of a runtime; returns the monitor."""
+        monitor = cls(strict=strict)
+        monitor._engine = runtime.engine
+        for worker in runtime.workers:
+            monitor._wrap(worker.dsm)
+            monitor._workers.append(worker)
+        return monitor
+
+    # ------------------------------------------------------------------
+    def report(self, node: int, kind: str, detail: str) -> None:
+        v = Violation(self._engine.now if self._engine else 0,
+                      node, kind, detail)
+        self.violations.append(v)
+        if self.strict:
+            raise MonitorError(str(v))
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return not self.violations
+
+    def summary(self) -> str:
+        if not self.violations:
+            return "invariant monitor: ok"
+        lines = [f"invariant monitor: {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _wrap(self, dsm: DsmEngine) -> None:
+        node = dsm.node_id
+        scalar = dsm.config.timestamp_mode == SCALAR
+        self._unacked.setdefault(node, 0)
+        self._cu_keys.setdefault(node, set())
+
+        # --- promote: single-home claims -----------------------------
+        promote = dsm.promote
+
+        def checked_promote(ref):
+            fresh = ref.header is None or not ref.header.gid
+            gid = promote(ref)
+            if fresh:
+                if home_of(gid) != node:
+                    self.report(node, "single-home",
+                                f"promoted gid {gid:#x} homed at node "
+                                f"{home_of(gid)}")
+                prior = self._home_claims.setdefault(gid, node)
+                if prior != node:
+                    self.report(node, "single-home",
+                                f"gid {gid:#x} already claimed by node "
+                                f"{prior}")
+            return gid
+
+        dsm.promote = checked_promote
+
+        # --- end_interval: releases must flush -----------------------
+        end_interval = dsm.end_interval
+
+        def checked_end_interval(thread):
+            end_interval(thread)
+            if dsm._dirty or dsm._dirty_home:
+                left = list(dsm._dirty) + list(dsm._dirty_home)
+                self.report(node, "release-flush",
+                            f"release left unflushed writes: {left}")
+
+        dsm.end_interval = checked_end_interval
+
+        # --- transport.send: diff ledger + twin base capture ---------
+        transport_send = dsm.transport.send
+
+        def checked_send(dst, msg_type, payload=None, size_bytes=0):
+            if msg_type == M_DIFF:
+                self._unacked[node] += 1
+                for gid, _diff, region in payload["entries"]:
+                    key = gid if region is None else (gid, region)
+                    base = self._version_of(dsm, gid, region)
+                    self._bases.setdefault((node, key),
+                                           deque()).append(base)
+            return transport_send(dst, msg_type, payload, size_bytes)
+
+        dsm.transport.send = checked_send
+
+        # --- diff apply at home --------------------------------------
+        # Wrap the *registered* handler (not the engine method) so
+        # several observers compose in attach order.
+        on_diff = dsm.transport._handlers[M_DIFF]
+
+        def checked_on_diff(msg: Message):
+            pre = {}
+            for gid, _diff, region in msg.payload["entries"]:
+                key = gid if region is None else (gid, region)
+                pre[key] = self._version_of(dsm, gid, region)
+            on_diff(msg)
+            writer = msg.payload["writer"]
+            for key, before in pre.items():
+                gid, region = (key if isinstance(key, tuple)
+                               else (key, None))
+                after = self._version_of(dsm, gid, region)
+                if before is not None and after != before + 1:
+                    self.report(node, "version-monotonic",
+                                f"diff apply moved {key!r} "
+                                f"{before} -> {after}")
+                fifo = self._bases.get((writer, key))
+                if fifo:
+                    base = fifo.popleft()
+                    if before is not None and before < base:
+                        self.report(node, "diff-base",
+                                    f"diff for {key!r} from node {writer} "
+                                    f"built on version {base} applied to "
+                                    f"master at {before}")
+
+        self._replace_handler(dsm, M_DIFF, checked_on_diff)
+
+        # --- diff acks: ledger decrement -----------------------------
+        from ..dsm.protocol import M_DIFF_ACK
+
+        on_diff_ack = dsm.transport._handlers[M_DIFF_ACK]
+
+        def checked_on_diff_ack(msg: Message):
+            self._unacked[node] -= 1
+            if self._unacked[node] < 0:
+                self.report(node, "fence",
+                            "more diff acks than diffs observed")
+                self._unacked[node] = 0
+            on_diff_ack(msg)
+
+        dsm.transport._handlers[M_DIFF_ACK] = checked_on_diff_ack
+
+        # --- token transfer: the scalar-timestamp fence --------------
+        send_token = dsm._send_token
+
+        def checked_send_token(st, req):
+            if scalar and self._unacked[node] > 0:
+                self.report(node, "fence",
+                            f"token for gid {st.gid:#x} leaving with "
+                            f"{self._unacked[node]} unacked diff(s)")
+            send_token(st, req)
+
+        dsm._send_token = checked_send_token
+
+        # --- fetch path ----------------------------------------------
+        start_fetch = dsm._start_fetch
+
+        def checked_start_fetch(thread, hdr, region=None):
+            key = hdr.gid if region is None else (hdr.gid, region)
+            if scalar:
+                self._required[(node, key)] = \
+                    dsm.notice_table.required_scalar(key)
+            start_fetch(thread, hdr, region)
+
+        dsm._start_fetch = checked_start_fetch
+
+        serve_fetch = dsm._serve_fetch
+
+        def checked_serve_fetch(requester, obj, region=None):
+            gid = obj.header.gid
+            key = gid if region is None else (gid, region)
+            version = self._version_of(dsm, gid, region)
+            last = self._served.get(key)
+            if last is not None and version is not None and version < last:
+                self.report(node, "version-monotonic",
+                            f"home served {key!r} at version {version} "
+                            f"after serving {last}")
+            if version is not None:
+                self._served[key] = max(self._served.get(key, 0), version)
+            serve_fetch(requester, obj, region)
+
+        dsm._serve_fetch = checked_serve_fetch
+
+        from ..dsm.protocol import M_FETCH_REPLY
+
+        on_fetch_reply = dsm.transport._handlers[M_FETCH_REPLY]
+
+        def checked_on_fetch_reply(msg: Message):
+            p = msg.payload
+            gid = p["gid"]
+            region = p.get("region")
+            key = gid if region is None else (gid, region)
+            before = self._version_of(dsm, gid, region)
+            on_fetch_reply(msg)
+            version = p["version"]
+            if before is not None and version < before:
+                self.report(node, "fetch-version",
+                            f"reply moved replica {key!r} backwards "
+                            f"{before} -> {version}")
+            required = self._required.pop((node, key), None)
+            if required is not None and version < required:
+                self.report(node, "fetch-version",
+                            f"reply for {key!r} at version {version} "
+                            f"below required {required}")
+
+        self._replace_handler(dsm, M_FETCH_REPLY, checked_on_fetch_reply)
+
+        # --- bounded notice storage ----------------------------------
+        table = dsm.notice_table
+        table_add = table.add
+        # The one-notice-per-CU bound is the MTS (scalar) claim; vector
+        # timestamps legitimately keep one notice per (CU, writer).
+        bounded = table.mode == "bounded" and scalar
+        keys = self._cu_keys[node]
+
+        def checked_add(notice):
+            advanced = table_add(notice)
+            keys.add(notice.gid)
+            if bounded and table.stored_notices > len(keys):
+                self.report(node, "bounded-notices",
+                            f"{table.stored_notices} notices stored for "
+                            f"{len(keys)} coherency units")
+            return advanced
+
+        table.add = checked_add
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _replace_handler(dsm: DsmEngine, msg_type: str, wrapper) -> None:
+        dsm.transport._handlers[msg_type] = wrapper
+
+    @staticmethod
+    def _version_of(dsm: DsmEngine, gid: int,
+                    region: Optional[int]) -> Optional[int]:
+        """Current local version of a coherency unit (master or replica)."""
+        obj = dsm.cache.get(gid)
+        if obj is None:
+            return None
+        if region is not None:
+            reg = dsm._regions.get(gid)
+            return None if reg is None else reg.versions[region]
+        return obj.header.version
+
+    # ------------------------------------------------------------------
+    # End-of-run structural scan
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[Violation]:
+        """Post-run structural checks; returns all violations so far."""
+        holders: Dict[int, List[int]] = {}
+        for worker in self._workers:
+            dsm = worker.dsm
+            node = dsm.node_id
+            for gid, obj in dsm.cache.items():
+                hdr = obj.header
+                if hdr is None:
+                    continue
+                if hdr.state == ObjState.HOME:
+                    holders.setdefault(gid, []).append(node)
+                    if home_of(gid) != node:
+                        self.report(node, "single-home",
+                                    f"master for gid {gid:#x} resident at "
+                                    f"node {node}, homed at {home_of(gid)}")
+            if dsm._outstanding_acks:
+                self.report(node, "fence",
+                            f"{dsm._outstanding_acks} diff ack(s) "
+                            "outstanding at end of run")
+        for gid, nodes in holders.items():
+            if len(nodes) != 1:
+                self.report(nodes[0], "single-home",
+                            f"gid {gid:#x} has {len(nodes)} master copies "
+                            f"(nodes {nodes})")
+        return self.violations

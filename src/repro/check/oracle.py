@@ -1,0 +1,283 @@
+"""Sequentially-consistent single-copy reference oracle.
+
+The oracle maintains a *single-copy DSM*: a golden snapshot of every
+shared coherency unit at every version the protocol ever published
+(served in a fetch reply or produced by a diff application at the home).
+Because the home applies diffs in a total order per coherency unit, this
+replay is exactly the state a trivial one-copy memory would hold after
+the same logical access/sync trace.
+
+Against that reference the oracle cross-checks:
+
+* **install integrity** — the data a cache installs from a fetch reply
+  is bit-identical to the golden state of the version the home served
+  (catches transport corruption, mis-applied diffs, version mix-ups);
+* **final heap convergence** — when the run ends, every clean replica
+  matches the golden state of its version, and every master matches the
+  golden state of its current version.
+
+Benign data races are handled soundly: a home that is written between
+two releases may serve the *same* version with different contents (LRC
+permits either value for a racy read), so the golden store keeps every
+distinct snapshot observed per version and installs must match one of
+them.  Replicas that were written locally since their last install are
+excluded from the final convergence check — their divergence from the
+base version is exactly the pending multiple-writer diff.
+
+Use together with :class:`~repro.check.monitor.InvariantMonitor`; the
+runner (:mod:`repro.check.runner`) additionally compares the program's
+result and console output against an un-instrumented single-JVM run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..dsm.objectstate import ObjState
+from ..dsm.protocol import M_DIFF, M_FETCH_REPLY, DsmEngine
+from ..jvm.heap import ArrayObj, Obj
+from ..net.message import Message
+from .monitor import Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.javasplit import JavaSplitRuntime
+
+#: Slot-level stand-in for NaN so snapshots compare by equality.
+_NAN = ("double", "nan")
+
+
+def normalize_slots(slots) -> Tuple[Any, ...]:
+    """A comparable snapshot of heap slots: refs become their gids."""
+    out = []
+    for v in slots:
+        if isinstance(v, (Obj, ArrayObj)):
+            hdr = v.header
+            gid = hdr.gid if hdr is not None else 0
+            # An unpromoted ref has no global identity; it can never have
+            # crossed the wire, so tag it by local identity.
+            out.append(("ref", gid) if gid else ("localref", id(v)))
+        elif isinstance(v, float) and math.isnan(v):
+            out.append(_NAN)
+        else:
+            out.append(v)
+    return tuple(out)
+
+
+class SingleCopyOracle:
+    """Cross-checks a runtime's DSM traffic against a single-copy heap."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self._engine = None
+        self._workers: List[Any] = []
+        # key -> version -> list of acceptable normalized snapshots.
+        self._golden: Dict[Any, Dict[int, List[Tuple[Any, ...]]]] = {}
+        # Replicas written locally since their last install: (node, key).
+        self._tainted: set = set()
+        self.checked_installs = 0
+        self.checked_final = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, runtime: "JavaSplitRuntime") -> "SingleCopyOracle":
+        oracle = cls()
+        oracle._engine = runtime.engine
+        for worker in runtime.workers:
+            oracle._wrap(worker.dsm)
+            oracle._workers.append(worker)
+        return oracle
+
+    # ------------------------------------------------------------------
+    def report(self, node: int, kind: str, detail: str) -> None:
+        self.violations.append(Violation(
+            self._engine.now if self._engine else 0, node, kind, detail
+        ))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        head = (f"oracle: {self.checked_installs} installs, "
+                f"{self.checked_final} final replicas checked")
+        if not self.violations:
+            return head + ", ok"
+        lines = [head + f", {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _unit_slots(dsm: DsmEngine, obj: Any,
+                    region: Optional[int]) -> list:
+        """The raw slots of one coherency unit (whole object or region)."""
+        if region is None:
+            return obj.data if isinstance(obj, ArrayObj) else obj.fields
+        reg = dsm._regions[obj.header.gid]
+        lo, hi = reg.bounds(region, len(obj.data))
+        return obj.data[lo:hi]
+
+    def _record(self, key: Any, version: int,
+                snapshot: Tuple[Any, ...]) -> None:
+        versions = self._golden.setdefault(key, {})
+        snaps = versions.setdefault(version, [])
+        if snapshot not in snaps:
+            snaps.append(snapshot)
+
+    # ------------------------------------------------------------------
+    def _wrap(self, dsm: DsmEngine) -> None:
+        node = dsm.node_id
+
+        # --- home: serving a fetch publishes a version ----------------
+        serve_fetch = dsm._serve_fetch
+
+        def recording_serve_fetch(requester, obj, region=None):
+            serve_fetch(requester, obj, region)
+            gid = obj.header.gid
+            key = gid if region is None else (gid, region)
+            if region is None:
+                version = obj.header.version
+            else:
+                version = dsm._regions[gid].versions[region]
+            self._record(key, version, normalize_slots(
+                self._unit_slots(dsm, obj, region)))
+
+        dsm._serve_fetch = recording_serve_fetch
+
+        # --- home: applying a diff creates a version ------------------
+        # Wrap the registered handler so monitor + oracle compose.
+        on_diff = dsm.transport._handlers[M_DIFF]
+
+        def recording_on_diff(msg: Message):
+            on_diff(msg)
+            for gid, _diff, region in msg.payload["entries"]:
+                obj = dsm.cache.get(gid)
+                if obj is None:  # pragma: no cover - _on_diff raised
+                    continue
+                key = gid if region is None else (gid, region)
+                if region is None:
+                    version = obj.header.version
+                else:
+                    version = dsm._regions[gid].versions[region]
+                self._record(key, version, normalize_slots(
+                    self._unit_slots(dsm, obj, region)))
+
+        dsm.transport._handlers[M_DIFF] = recording_on_diff
+
+        # --- cache: a flushed local write taints the replica ----------
+        transport_send = dsm.transport.send
+
+        def tainting_send(dst, msg_type, payload=None, size_bytes=0):
+            if msg_type == M_DIFF:
+                for gid, _diff, region in payload["entries"]:
+                    key = gid if region is None else (gid, region)
+                    self._tainted.add((node, key))
+            return transport_send(dst, msg_type, payload, size_bytes)
+
+        dsm.transport.send = tainting_send
+
+        # --- cache: installs must match the served golden state -------
+        on_fetch_reply = dsm.transport._handlers[M_FETCH_REPLY]
+
+        def checking_on_fetch_reply(msg: Message):
+            on_fetch_reply(msg)
+            p = msg.payload
+            gid = p["gid"]
+            region = p.get("region")
+            key = gid if region is None else (gid, region)
+            self._tainted.discard((node, key))
+            obj = dsm.cache.get(gid)
+            if obj is None:  # pragma: no cover - reply always installs
+                return
+            version = p["version"]
+            got = normalize_slots(self._unit_slots(dsm, obj, region))
+            self._check(node, key, version, got, "install")
+            self.checked_installs += 1
+
+        dsm.transport._handlers[M_FETCH_REPLY] = checking_on_fetch_reply
+
+        # A write between installs also diverges the replica from its
+        # base version (multiple-writer): taint on twin creation.
+        write_check = dsm.write_check
+
+        def tainting_write_check(thread, ref, value, index=None):
+            ok, cost = write_check(thread, ref, value, index)
+            hdr = ref.header
+            if ok and hdr is not None and hdr.gid:
+                if hdr.state == ObjState.VALID or hdr.gid in dsm._regions:
+                    key = hdr.gid
+                    if index is not None and hdr.gid in dsm._regions:
+                        reg = dsm._regions[hdr.gid]
+                        r = reg.region_of(index)
+                        if 0 <= r < reg.n_regions:
+                            key = (hdr.gid, r)
+                    self._tainted.add((node, key))
+            return ok, cost
+
+        dsm.write_check = tainting_write_check
+
+    # ------------------------------------------------------------------
+    def _check(self, node: int, key: Any, version: int,
+               got: Tuple[Any, ...], what: str) -> None:
+        known = self._golden.get(key, {})
+        snaps = known.get(version)
+        if snaps is None:
+            self.report(node, "oracle-version",
+                        f"{what} of {key!r} at version {version}, which "
+                        f"the single-copy reference never published "
+                        f"(known: {sorted(known)})")
+            return
+        if got not in snaps:
+            self.report(node, "oracle-state",
+                        f"{what} of {key!r} at version {version} diverges "
+                        f"from the single-copy reference: got {got!r}, "
+                        f"expected one of {snaps!r}")
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[Violation]:
+        """Final heap convergence: clean replicas and masters must match
+        the single-copy reference at their versions."""
+        for worker in self._workers:
+            dsm = worker.dsm
+            node = dsm.node_id
+            for gid, obj in dsm.cache.items():
+                hdr = obj.header
+                if hdr is None or not hdr.gid:
+                    continue
+                reg = dsm._regions.get(gid)
+                if reg is not None:
+                    for r, state in enumerate(reg.states):
+                        key = (gid, r)
+                        if (node, key) in self._tainted:
+                            continue
+                        if r in reg.twins or key in dsm._dirty:
+                            continue
+                        if state == ObjState.INVALID:
+                            continue
+                        if state == ObjState.VALID and key not in self._golden:
+                            continue  # never crossed the wire
+                        got = normalize_slots(
+                            self._unit_slots(dsm, obj, r))
+                        if key in self._golden:
+                            self._check(node, key, reg.versions[r], got,
+                                        "final state")
+                            self.checked_final += 1
+                    continue
+                if hdr.state == ObjState.HOME:
+                    if hdr.version in self._golden.get(gid, {}) \
+                            and gid not in dsm._dirty_home:
+                        got = normalize_slots(self._unit_slots(
+                            dsm, obj, None))
+                        self._check(node, gid, hdr.version, got, "master")
+                        self.checked_final += 1
+                elif hdr.state == ObjState.VALID:
+                    if (node, gid) in self._tainted:
+                        continue
+                    if hdr.twin is not None or gid in dsm._dirty:
+                        continue
+                    got = normalize_slots(self._unit_slots(dsm, obj, None))
+                    self._check(node, gid, hdr.version, got, "final state")
+                    self.checked_final += 1
+        return self.violations

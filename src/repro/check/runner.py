@@ -1,0 +1,205 @@
+"""Seeded schedule-exploration runner behind ``python -m repro check``.
+
+One invocation sweeps *N* seeds over one benchmark application.  Each
+seed builds a fresh simulated cluster whose network jitter (and fault
+injector, when faults are requested) is driven by that seed, so the
+protocol sees a different message interleaving every time.  Every run
+executes under the :class:`~repro.check.monitor.InvariantMonitor` and
+the :class:`~repro.check.oracle.SingleCopyOracle`, and its program
+result is compared against one un-instrumented single-JVM reference
+run.  Any divergence anywhere is a consistency violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..apps import raytracer, series, tsp
+from ..dsm.protocol import DsmConfig
+from ..lang import compile_source
+from ..rewriter import rewrite_application
+from ..runtime.config import RuntimeConfig
+from ..runtime.javasplit import JavaSplitRuntime, run_original
+from ..sim.engine import NS_PER_MS
+from .faults import FaultInjector, FaultPlan, FaultStats
+from .monitor import InvariantMonitor, Violation
+from .oracle import SingleCopyOracle
+
+#: Jitter applied to every checked run so distinct seeds genuinely
+#: explore distinct message interleavings (the base latency model is
+#: deterministic).  Well under the transport RTO, so ARQ stays quiet on
+#: fault-free links.
+DEFAULT_JITTER_NS = 2 * NS_PER_MS
+
+#: Small app instances: the point is schedule diversity across many
+#: seeds, not workload realism, so each run must stay cheap.
+APP_SOURCES: Dict[str, Callable[[], str]] = {
+    "series": lambda: series.make_source(n_coeffs=24, steps=40, n_threads=3),
+    "tsp": lambda: tsp.make_source(n_cities=7, n_threads=3, seed=42),
+    "raytracer": lambda: raytracer.make_source(
+        resolution=8, n_threads=3, n_spheres=16, seed=1234),
+}
+
+
+@dataclass
+class SeedResult:
+    """Outcome of one seeded run."""
+
+    seed: int
+    violations: List[Violation] = field(default_factory=list)
+    result_matches: bool = True
+    console_matches: bool = True
+    error: Optional[str] = None
+    simulated_ns: int = 0
+    messages: int = 0
+    installs_checked: int = 0
+    finals_checked: int = 0
+    faults: Optional[FaultStats] = None
+
+    @property
+    def ok(self) -> bool:
+        return (not self.violations and self.result_matches
+                and self.console_matches and self.error is None)
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` sweep learned."""
+
+    app: str
+    faults: str
+    nodes: int
+    results: List[SeedResult] = field(default_factory=list)
+    reference_result: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed_seeds(self) -> List[int]:
+        return [r.seed for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        n = len(self.results)
+        installs = sum(r.installs_checked for r in self.results)
+        finals = sum(r.finals_checked for r in self.results)
+        injected = sum(
+            (r.faults.dropped + r.faults.duplicated + r.faults.delayed
+             + r.faults.reordered) if r.faults else 0
+            for r in self.results)
+        lines = [
+            f"check: app={self.app} nodes={self.nodes} "
+            f"faults={self.faults or 'none'}",
+            f"  seeds run           : {n}",
+            f"  installs cross-checked: {installs}",
+            f"  final units checked : {finals}",
+            f"  faults injected     : {injected}",
+        ]
+        if self.ok:
+            lines.append(f"  verdict             : OK "
+                         f"({n}/{n} seeds consistent)")
+        else:
+            lines.append(f"  verdict             : FAILED "
+                         f"(seeds {self.failed_seeds})")
+            for r in self.results:
+                if r.ok:
+                    continue
+                if r.error:
+                    lines.append(f"  seed {r.seed}: error: {r.error}")
+                if not r.result_matches:
+                    lines.append(f"  seed {r.seed}: result diverges "
+                                 f"from reference")
+                if not r.console_matches:
+                    lines.append(f"  seed {r.seed}: console diverges "
+                                 f"from reference")
+                for v in r.violations:
+                    lines.append(f"  seed {r.seed}: {v}")
+        return "\n".join(lines)
+
+
+def app_source(app: str) -> str:
+    """MiniJava source of one named benchmark at checking scale."""
+    try:
+        return APP_SOURCES[app]()
+    except KeyError:
+        raise ValueError(
+            f"unknown app {app!r} (choose from "
+            f"{', '.join(sorted(APP_SOURCES))})") from None
+
+
+def run_check(
+    app: str = "series",
+    seeds: int = 25,
+    faults: str = "",
+    nodes: int = 3,
+    fault_rate: float = 0.05,
+    timestamp_mode: str = "scalar",
+    region_elems: Optional[int] = None,
+    jitter_ns: int = DEFAULT_JITTER_NS,
+    strict: bool = False,
+    progress: Optional[Callable[[SeedResult], None]] = None,
+) -> CheckReport:
+    """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
+
+    ``faults`` is a comma-separated subset of drop/dup/delay/reorder
+    (``""`` checks clean runs).  Each seeded run attaches the fault
+    injector (seeded by the run seed), the invariant monitor, and the
+    single-copy oracle; results are compared against one
+    ``run_original`` reference execution.
+    """
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
+    if faults:
+        FaultPlan.from_spec(faults)  # reject bad specs before any run
+    source = app_source(app)
+    classfiles = compile_source(source)
+    reference = run_original(classfiles=classfiles)
+    ref_console = sorted(reference.console)
+    rewritten = rewrite_application(classfiles)
+
+    report = CheckReport(app=app, faults=faults, nodes=nodes,
+                         reference_result=reference.result)
+    for seed in range(seeds):
+        plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
+            if faults else FaultPlan(seed=seed)
+        config = RuntimeConfig(
+            num_nodes=nodes,
+            net_jitter_ns=jitter_ns,
+            seed=seed,
+            reliable_transport=plan.lossy,
+            dsm=DsmConfig(
+                timestamp_mode=timestamp_mode,
+                array_region_elems=region_elems,
+            ),
+        )
+        sr = SeedResult(seed=seed)
+        runtime = JavaSplitRuntime(rewritten, config)
+        injector = FaultInjector.attach(runtime, plan) if faults else None
+        monitor = InvariantMonitor.attach(runtime, strict=strict)
+        oracle = SingleCopyOracle.attach(runtime)
+        try:
+            run = runtime.run()
+            sr.simulated_ns = run.simulated_ns
+            sr.messages = run.net.messages if run.net else 0
+            sr.result_matches = run.result == reference.result
+            sr.console_matches = sorted(run.console) == ref_console
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            if strict:
+                raise
+            sr.error = f"{type(exc).__name__}: {exc}"
+        monitor.finalize()
+        if sr.error is None:
+            # A crashed run leaves the heap mid-protocol; skip the
+            # convergence scan and report the crash itself.
+            oracle.finalize()
+        sr.violations = list(monitor.violations) + list(oracle.violations)
+        sr.installs_checked = oracle.checked_installs
+        sr.finals_checked = oracle.checked_final
+        if injector is not None:
+            sr.faults = injector.stats
+        report.results.append(sr)
+        if progress is not None:
+            progress(sr)
+    return report

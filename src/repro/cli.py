@@ -7,12 +7,16 @@ run       compile a MiniJava file, rewrite it, execute on a simulated
 original  run the un-instrumented program on one simulated JVM
 disasm    show the bytecode of a program, before or after rewriting
 trace     run distributed with full DSM protocol tracing
+check     sweep seeded schedules of a benchmark app under the
+          consistency oracle + invariant monitor, optionally with
+          fault injection
 
 Examples::
 
     python -m repro run app.mj --nodes 4 --brand ibm
     python -m repro disasm app.mj --rewritten
     python -m repro trace app.mj --nodes 2 --limit 80
+    python -m repro check --app series --seeds 25 --faults drop,reorder,dup
 """
 
 from __future__ import annotations
@@ -119,6 +123,38 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """`repro check`: seeded consistency sweep under oracle + monitor."""
+    from .check import run_check
+
+    done = [0]
+
+    def progress(sr) -> None:
+        done[0] += 1
+        mark = "ok" if sr.ok else "FAIL"
+        print(f"  seed {sr.seed:3d}: {mark}  "
+              f"({sr.messages} msgs, {sr.installs_checked} installs, "
+              f"{sr.finals_checked} final units)")
+
+    try:
+        report = run_check(
+            app=args.app,
+            seeds=args.seeds,
+            faults=args.faults,
+            nodes=args.nodes,
+            fault_rate=args.fault_rate,
+            timestamp_mode="vector" if args.vector_timestamps else "scalar",
+            region_elems=args.region_elems,
+            strict=args.strict,
+            progress=progress if args.verbose else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     """`repro trace`: distributed run with protocol tracing."""
     classfiles = compile_source(_read(args.source))
@@ -160,6 +196,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="disassemble the javasplit.* rewrite instead")
     p_dis.add_argument("--optimize-checks", action="store_true")
     p_dis.set_defaults(fn=cmd_disasm)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="consistency sweep: oracle + invariant monitor over seeds")
+    p_chk.add_argument("--app", default="series",
+                       choices=("series", "tsp", "raytracer"),
+                       help="benchmark application to sweep")
+    p_chk.add_argument("--seeds", type=int, default=25,
+                       help="number of seeded schedules to explore")
+    p_chk.add_argument("--faults", default="",
+                       help="comma-separated faults to inject: "
+                            "drop,dup,delay,reorder (default: none)")
+    p_chk.add_argument("--fault-rate", type=float, default=0.05,
+                       help="per-frame fault probability")
+    p_chk.add_argument("--nodes", type=int, default=3)
+    p_chk.add_argument("--region-elems", type=int, default=None)
+    p_chk.add_argument("--vector-timestamps", action="store_true")
+    p_chk.add_argument("--strict", action="store_true",
+                       help="raise on the first violation instead of "
+                            "collecting")
+    p_chk.add_argument("--verbose", action="store_true",
+                       help="print one line per seed")
+    p_chk.set_defaults(fn=cmd_check)
 
     p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")
     _add_cluster_args(p_tr)

@@ -10,7 +10,7 @@ endpoints (:mod:`repro.net.transport`) and traffic statistics
 from .message import HEADER_BYTES, Message, estimate_size
 from .simnet import SimNetwork
 from .stats import NetStats
-from .transport import Transport
+from .transport import Transport, TransportStats
 
 __all__ = [
     "HEADER_BYTES",
@@ -19,4 +19,5 @@ __all__ = [
     "SimNetwork",
     "NetStats",
     "Transport",
+    "TransportStats",
 ]

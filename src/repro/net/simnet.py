@@ -61,6 +61,10 @@ class SimNetwork:
         self._handlers.pop(node_id, None)
         self._cost_models.pop(node_id, None)
 
+    def is_attached(self, node_id: int) -> bool:
+        """True while the endpoint is registered with the network."""
+        return node_id in self._handlers
+
     @property
     def node_ids(self) -> list[int]:
         """The attached endpoints, sorted."""
@@ -101,5 +105,8 @@ class SimNetwork:
     def _deliver(self, msg: Message) -> None:
         handler = self._handlers.get(msg.dst)
         if handler is None:
-            return  # endpoint detached while message in flight: drop
+            # Endpoint detached while the message was in flight: drop it,
+            # but keep the accounting consistent (the wire carried it).
+            self.stats.dropped += 1
+            return
         handler(msg)

@@ -2,11 +2,13 @@
 
 Tracks message and byte counts globally, per message type and per directed
 link, so benchmarks can report communication volume alongside time.
+``dropped`` counts in-flight messages discarded because the destination
+detached before delivery (they are still billed to the totals — the wire
+carried them).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -17,6 +19,7 @@ from .message import Message
 class NetStats:
     messages: int = 0
     bytes: int = 0
+    dropped: int = 0
     by_type: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     by_link: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
 
@@ -31,15 +34,33 @@ class NetStats:
         self.by_link[link] = (n + 1, b + msg.size_bytes)
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero every counter, including the per-type/per-link breakdowns
+        (a reset that left those populated would double-count on reuse)."""
         self.messages = 0
         self.bytes = 0
+        self.dropped = 0
         self.by_type.clear()
         self.by_link.clear()
+
+    def merge(self, other: "NetStats") -> "NetStats":
+        """Accumulate another run's counters into this one (multi-run /
+        multi-seed aggregation); returns self for chaining."""
+        self.messages += other.messages
+        self.bytes += other.bytes
+        self.dropped += other.dropped
+        for mtype, (n, b) in other.by_type.items():
+            cn, cb = self.by_type.get(mtype, (0, 0))
+            self.by_type[mtype] = (cn + n, cb + b)
+        for link, (n, b) in other.by_link.items():
+            cn, cb = self.by_link.get(link, (0, 0))
+            self.by_link[link] = (cn + n, cb + b)
+        return self
 
     def summary(self) -> str:
         """Multi-line human-readable totals."""
         lines = [f"total: {self.messages} msgs, {self.bytes} bytes"]
+        if self.dropped:
+            lines[0] += f" ({self.dropped} dropped in flight)"
         for mtype in sorted(self.by_type):
             n, b = self.by_type[mtype]
             lines.append(f"  {mtype}: {n} msgs, {b} bytes")

@@ -9,18 +9,50 @@ deliveries out of order (failure-injection mode).
 Messages are dispatched to handlers registered by message type; unknown
 types raise, because a protocol that silently drops messages deadlocks in
 ways that are miserable to debug.
+
+Reliability (``reliable=True``) adds a lightweight ARQ layer modelling
+what TCP gives the paper's sockets on a lossy Ethernet: senders buffer
+frames until a cumulative ack arrives, retransmit on timeout (go-back-N),
+and receivers tolerate duplicates by dropping already-delivered sequence
+numbers.  With a perfectly reliable network the layer adds only the ack
+frames; under the fault injector it masks seeded drop / duplicate /
+delay / reorder faults.  The default (``reliable=False``) keeps the
+strict behaviour — a duplicate delivery raises, because the plain
+simulated net never duplicates and silence would hide protocol bugs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..sim.cost_model import CostModel
-from ..sim.engine import SimEngine
+from ..sim.engine import NS_PER_MS, EventHandle, SimEngine
 from .message import Message
 from .simnet import SimNetwork
 
 Handler = Callable[[Message], None]
+
+#: Control frame type for cumulative acks (never seq-numbered).
+ACK_TYPE = "transport.ack"
+#: Retransmission timeout.  Must exceed the worst one-way latency plus
+#: any injected jitter/delay, or spurious (harmless but noisy)
+#: retransmissions occur.
+DEFAULT_RTO_NS = 25 * NS_PER_MS
+#: Give-up bound: after this many consecutive timeouts without ack
+#: progress the unacked frames are dropped (peer presumed detached).
+DEFAULT_MAX_RETRIES = 20
+
+
+@dataclass
+class TransportStats:
+    """Per-endpoint reliability counters (all zero on a clean network)."""
+
+    acks_sent: int = 0
+    dup_dropped: int = 0         # re-deliveries suppressed by seq check
+    retransmissions: int = 0     # frames re-sent after an RTO
+    gave_up: int = 0             # frames abandoned after max retries
+    to_dead_dropped: int = 0     # sends/retransmits to a detached peer
 
 
 class Transport:
@@ -31,13 +63,24 @@ class Transport:
         network: SimNetwork,
         node_id: int,
         cost_model: CostModel,
+        reliable: bool = False,
+        rto_ns: int = DEFAULT_RTO_NS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
         self.network = network
         self.node_id = node_id
+        self.reliable = reliable
+        self.rto_ns = rto_ns
+        self.max_retries = max_retries
+        self.stats = TransportStats()
         self._handlers: Dict[str, Handler] = {}
         self._send_seq: Dict[int, int] = {}      # dst -> next seq
         self._recv_next: Dict[int, int] = {}     # src -> next expected seq
         self._reassembly: Dict[int, Dict[int, Message]] = {}
+        # ARQ sender state (reliable mode only).
+        self._unacked: Dict[int, Dict[int, Message]] = {}   # dst -> seq -> msg
+        self._retrans_timer: Dict[int, EventHandle] = {}
+        self._retries: Dict[int, int] = {}
         network.attach(node_id, cost_model, self._on_raw)
 
     # ------------------------------------------------------------------
@@ -70,13 +113,91 @@ class Transport:
             size_bytes=size_bytes,
         )
         msg.payload["__seq__"] = seq
-        self.network.send(msg)
+        if self.reliable and dst != self.node_id:
+            # Buffer until cumulatively acked; loopback cannot be lost.
+            self._unacked.setdefault(dst, {})[seq] = msg
+            self._ensure_timer(dst)
+        if not self._net_send(msg):
+            # Peer already detached: the buffered copy (if any) will be
+            # dropped by the give-up path; unreliable mode re-raises.
+            pass
         return msg
+
+    def _net_send(self, msg: Message) -> bool:
+        """Hand a frame to the network; tolerate detached peers when
+        reliable (sockets see a reset, not an exception storm)."""
+        try:
+            self.network.send(msg)
+            return True
+        except KeyError:
+            if not self.reliable:
+                raise
+            self.stats.to_dead_dropped += 1
+            return False
+
+    # ------------------------------------------------------------------
+    # ARQ sender side
+    # ------------------------------------------------------------------
+    def _ensure_timer(self, dst: int) -> None:
+        timer = self._retrans_timer.get(dst)
+        if timer is not None and not timer.cancelled:
+            return
+        self._retrans_timer[dst] = self.network.engine.schedule(
+            self.rto_ns, lambda: self._on_rto(dst)
+        )
+
+    def _on_rto(self, dst: int) -> None:
+        self._retrans_timer.pop(dst, None)
+        pending = self._unacked.get(dst)
+        if not pending:
+            self._retries.pop(dst, None)
+            return
+        retries = self._retries.get(dst, 0) + 1
+        self._retries[dst] = retries
+        if retries > self.max_retries:
+            # Peer presumed gone: abandon, do not wedge the event loop.
+            self.stats.gave_up += len(pending)
+            pending.clear()
+            self._retries.pop(dst, None)
+            return
+        for seq in sorted(pending):      # go-back-N, in order
+            self.stats.retransmissions += 1
+            if not self._net_send(pending[seq]):
+                # Peer detached: everything else would fail too.
+                self.stats.gave_up += len(pending)
+                pending.clear()
+                self._retries.pop(dst, None)
+                return
+        self._ensure_timer(dst)
+
+    def _on_ack(self, msg: Message) -> None:
+        nxt = msg.payload["next"]
+        pending = self._unacked.get(msg.src)
+        if not pending:
+            return
+        acked = [seq for seq in pending if seq < nxt]
+        for seq in acked:
+            del pending[seq]
+        if acked:
+            self._retries.pop(msg.src, None)     # progress: reset backoff
+        if not pending:
+            timer = self._retrans_timer.pop(msg.src, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _send_ack(self, dst: int) -> None:
+        self.stats.acks_sent += 1
+        self._net_send(Message(
+            ACK_TYPE, self.node_id, dst, {"next": self._recv_next[dst]}
+        ))
 
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
     def _on_raw(self, msg: Message) -> None:
+        if msg.msg_type == ACK_TYPE:
+            self._on_ack(msg)
+            return
         seq = msg.payload.get("__seq__")
         if seq is None:
             self._dispatch(msg)
@@ -95,10 +216,18 @@ class Transport:
                     break
                 self._recv_next[src] = nxt + 1
                 self._dispatch(queued)
+            if self.reliable and src != self.node_id:
+                self._send_ack(src)
         elif seq > expected:
             self._reassembly.setdefault(src, {})[seq] = msg
-        # seq < expected would be a duplicate; the simulated net never
-        # duplicates, so treat it as a protocol bug.
+        elif self.reliable:
+            # Duplicate (retransmission or injected dup): drop silently,
+            # but re-ack so the sender stops retransmitting.
+            self.stats.dup_dropped += 1
+            if src != self.node_id:
+                self._send_ack(src)
+        # seq < expected without reliability would be a duplicate; the
+        # plain simulated net never duplicates, so treat it as a bug.
         else:
             raise RuntimeError(
                 f"duplicate delivery: {msg} (seq {seq} < expected {expected})"
@@ -113,6 +242,17 @@ class Transport:
             )
         handler(msg)
 
+    # ------------------------------------------------------------------
+    def quiesced(self) -> bool:
+        """True when no frames await ack and no gaps await reassembly."""
+        return (
+            not any(self._unacked.get(d) for d in self._unacked)
+            and not any(self._reassembly.get(s) for s in self._reassembly)
+        )
+
     def close(self) -> None:
         """Detach this endpoint from the network."""
+        for timer in self._retrans_timer.values():
+            timer.cancel()
+        self._retrans_timer.clear()
         self.network.detach(self.node_id)

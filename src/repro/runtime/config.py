@@ -26,6 +26,10 @@ class RuntimeConfig:
     scheduler: str = "least-loaded"
     quantum_ns: int = DEFAULT_QUANTUM_NS
     net_jitter_ns: int = 0
+    # TCP-like ARQ on every transport endpoint (acks + retransmission).
+    # Required when the fault injector drops or duplicates raw frames;
+    # off by default so clean runs keep exact message accounting.
+    reliable_transport: bool = False
     seed: int = 0
     max_events: int = 200_000_000
     master_node: int = 0

@@ -119,6 +119,7 @@ class JavaSplitRuntime:
                 master_node=self.config.master_node,
                 time_dilation=self.config.time_dilation,
                 cost_profile=self.config.cost_profile,
+                reliable_transport=self.config.reliable_transport,
             ))
         # Materialize the C_static holders on the master node; other
         # nodes fault them in on first access (§4.2).
@@ -183,6 +184,7 @@ class JavaSplitRuntime:
             master_node=self.config.master_node,
             time_dilation=self.config.time_dilation,
             cost_profile=self.config.cost_profile,
+            reliable_transport=self.config.reliable_transport,
         )
         worker.dsm.on_spawn_arrival = self._spawn_arrived
         self.workers.append(worker)

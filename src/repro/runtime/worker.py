@@ -46,6 +46,7 @@ def build_worker(
     master_node: int,
     time_dilation: int = 1,
     cost_profile: str = "app",
+    reliable_transport: bool = False,
 ) -> WorkerNode:
     """Bring up one worker: any machine with a standard JVM can join."""
     cost_model = get_brand(brand, cost_profile).scaled(time_dilation)
@@ -56,7 +57,8 @@ def build_worker(
     jvm.string_class = "javasplit.String"
     registry.install(jvm)
     register_rewritten_natives(jvm)
-    transport = Transport(network, node_id, cost_model)
+    transport = Transport(network, node_id, cost_model,
+                          reliable=reliable_transport)
     dsm = DsmEngine(
         jvm,
         transport,

@@ -354,6 +354,96 @@ def test_twin_length_mismatch_rejected():
         compute_diff(arr, twin, None, res)
 
 
+def test_object_stale_twin_rejected():
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0, "a", None])
+    stale = make_twin(obj)[:-1]  # a twin from a different layout
+    with pytest.raises(SerializationError, match="twin length mismatch"):
+        compute_diff(obj, stale, POINT_SPEC, res)
+
+
+def test_write_then_revert_yields_empty_diff():
+    """A slot written and written back equals its twin: no diff at all
+    (write traffic scales with *net* modifications)."""
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0, "a", None])
+    twin = make_twin(obj)
+    obj.fields[0] = 99
+    obj.fields[0] = 1  # reverted before the release
+    assert compute_diff(obj, twin, POINT_SPEC, res) is None
+
+
+def test_diff_entry_count_matches_encoding():
+    from repro.dsm.diffs import diff_entry_count
+
+    res = FakeResolver()
+    obj = FakeObj("Point", [1, 2.0, "a", None])
+    twin = make_twin(obj)
+    obj.fields[0] = 5
+    obj.fields[1] = 6.5
+    diff = compute_diff(obj, twin, POINT_SPEC, res)
+    assert diff_entry_count(diff) == 2
+
+
+def test_overlapping_diffs_apply_in_timestamp_order():
+    """Two writers racing on the SAME slot: the home applies diffs in
+    arrival (timestamp) order, so the later diff wins — and reversing
+    the order reverses the winner.  This is exactly the LRC guarantee:
+    racy writes are ordered by the home's serialization, nothing more."""
+    res = FakeResolver()
+    wa = FakeObj("Point", [0, 0.0, None, None])
+    ta = make_twin(wa); wa.fields[0] = 5
+    wb = FakeObj("Point", [0, 0.0, None, None])
+    tb = make_twin(wb); wb.fields[0] = 9
+    da = compute_diff(wa, ta, POINT_SPEC, res)
+    db = compute_diff(wb, tb, POINT_SPEC, res)
+
+    m1 = FakeObj("Point", [0, 0.0, None, None])
+    apply_diff(m1, POINT_SPEC, da, res)
+    apply_diff(m1, POINT_SPEC, db, res)
+    assert m1.fields[0] == 9
+
+    m2 = FakeObj("Point", [0, 0.0, None, None])
+    apply_diff(m2, POINT_SPEC, db, res)
+    apply_diff(m2, POINT_SPEC, da, res)
+    assert m2.fields[0] == 5
+
+
+def test_diff_index_out_of_range_rejected():
+    res = FakeResolver()
+    big = ArrayObj("int", 8)
+    twin = make_twin(big)
+    big.data[6] = 3
+    diff = compute_diff(big, twin, None, res)
+    small = ArrayObj("int", 4)  # master shorter than the diff expects
+    with pytest.raises(SerializationError, match="out of range"):
+        apply_diff(small, None, diff, res)
+
+
+def test_region_diff_index_out_of_range_rejected():
+    from repro.dsm.diffs import apply_region_diff, compute_region_diff, \
+        make_region_twin
+
+    res = FakeResolver()
+    arr = ArrayObj("int", 64)
+    twin = make_region_twin(arr, 32, 64)
+    arr.data[60] = 1
+    diff = compute_region_diff(arr, 32, twin, res)
+    short = ArrayObj("int", 40)
+    with pytest.raises(SerializationError, match="out of range"):
+        apply_region_diff(short, 32, diff, res)
+
+
+def test_empty_region_diff_is_none():
+    from repro.dsm.diffs import compute_region_diff, make_region_twin
+
+    res = FakeResolver()
+    arr = ArrayObj("int", 64)
+    twin = make_region_twin(arr, 0, 32)
+    arr.data[40] = 7  # write outside the region only
+    assert compute_region_diff(arr, 0, twin, res) is None
+
+
 # ---------------------------------------------------------------------------
 # Array-region bookkeeping (§4.3 extension)
 # ---------------------------------------------------------------------------

@@ -132,6 +132,69 @@ def test_stats_accounting():
     assert net.stats.messages == 0
 
 
+def test_stats_reset_clears_breakdowns_and_dropped():
+    eng, net, _, _ = _net_pair()
+    net.send(Message("a", 0, 1, {}, size_bytes=100))
+    net.detach(1)
+    eng.run_until_idle()
+    assert net.stats.dropped == 1
+    net.stats.reset()
+    assert net.stats.messages == 0
+    assert net.stats.bytes == 0
+    assert net.stats.dropped == 0
+    assert net.stats.by_type == {}
+    assert net.stats.by_link == {}
+
+
+def test_stats_merge_accumulates():
+    a = NetStats()
+    b = NetStats()
+    a.record(Message("x", 0, 1, {}, size_bytes=10))
+    b.record(Message("x", 0, 1, {}, size_bytes=5))
+    b.record(Message("y", 1, 0, {}, size_bytes=7))
+    b.dropped = 2
+    out = a.merge(b)
+    assert out is a  # chains
+    assert a.messages == 3
+    assert a.bytes == 22
+    assert a.dropped == 2
+    assert a.by_type["x"] == (2, 15)
+    assert a.by_type["y"] == (1, 7)
+    assert a.by_link[(0, 1)] == (2, 15)
+    assert a.by_link[(1, 0)] == (1, 7)
+    # merge does not mutate its argument
+    assert b.messages == 2 and b.by_type["x"] == (1, 5)
+
+
+def test_stats_merge_many_equals_single_run():
+    parts = [NetStats() for _ in range(3)]
+    whole = NetStats()
+    msgs = [Message("t", i % 2, 1 - i % 2, {}, size_bytes=i) for i in range(9)]
+    for i, m in enumerate(msgs):
+        parts[i % 3].record(m)
+        whole.record(m)
+    agg = NetStats()
+    for p in parts:
+        agg.merge(p)
+    assert agg == whole
+
+
+def test_detach_in_flight_drop_keeps_stats_coherent():
+    """An in-flight drop bumps ``dropped`` but never corrupts the send
+    accounting (the wire carried the frame)."""
+    eng, net, _, inbox_b = _net_pair()
+    for i in range(5):
+        net.send(Message("a", 0, 1, {}, size_bytes=10))
+    net.detach(1)
+    eng.run_until_idle()
+    assert inbox_b == []
+    assert net.stats.messages == 5
+    assert net.stats.bytes == 50
+    assert net.stats.dropped == 5
+    assert net.stats.by_type["a"] == (5, 50)
+    assert "dropped in flight" in net.stats.summary()
+
+
 def test_loopback_send_is_fast_and_async():
     eng, net, inbox_a, _ = _net_pair()
     net.send(Message("self", 0, 0, {}))
@@ -210,3 +273,64 @@ def test_transport_fifo_independent_per_source():
     eng.run_until_idle()
     assert [i for s, i in got if s == 1] == list(range(10))
     assert [i for s, i in got if s == 2] == list(range(10))
+
+
+# ---------------------------------------------------------------------------
+# Reliable (ARQ) mode
+# ---------------------------------------------------------------------------
+def _reliable_pair(jitter_ns=0, seed=0):
+    eng = SimEngine()
+    net = SimNetwork(eng, jitter_ns=jitter_ns, seed=seed)
+    ta = Transport(net, 0, SUN, reliable=True)
+    tb = Transport(net, 1, SUN, reliable=True)
+    return eng, net, ta, tb
+
+
+def test_reliable_clean_net_adds_only_acks():
+    eng, net, ta, tb = _reliable_pair()
+    got = []
+    tb.on("m", lambda m: got.append(m.payload["i"]))
+    for i in range(10):
+        ta.send(1, "m", {"i": i})
+    eng.run_until_idle()
+    assert got == list(range(10))
+    assert tb.stats.acks_sent == 10
+    assert ta.stats.retransmissions == 0
+    assert ta.stats.gave_up == 0
+    assert ta.quiesced()
+
+
+def test_reliable_fifo_under_jitter():
+    eng, net, ta, tb = _reliable_pair(jitter_ns=5 * NS_PER_MS, seed=9)
+    got = []
+    tb.on("m", lambda m: got.append(m.payload["i"]))
+    for i in range(40):
+        ta.send(1, "m", {"i": i})
+    eng.run_until_idle()
+    assert got == list(range(40))
+    assert ta.quiesced() and tb.quiesced()
+
+
+def test_reliable_send_to_detached_peer_does_not_raise():
+    eng, net, ta, tb = _reliable_pair()
+    net.detach(1)
+    ta.send(1, "m", {"i": 0})  # unreliable mode would raise KeyError
+    eng.run_until_idle()       # bounded retries: terminates
+    assert ta.stats.to_dead_dropped > 0 or ta.stats.gave_up > 0
+
+
+def test_unreliable_send_to_detached_peer_raises():
+    eng = SimEngine()
+    net = SimNetwork(eng)
+    ta = Transport(net, 0, SUN)
+    with pytest.raises(KeyError):
+        ta.send(1, "m", {})
+
+
+def test_reliable_close_cancels_timers():
+    eng, net, ta, tb = _reliable_pair()
+    net.detach(1)
+    ta.send(1, "m", {"i": 0})
+    ta.close()
+    eng.run_until_idle()  # no timer storm after close
+    assert not net.is_attached(0)

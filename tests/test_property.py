@@ -123,6 +123,102 @@ def test_notice_delta_never_resends(batch):
         assert seen[gid] == t.required_scalar(gid)
 
 
+@given(a=clock_entries, b=clock_entries)
+def test_vector_clock_dominance_antisymmetric(a, b):
+    x, y = VectorClock(a), VectorClock(b)
+    if x.dominates(y) and y.dominates(x):
+        assert x == y
+
+
+@given(a=clock_entries, ticks=st.lists(
+    st.integers(min_value=0, max_value=8), max_size=20))
+def test_vector_clock_tick_strictly_monotonic(a, ticks):
+    x = VectorClock(a)
+    for tid in ticks:
+        before = x.get(tid)
+        assert x.tick(tid) == before + 1
+    assert x.wire_size() == 4 + 8 * len(x)
+
+
+@given(a=clock_entries, tid=st.integers(min_value=0, max_value=8),
+       value=st.integers(min_value=0, max_value=100))
+def test_vector_clock_set_never_decreases(a, value, tid):
+    x = VectorClock(a)
+    if value < x.get(tid):
+        import pytest
+        with pytest.raises(ValueError):
+            x.set(tid, value)
+    else:
+        x.set(tid, value)
+        assert x.get(tid) == value
+
+
+@given(batch=st.lists(
+    st.tuples(st.integers(min_value=1, max_value=4),    # gid
+              st.integers(min_value=0, max_value=3),    # writer
+              st.integers(min_value=1, max_value=50)),  # interval
+    min_size=1, max_size=40,
+))
+def test_bounded_vector_notices_one_per_gid_writer(batch):
+    """Bounded vector storage: at most one notice per (CU, writer)."""
+    t = NoticeTable()
+    for gid, writer, interval in batch:
+        t.add(Notice(gid, interval, writer))
+    pairs = {(gid, w) for gid, w, _ in batch}
+    assert t.stored_notices == len(pairs)
+    for gid, writer in pairs:
+        best = max(i for g, w, i in batch if (g, w) == (gid, writer))
+        assert t.required_vector(gid)[writer] == best
+
+
+@given(batch=st.lists(
+    st.tuples(st.integers(min_value=1, max_value=4),
+              st.integers(min_value=1, max_value=50)),
+    min_size=1, max_size=40,
+))
+def test_full_mode_log_grows_per_add(batch):
+    """HLRC 'full' mode keeps the whole uncollected log (the storage
+    cost MTS's bounded mode eliminates)."""
+    t = NoticeTable(mode="full")
+    for gid, v in batch:
+        t.add(Notice(gid, v))
+    assert t.stored_notices == len(batch)
+    assert t.storage_bytes() > 0
+
+
+@given(batch=st.lists(
+    st.tuples(st.integers(min_value=1, max_value=3),
+              st.integers(min_value=0, max_value=2),
+              st.integers(min_value=1, max_value=30)),
+    min_size=1, max_size=30,
+))
+def test_vector_delta_never_resends(batch):
+    t = NoticeTable()
+    seen = {}
+    sent = {}
+    for gid, writer, interval in batch:
+        t.add(Notice(gid, interval, writer))
+        for n in t.delta_since_vector(seen):
+            assert n.version > sent.get((n.gid, n.writer), 0)
+            sent[(n.gid, n.writer)] = n.version
+    assert t.delta_since_vector(seen) == []
+
+
+@given(versions=st.lists(st.integers(min_value=1, max_value=100),
+                         min_size=1, max_size=30),
+       gid=st.integers(min_value=1, max_value=3))
+def test_add_all_returns_exactly_advancing_notices(versions, gid):
+    t = NoticeTable()
+    advanced = t.add_all(Notice(gid, v) for v in versions)
+    best = 0
+    expect = []
+    for v in versions:
+        if v > best:
+            expect.append(v)
+            best = v
+    assert [n.version for n in advanced] == expect
+
+
 # ---------------------------------------------------------------------------
 # Lock queues
 # ---------------------------------------------------------------------------
