@@ -40,6 +40,19 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Fault kinds accepted by :class:`FaultPlan.from_spec`.
 FAULT_KINDS = ("drop", "dup", "delay", "reorder", "detach")
 
+_TIME_SUFFIXES = (("ns", 1), ("us", 1_000), ("ms", 1_000_000),
+                  ("s", 1_000_000_000))
+
+
+def parse_time_ns(text: str) -> int:
+    """Parse a simulated-time literal like ``5ms``, ``250us``, ``1.5s``,
+    or a bare nanosecond count."""
+    text = text.strip()
+    for suffix, scale in _TIME_SUFFIXES:
+        if text.endswith(suffix) and text != suffix:
+            return int(float(text[: -len(suffix)]) * scale)
+    return int(text)
+
 
 @dataclass
 class FaultPlan:
@@ -59,13 +72,17 @@ class FaultPlan:
     def from_spec(cls, faults: str, seed: int = 0,
                   rate: float = 0.05) -> "FaultPlan":
         """Build a plan from a comma-separated kind list, e.g.
-        ``"drop,reorder,dup"`` (the CLI's ``--faults`` syntax)."""
+        ``"drop,reorder,dup"`` (the CLI's ``--faults`` syntax).  A node
+        kill is spelled ``detach:NODE@TIME``, e.g. ``detach:2@5ms``."""
         plan = cls(seed=seed)
-        for kind in filter(None, (k.strip() for k in faults.split(","))):
+        for part in filter(None, (k.strip() for k in faults.split(","))):
+            kind, _, arg = part.partition(":")
             if kind not in FAULT_KINDS:
                 raise ValueError(
                     f"unknown fault kind {kind!r} (choose from "
                     f"{', '.join(FAULT_KINDS)})")
+            if kind != "detach" and arg:
+                raise ValueError(f"fault kind {kind!r} takes no argument")
             if kind == "drop":
                 plan.drop_rate = rate
             elif kind == "dup":
@@ -75,9 +92,13 @@ class FaultPlan:
             elif kind == "reorder":
                 plan.reorder_rate = max(rate, 0.2)
             elif kind == "detach":
-                raise ValueError(
-                    "detach takes a node and a time; construct FaultPlan "
-                    "directly with detach_node/detach_at_ns")
+                node_text, sep, time_text = arg.partition("@")
+                if not sep or not node_text or not time_text:
+                    raise ValueError(
+                        "detach takes a node and a time "
+                        "(detach:NODE@TIME, e.g. detach:2@5ms)")
+                plan.detach_node = int(node_text)
+                plan.detach_at_ns = parse_time_ns(time_text)
         return plan
 
     @property
@@ -106,6 +127,7 @@ class FaultInjector:
         self.network = network
         self.plan = plan
         self.stats = FaultStats()
+        self._runtime: Optional["JavaSplitRuntime"] = None
         self._rng = np.random.default_rng(plan.seed)
         self._orig_send = network.send
         network.send = self._send  # type: ignore[method-assign]
@@ -125,7 +147,9 @@ class FaultInjector:
             raise ValueError(
                 "lossy fault plans (drop/dup/detach) require "
                 "RuntimeConfig(reliable_transport=True)")
-        return cls(runtime.network, plan)
+        injector = cls(runtime.network, plan)
+        injector._runtime = runtime
+        return injector
 
     def detach_now(self, node_id: int) -> None:
         """Unplug a node immediately (scriptable from tests)."""
@@ -135,6 +159,12 @@ class FaultInjector:
         if self.network.is_attached(node_id):
             self.network.detach(node_id)
             self.stats.detached.append(node_id)
+            # A detach models a crash, not a cable pull: when attached to
+            # a runtime, halt the node's CPUs too (fail-stop), so the
+            # "dead" node cannot keep computing — and locally completing
+            # threads — during the failure-detection window.
+            if self._runtime is not None:
+                self._runtime.workers[node_id].node.halt()
 
     # ------------------------------------------------------------------
     def _send(self, msg: Message) -> None:

@@ -44,7 +44,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..dsm.objectstate import ObjState
 from ..dsm.directory import home_of
-from ..dsm.protocol import M_DIFF, SCALAR, DsmEngine
+from ..dsm.protocol import M_DIFF, M_FT_REDIFF, SCALAR, DsmEngine
 from ..net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,8 +79,11 @@ class InvariantMonitor:
         self._workers: List[Any] = []
         # gid -> node that promoted it (single-home claims).
         self._home_claims: Dict[int, int] = {}
-        # Independent diff/ack ledger: node -> #unacked DIFF messages.
-        self._unacked: Dict[int, int] = {}
+        # Independent diff/ack ledger: node -> outstanding diff ack ids.
+        # Keyed by ack id (not a count) so a fault-tolerance redirect of
+        # an already-sent diff (``ft.rediff``, same ack id) does not
+        # double-count, and the losing copy's ack can be ignored.
+        self._unacked: Dict[int, Set[int]] = {}
         # Twin base versions in flight: (writer, key) -> FIFO of bases.
         self._bases: Dict[Tuple[int, Any], Deque[int]] = {}
         # Highest version a home has served / applied, per key.
@@ -128,7 +131,7 @@ class InvariantMonitor:
     def _wrap(self, dsm: DsmEngine) -> None:
         node = dsm.node_id
         scalar = dsm.config.timestamp_mode == SCALAR
-        self._unacked.setdefault(node, 0)
+        self._unacked.setdefault(node, set())
         self._cu_keys.setdefault(node, set())
 
         # --- promote: single-home claims -----------------------------
@@ -168,12 +171,17 @@ class InvariantMonitor:
 
         def checked_send(dst, msg_type, payload=None, size_bytes=0):
             if msg_type == M_DIFF:
-                self._unacked[node] += 1
+                self._unacked[node].add(payload["ack_id"])
                 for gid, _diff, region in payload["entries"]:
                     key = gid if region is None else (gid, region)
                     base = self._version_of(dsm, gid, region)
                     self._bases.setdefault((node, key),
                                            deque()).append(base)
+            elif msg_type == M_FT_REDIFF:
+                # Recovery re-sends an already-ledgered diff to the
+                # adoptive home; same ack id, so the set-add is a no-op
+                # and the twin bases must not be re-queued.
+                self._unacked[node].add(payload["ack_id"])
             return transport_send(dst, msg_type, payload, size_bytes)
 
         dsm.transport.send = checked_send
@@ -209,29 +217,39 @@ class InvariantMonitor:
 
         self._replace_handler(dsm, M_DIFF, checked_on_diff)
 
-        # --- diff acks: ledger decrement -----------------------------
-        from ..dsm.protocol import M_DIFF_ACK
+        # --- diff acks: ledger settle --------------------------------
+        from ..dsm.protocol import M_DIFF_ACK, M_FT_REDIFF_ACK
 
         on_diff_ack = dsm.transport._handlers[M_DIFF_ACK]
 
         def checked_on_diff_ack(msg: Message):
-            self._unacked[node] -= 1
-            if self._unacked[node] < 0:
+            ack_id = msg.payload["ack_id"]
+            if ack_id not in self._unacked[node]:
                 self.report(node, "fence",
-                            "more diff acks than diffs observed")
-                self._unacked[node] = 0
+                            f"ack for unknown diff {ack_id} observed")
+            self._unacked[node].discard(ack_id)
             on_diff_ack(msg)
 
         dsm.transport._handlers[M_DIFF_ACK] = checked_on_diff_ack
+
+        on_rediff_ack = dsm.transport._handlers[M_FT_REDIFF_ACK]
+
+        def checked_on_rediff_ack(msg: Message):
+            # A rediff ack can lose the race against the original ack;
+            # the engine ignores it then, and so does the ledger.
+            self._unacked[node].discard(msg.payload["ack_id"])
+            on_rediff_ack(msg)
+
+        dsm.transport._handlers[M_FT_REDIFF_ACK] = checked_on_rediff_ack
 
         # --- token transfer: the scalar-timestamp fence --------------
         send_token = dsm._send_token
 
         def checked_send_token(st, req):
-            if scalar and self._unacked[node] > 0:
+            if scalar and self._unacked[node]:
                 self.report(node, "fence",
                             f"token for gid {st.gid:#x} leaving with "
-                            f"{self._unacked[node]} unacked diff(s)")
+                            f"{len(self._unacked[node])} unacked diff(s)")
             send_token(st, req)
 
         dsm._send_token = checked_send_token
@@ -329,9 +347,14 @@ class InvariantMonitor:
     # End-of-run structural scan
     # ------------------------------------------------------------------
     def finalize(self) -> List[Violation]:
-        """Post-run structural checks; returns all violations so far."""
+        """Post-run structural checks; returns all violations so far.
+
+        Workers that died mid-run are skipped: their frozen cache is no
+        longer part of the system (recovery re-homed their masters)."""
         holders: Dict[int, List[int]] = {}
         for worker in self._workers:
+            if getattr(worker, "dead", False):
+                continue
             dsm = worker.dsm
             node = dsm.node_id
             for gid, obj in dsm.cache.items():
@@ -340,10 +363,13 @@ class InvariantMonitor:
                     continue
                 if hdr.state == ObjState.HOME:
                     holders.setdefault(gid, []).append(node)
-                    if home_of(gid) != node:
+                    # home_node() follows recovery's re-homing redirects
+                    # (it is home_of() when no node has died).
+                    if dsm.home_node(gid) != node:
                         self.report(node, "single-home",
                                     f"master for gid {gid:#x} resident at "
-                                    f"node {node}, homed at {home_of(gid)}")
+                                    f"node {node}, homed at "
+                                    f"{dsm.home_node(gid)}")
             if dsm._outstanding_acks:
                 self.report(node, "fence",
                             f"{dsm._outstanding_acks} diff ack(s) "

@@ -238,8 +238,13 @@ class SingleCopyOracle:
     # ------------------------------------------------------------------
     def finalize(self) -> List[Violation]:
         """Final heap convergence: clean replicas and masters must match
-        the single-copy reference at their versions."""
+        the single-copy reference at their versions.
+
+        Workers that died mid-run are skipped: recovery re-homed their
+        masters, and their frozen cache left the system."""
         for worker in self._workers:
+            if getattr(worker, "dead", False):
+                continue
             dsm = worker.dsm
             node = dsm.node_id
             for gid, obj in dsm.cache.items():
@@ -254,6 +259,8 @@ class SingleCopyOracle:
                             continue
                         if r in reg.twins or key in dsm._dirty:
                             continue
+                        if key in dsm._dirty_home:
+                            continue  # adopted master with merged writes
                         if state == ObjState.INVALID:
                             continue
                         if state == ObjState.VALID and key not in self._golden:

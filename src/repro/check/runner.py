@@ -22,7 +22,7 @@ from ..rewriter import rewrite_application
 from ..runtime.config import RuntimeConfig
 from ..runtime.javasplit import JavaSplitRuntime, run_original
 from ..sim.engine import NS_PER_MS
-from .faults import FaultInjector, FaultPlan, FaultStats
+from .faults import FaultInjector, FaultPlan, FaultStats, parse_time_ns
 from .monitor import InvariantMonitor, Violation
 from .oracle import SingleCopyOracle
 
@@ -50,17 +50,23 @@ class SeedResult:
     violations: List[Violation] = field(default_factory=list)
     result_matches: bool = True
     console_matches: bool = True
+    # False when the app cannot promise exact output under a kill (tsp's
+    # shared job queue loses taken-but-unprocessed jobs with a worker);
+    # the run must still finish with an oracle-clean heap.
+    result_required: bool = True
     error: Optional[str] = None
     simulated_ns: int = 0
     messages: int = 0
     installs_checked: int = 0
     finals_checked: int = 0
     faults: Optional[FaultStats] = None
+    ft: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
-        return (not self.violations and self.result_matches
-                and self.console_matches and self.error is None)
+        exact = ((self.result_matches and self.console_matches)
+                 or not self.result_required)
+        return not self.violations and exact and self.error is None
 
 
 @dataclass
@@ -70,6 +76,7 @@ class CheckReport:
     app: str
     faults: str
     nodes: int
+    kill: Optional[str] = None
     results: List[SeedResult] = field(default_factory=list)
     reference_result: Any = None
 
@@ -89,14 +96,22 @@ class CheckReport:
             (r.faults.dropped + r.faults.duplicated + r.faults.delayed
              + r.faults.reordered) if r.faults else 0
             for r in self.results)
+        kills = sum(len(r.faults.detached) if r.faults else 0
+                    for r in self.results)
+        recovered = sum(
+            len(r.ft["recoveries"]) if r.ft else 0 for r in self.results)
         lines = [
             f"check: app={self.app} nodes={self.nodes} "
-            f"faults={self.faults or 'none'}",
+            f"faults={self.faults or 'none'}"
+            + (f" kill={self.kill}" if self.kill else ""),
             f"  seeds run           : {n}",
             f"  installs cross-checked: {installs}",
             f"  final units checked : {finals}",
             f"  faults injected     : {injected}",
         ]
+        if self.kill or kills:
+            lines.append(f"  nodes killed        : {kills} "
+                         f"({recovered} recovered)")
         if self.ok:
             lines.append(f"  verdict             : OK "
                          f"({n}/{n} seeds consistent)")
@@ -108,10 +123,10 @@ class CheckReport:
                     continue
                 if r.error:
                     lines.append(f"  seed {r.seed}: error: {r.error}")
-                if not r.result_matches:
+                if not r.result_matches and r.result_required:
                     lines.append(f"  seed {r.seed}: result diverges "
                                  f"from reference")
-                if not r.console_matches:
+                if not r.console_matches and r.result_required:
                     lines.append(f"  seed {r.seed}: console diverges "
                                  f"from reference")
                 for v in r.violations:
@@ -129,6 +144,35 @@ def app_source(app: str) -> str:
             f"{', '.join(sorted(APP_SOURCES))})") from None
 
 
+def parse_kill(kill: str, seed: int, nodes: int,
+               master: int = 0) -> "tuple[int, int]":
+    """Resolve a ``--kill`` spec to (node, simulated time).
+
+    ``NODE@TIME`` (e.g. ``2@5ms``) kills that node at that time in every
+    seeded run; ``random`` picks a seed-deterministic non-master node
+    and a kill time spread over the first ~30 ms (the window in which
+    the checking-scale apps do their work).
+    """
+    if kill == "random":
+        candidates = [n for n in range(nodes) if n != master]
+        if not candidates:
+            raise ValueError("kill=random needs a non-master node")
+        node = candidates[seed % len(candidates)]
+        at_ns = (1 + (seed * 7) % 30) * NS_PER_MS
+        return node, at_ns
+    node_text, sep, time_text = kill.partition("@")
+    if not sep or not node_text or not time_text:
+        raise ValueError(
+            f"bad kill spec {kill!r} (NODE@TIME, e.g. 2@5ms, or 'random')")
+    node = int(node_text)
+    if not (0 <= node < nodes):
+        raise ValueError(f"kill node {node} out of range for {nodes} nodes")
+    if node == master:
+        raise ValueError(
+            f"kill node {node} is the master; that is not survivable")
+    return node, parse_time_ns(time_text)
+
+
 def run_check(
     app: str = "series",
     seeds: int = 25,
@@ -139,6 +183,7 @@ def run_check(
     region_elems: Optional[int] = None,
     jitter_ns: int = DEFAULT_JITTER_NS,
     strict: bool = False,
+    kill: Optional[str] = None,
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -148,41 +193,64 @@ def run_check(
     injector (seeded by the run seed), the invariant monitor, and the
     single-copy oracle; results are compared against one
     ``run_original`` reference execution.
+
+    ``kill`` (``NODE@TIME`` or ``random``) unplugs one worker mid-run
+    with the fault-tolerance subsystem enabled: the run must still
+    complete with an oracle-clean heap.  Exact result equality is
+    additionally required except for tsp, whose shared job queue may
+    legitimately lose a taken-but-unprocessed job with the worker.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
+    # A detach can come from either --kill or a detach:NODE@TIME fault
+    # spec; both run with the fault-tolerance subsystem enabled (without
+    # it, losing a node strands the run in DeadlockError by design).
+    killing = kill is not None
     if faults:
-        FaultPlan.from_spec(faults)  # reject bad specs before any run
+        probe = FaultPlan.from_spec(faults)  # reject bad specs before any run
+        killing = killing or probe.detach_node is not None
+    if kill is not None:
+        parse_kill(kill, seed=0, nodes=nodes)  # reject bad specs early
+    if killing and timestamp_mode != "scalar":
+        raise ValueError("node kills require the scalar timestamp mode "
+                         "(the only mode the ft subsystem supports)")
     source = app_source(app)
     classfiles = compile_source(source)
     reference = run_original(classfiles=classfiles)
     ref_console = sorted(reference.console)
     rewritten = rewrite_application(classfiles)
 
-    report = CheckReport(app=app, faults=faults, nodes=nodes,
+    report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
             if faults else FaultPlan(seed=seed)
+        if kill is not None:
+            plan.detach_node, plan.detach_at_ns = \
+                parse_kill(kill, seed=seed, nodes=nodes)
         config = RuntimeConfig(
             num_nodes=nodes,
             net_jitter_ns=jitter_ns,
             seed=seed,
             reliable_transport=plan.lossy,
+            ft_enabled=killing,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,
                 array_region_elems=region_elems,
             ),
         )
-        sr = SeedResult(seed=seed)
+        sr = SeedResult(seed=seed,
+                        result_required=not (killing and app == "tsp"))
         runtime = JavaSplitRuntime(rewritten, config)
-        injector = FaultInjector.attach(runtime, plan) if faults else None
+        injector = FaultInjector.attach(runtime, plan) \
+            if (faults or kill) else None
         monitor = InvariantMonitor.attach(runtime, strict=strict)
         oracle = SingleCopyOracle.attach(runtime)
         try:
             run = runtime.run()
             sr.simulated_ns = run.simulated_ns
             sr.messages = run.net.messages if run.net else 0
+            sr.ft = run.ft
             sr.result_matches = run.result == reference.result
             sr.console_matches = sorted(run.console) == ref_console
         except Exception as exc:  # noqa: BLE001 - any crash is a finding

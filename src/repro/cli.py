@@ -17,6 +17,7 @@ Examples::
     python -m repro disasm app.mj --rewritten
     python -m repro trace app.mj --nodes 2 --limit 80
     python -m repro check --app series --seeds 25 --faults drop,reorder,dup
+    python -m repro check --app tsp --seeds 10 --kill 2@5ms
 """
 
 from __future__ import annotations
@@ -146,6 +147,7 @@ def cmd_check(args) -> int:
             timestamp_mode="vector" if args.vector_timestamps else "scalar",
             region_elems=args.region_elems,
             strict=args.strict,
+            kill=args.kill,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -210,6 +212,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "drop,dup,delay,reorder (default: none)")
     p_chk.add_argument("--fault-rate", type=float, default=0.05,
                        help="per-frame fault probability")
+    p_chk.add_argument("--kill", default=None, metavar="NODE@TIME",
+                       help="kill one worker mid-run with fault tolerance "
+                            "enabled (e.g. 2@5ms, or 'random' for a "
+                            "seed-derived node and time)")
     p_chk.add_argument("--nodes", type=int, default=3)
     p_chk.add_argument("--region-elems", type=int, default=None)
     p_chk.add_argument("--vector-timestamps", action="store_true")

@@ -60,10 +60,24 @@ class LockToken:
 
     # ------------------------------------------------------------------
     def enqueue(self, req: LockRequest) -> None:
-        """Insert by priority (high first), FIFO within a priority."""
+        """Insert by priority (high first), FIFO within a priority.
+
+        A request from a (node, thread) already queued or parked is
+        dropped: normal operation never produces one, but failure
+        recovery re-issues requests for blocked threads whose original
+        record may in fact have survived on a live token."""
+        if self.holds_request(req.node, req.thread_id):
+            return
         req.seq = next(self._seq)
         self.queue.append(req)
         self.queue.sort(key=LockRequest.sort_key)
+
+    def holds_request(self, node: int, thread_id: int) -> bool:
+        """True if this (node, thread) is already queued or parked."""
+        return any(
+            r.node == node and r.thread_id == thread_id
+            for r in itertools.chain(self.queue, self.waitq)
+        )
 
     def pop_next(self) -> Optional[LockRequest]:
         """Remove and return the next grantee, or None."""
@@ -80,6 +94,10 @@ class LockToken:
     # ------------------------------------------------------------------
     def park_waiter(self, req: LockRequest) -> None:
         """Move a thread into the wait queue (Object.wait)."""
+        self.waitq = [
+            r for r in self.waitq
+            if not (r.node == req.node and r.thread_id == req.thread_id)
+        ]
         self.waitq.append(req)
 
     def notify_one(self) -> bool:

@@ -68,6 +68,12 @@ M_TOKEN = "dsm.token"
 M_OWNER_UPDATE = "dsm.owner_update"
 M_SPAWN = "dsm.spawn"
 M_CONSOLE = "dsm.console"
+# Fault-tolerance: a pending diff redirected to the buddy of a dead
+# home, and its ack.  Distinct from M_DIFF/M_DIFF_ACK so that external
+# observers (the invariant monitor's independent ledger) can tell a
+# recovery resend from a first send.
+M_FT_REDIFF = "ft.rediff"
+M_FT_REDIFF_ACK = "ft.rediff_ack"
 
 SCALAR = "scalar"
 VECTOR = "vector"
@@ -198,6 +204,25 @@ class DsmEngine:
         self._applied: Dict[int, Dict[int, int]] = {}
         self._deferred_fetch: Dict[int, List[Message]] = {}
         self._replica_vc: Dict[int, Dict[int, int]] = {}
+        # ------------------------------------------------------------------
+        # Fault tolerance (src/repro/ft).  All of this is inert unless an
+        # FtNodeAgent is attached as ``self.ft``:
+        #   _home_map        re-homing indirection: origin node -> adoptive
+        #                    home (gids name their origin in the high bits;
+        #                    after recovery the buddy serves them)
+        #   _pending_diffs   ack_id -> (home, payload, size) of unacked
+        #                    flushes, so recovery can redirect them
+        #   _blocked_on      tid -> (gid, restore) while a thread is blocked
+        #                    on a lock grant, so recovery can re-issue lost
+        #                    requests and stale re-grants can be detected
+        #   _ft_token_freeze recovery is scanning for live tokens; no token
+        #                    may leave this node until it finishes
+        self.ft: Optional[Any] = None
+        self._home_map: Dict[int, int] = {}
+        self._pending_diffs: Dict[int, Tuple[int, Dict[str, Any], int]] = {}
+        self._blocked_on: Dict[int, Tuple[int, int]] = {}
+        self._ft_token_freeze = False
+        self._ft_frozen_sends: List[Callable[[], None]] = []
 
         for mtype, handler in (
             (M_FETCH_REQ, self._on_fetch_req),
@@ -210,8 +235,19 @@ class DsmEngine:
             (M_OWNER_UPDATE, self._on_owner_update),
             (M_SPAWN, self._on_spawn),
             (M_CONSOLE, self._on_console),
+            (M_FT_REDIFF, self._on_ft_rediff),
+            (M_FT_REDIFF_ACK, self._on_ft_rediff_ack),
         ):
             transport.on(mtype, handler)
+
+    # ==================================================================
+    # Home-table indirection (fault tolerance)
+    # ==================================================================
+    def home_node(self, gid: int) -> int:
+        """Current home of a gid: its origin node unless that node died
+        and its coherency units were adopted by a buddy."""
+        home = home_of(gid)
+        return self._home_map.get(home, home)
 
     # ==================================================================
     # Setup helpers
@@ -246,7 +282,12 @@ class DsmEngine:
     # ==================================================================
     def gid_for(self, ref: Any) -> int:
         """Resolver hook: global id of a ref, promoting if needed."""
-        return self.promote(ref)
+        gid = self.promote(ref)
+        if self.ft is not None:
+            # Lazy-replication publish point: the ref is about to cross
+            # the wire, so a survivor may come to depend on it.
+            self.ft.on_ref_serialized(gid)
+        return gid
 
     def class_id_for(self, class_name: str) -> int:
         """Resolver hook: wire id for a class name."""
@@ -261,7 +302,7 @@ class DsmEngine:
         obj = self.cache.get(gid)
         if obj is not None:
             return obj
-        if home_of(gid) == self.node_id:
+        if self.home_node(gid) == self.node_id:
             raise ProtocolError(
                 f"node {self.node_id} is home of gid {gid:#x} but has no "
                 f"master copy"
@@ -312,6 +353,8 @@ class DsmEngine:
         hdr.lock_count = 0
         hdr.lock_owner = None
         self.stats.promotions += 1
+        if self.ft is not None:
+            self.ft.on_promote(gid)
         return gid
 
     # ==================================================================
@@ -329,6 +372,11 @@ class DsmEngine:
     def on_thread_finished(self, thread: JThread) -> None:
         """Drop finished threads from the live-thread map."""
         self._threads.pop(thread.tid, None)
+        if self.ft is not None:
+            tobj = thread.thread_obj
+            if tobj is not None and tobj.header is not None \
+                    and tobj.header.gid:
+                self.ft.on_thread_done(tobj.header.gid)
 
     def _thread(self, tid: int) -> JThread:
         try:
@@ -430,7 +478,7 @@ class DsmEngine:
         self.stats.fetches += 1
         if region is not None:
             self.stats.region_fetches += 1
-        self.transport.send(home_of(gid), M_FETCH_REQ, payload)
+        self.transport.send(self.home_node(gid), M_FETCH_REQ, payload)
 
     # ==================================================================
     # JVM hooks: synchronization
@@ -463,6 +511,7 @@ class DsmEngine:
             st.token.enqueue(
                 LockRequest(self.node_id, thread.tid, thread.priority)
             )
+            self._blocked_on[thread.tid] = (gid, 1)
             return False, cost
         if st.token is not None and st.transit:
             # Token committed to a remote node but still fenced here: the
@@ -470,10 +519,12 @@ class DsmEngine:
             st.token.enqueue(
                 LockRequest(self.node_id, thread.tid, thread.priority)
             )
+            self._blocked_on[thread.tid] = (gid, 1)
             return False, cost
         # No token here: route through the home node.
         self.stats.lock_requests += 1
-        self.transport.send(home_of(gid), M_LOCK_REQ, {
+        self._blocked_on[thread.tid] = (gid, 1)
+        self.transport.send(self.home_node(gid), M_LOCK_REQ, {
             "gid": gid,
             "node": self.node_id,
             "tid": thread.tid,
@@ -531,6 +582,7 @@ class DsmEngine:
             LockRequest(self.node_id, thread.tid, thread.priority,
                         restore_count=saved)
         )
+        self._blocked_on[thread.tid] = (gid, saved)
         # wait() is a release point.
         self.end_interval(thread)
         self._service_queue(st)
@@ -565,6 +617,8 @@ class DsmEngine:
             "class_name": tobj.class_name,
             "priority": priority,
         }
+        if self.ft is not None:
+            self.ft.on_spawn(gid, tobj.class_name, priority, target)
         if target == self.node_id:
             self._local_spawn(gid, tobj.class_name, priority)
         else:
@@ -602,6 +656,8 @@ class DsmEngine:
                      name=f"{class_name}-{gid & 0xFFFF:x}")
         self.jvm.live_jthreads[id(obj)] = jt
         self.jvm.call_function(jt)
+        if self.ft is not None:
+            self.ft.on_thread_start(gid)
         if self.on_spawn_arrival is not None:
             self.on_spawn_arrival(self.node_id)
 
@@ -668,7 +724,8 @@ class DsmEngine:
                 diff = compute_region_diff(obj, lo, twin, self)
                 if diff is None:
                     continue
-                by_home.setdefault(home_of(gid), []).append((gid, diff, region))
+                by_home.setdefault(
+                    self.home_node(gid), []).append((gid, diff, region))
                 continue
             gid = entry
             obj = self.cache[gid]
@@ -680,9 +737,10 @@ class DsmEngine:
             diff = compute_diff(obj, twin, self.specs.get(self._spec_key(obj)), self)
             if diff is None:
                 continue
-            by_home.setdefault(home_of(gid), []).append((gid, diff, None))
+            by_home.setdefault(self.home_node(gid), []).append((gid, diff, None))
         if flush_home:
             # Home-written masters: bump version locally, notice at once.
+            advanced: List[Tuple[Any, int]] = []
             for entry in list(self._dirty_home):
                 self._dirty_home.discard(entry)
                 if isinstance(entry, tuple):
@@ -698,11 +756,14 @@ class DsmEngine:
                     hdr.version += 1
                     key = gid
                     version = hdr.version
+                advanced.append((key, version))
                 if self.config.timestamp_mode == VECTOR:
                     self._applied.setdefault(key, {})[self.node_id] = interval
                     self.notice_table.add(Notice(key, interval, self.node_id))
                 else:
                     self.notice_table.add(Notice(key, version))
+            if advanced and self.ft is not None:
+                self.ft.on_home_advance(advanced)
         for home, entries in by_home.items():
             ack_id = self._next_ack_id
             self._next_ack_id += 1
@@ -716,6 +777,7 @@ class DsmEngine:
             self.stats.diffs_sent += len(entries)
             size = HEADER_BYTES + sum(14 + len(d) for _, d, _r in entries)
             self.stats.diff_bytes += size
+            self._pending_diffs[ack_id] = (home, payload, size)
             if self.config.timestamp_mode == VECTOR:
                 # No fence: the notice is known locally right away.
                 for gid, _, region in entries:
@@ -726,9 +788,11 @@ class DsmEngine:
     def _spec_key(self, obj: Any) -> str:
         return obj.class_name
 
-    def _on_diff(self, msg: Message) -> None:
-        p = msg.payload
-        acks: List[Tuple[int, int]] = []
+    def _apply_diff_entries(self, p: Dict[str, Any]) -> List[Tuple[Any, int]]:
+        """Apply one diff payload's entries to local masters; returns the
+        (key, new_version) acks.  Shared by the M_DIFF handler and the
+        recovery-time M_FT_REDIFF handler."""
+        acks: List[Tuple[Any, int]] = []
         writer = p["writer"]
         interval = p["interval"]
         for gid, diff, region in p["entries"]:
@@ -759,12 +823,20 @@ class DsmEngine:
                 self._retry_deferred_fetches(key)
             else:
                 self.notice_table.add(Notice(key, version))
+        return acks
+
+    def _on_diff(self, msg: Message) -> None:
+        p = msg.payload
+        acks = self._apply_diff_entries(p)
+        if self.ft is not None:
+            self.ft.on_home_advance(acks)
         delay = self.cost_model[cm.PROTO_HANDLER_NS]
         self.engine.schedule(delay, lambda: self.transport.send(
             msg.src, M_DIFF_ACK, {"ack_id": p["ack_id"], "versions": acks}
         ))
 
     def _on_diff_ack(self, msg: Message) -> None:
+        self._pending_diffs.pop(msg.payload["ack_id"], None)
         for key, version in msg.payload["versions"]:
             self.notice_table.add(Notice(key, version))
         self._outstanding_acks -= 1
@@ -774,6 +846,52 @@ class DsmEngine:
             queue, self._fence_queue = self._fence_queue, []
             for action in queue:
                 action()
+
+    # ------------------------------------------------------------------
+    # Recovery: pending diffs redirected to an adoptive home
+    # ------------------------------------------------------------------
+    def _on_ft_rediff(self, msg: Message) -> None:
+        """Adoptive-home side: apply a diff whose original home died
+        before acknowledging it.  Content-idempotent even if the dead
+        home had already applied it (diffs carry absolute slot values),
+        so at worst the version inflates — versions only ever need to be
+        monotonic."""
+        p = msg.payload
+        acks = self._apply_diff_entries(p)
+        if self.ft is not None:
+            self.ft.on_home_advance(acks)
+        delay = self.cost_model[cm.PROTO_HANDLER_NS]
+        self.engine.schedule(delay, lambda: self.transport.send(
+            msg.src, M_FT_REDIFF_ACK,
+            {"ack_id": p["ack_id"], "versions": acks}
+        ))
+
+    def _on_ft_rediff_ack(self, msg: Message) -> None:
+        ack_id = msg.payload["ack_id"]
+        if ack_id not in self._pending_diffs:
+            return  # the original home's ack won the race; already settled
+        del self._pending_diffs[ack_id]
+        for key, version in msg.payload["versions"]:
+            self.notice_table.add(Notice(key, version))
+        self._outstanding_acks -= 1
+        if self._outstanding_acks == 0:
+            queue, self._fence_queue = self._fence_queue, []
+            for action in queue:
+                action()
+
+    def ft_redirect_pending(self, dead: int, new_home: int) -> int:
+        """Re-send every unacked diff that was destined for ``dead`` to
+        its adoptive home.  Returns the number of redirected flushes."""
+        redirected = 0
+        for ack_id in sorted(self._pending_diffs):
+            home, payload, size = self._pending_diffs[ack_id]
+            if home != dead:
+                continue
+            self._pending_diffs[ack_id] = (new_home, payload, size)
+            self.transport.send(new_home, M_FT_REDIFF, payload,
+                                size_bytes=size)
+            redirected += 1
+        return redirected
 
     def _when_fence_clear(self, action: Callable[[], None]) -> None:
         """Run ``action`` once all outstanding diffs are acked (§3.1's
@@ -827,6 +945,10 @@ class DsmEngine:
                      region: Optional[int] = None) -> None:
         hdr: DSMHeader = obj.header
         gid = hdr.gid
+        if self.ft is not None:
+            # Replicate BEFORE the reply leaves: anything a survivor can
+            # have observed must be reconstructible from the buddy.
+            self.ft.on_serve(gid, region)
         payload: Dict[str, Any] = {
             "gid": gid,
             "class_name": obj.class_name,
@@ -1005,37 +1127,73 @@ class DsmEngine:
         # Token has moved on: chase it.
         target = st.last_sent_to
         if target is None:
-            if self.node_id == home_of(gid):
+            if self.node_id == self.home_node(gid):
                 target = self.lock_owner.get(gid)
             if target is None or target == self.node_id:
-                raise ProtocolError(
-                    f"node {self.node_id} cannot route lock request for "
-                    f"gid {gid:#x}"
-                )
+                if (self.ft is not None
+                        and self.node_id != self.home_node(gid)):
+                    # Routing hint wiped by failure recovery: fall back
+                    # to the (possibly adoptive) home, which re-routes
+                    # via its owner table.
+                    target = self.home_node(gid)
+                else:
+                    raise ProtocolError(
+                        f"node {self.node_id} cannot route lock request "
+                        f"for gid {gid:#x}"
+                    )
         self.transport.send(target, M_LOCK_FWD, dict(p))
 
     def _service_queue(self, st: NodeLockState) -> None:
         """Grant a free token to the next queued requester, if any."""
         if st.token is None or st.transit or st.holder_tid is not None:
             return
-        req = st.token.peek_next()
-        if req is None:
-            return
-        if req.node == self.node_id:
+        while True:
+            req = st.token.peek_next()
+            if req is None:
+                return
+            if req.node == self.node_id:
+                st.token.pop_next()
+                if self.ft is not None:
+                    # A recovery re-issue can produce a second grant for a
+                    # request that was already satisfied; the thread is no
+                    # longer blocked on this lock, so skip it.
+                    entry = self._blocked_on.get(req.thread_id)
+                    if entry is None or entry[0] != st.gid:
+                        continue
+                    st.count = entry[1]
+                else:
+                    st.count = req.restore_count
+                st.holder_tid = req.thread_id
+                self._blocked_on.pop(req.thread_id, None)
+                self._thread(req.thread_id).complete(NO_VALUE)
+                return
+            if self._ft_token_freeze:
+                # Recovery is scanning for live tokens: hold the token
+                # here; the orchestrator re-services every queue after.
+                return
+            # Remote transfer: fence on outstanding diffs (scalar mode).
             st.token.pop_next()
-            st.holder_tid = req.thread_id
-            st.count = req.restore_count
-            self._thread(req.thread_id).complete(NO_VALUE)
+            st.transit = True
+            st.pending_grant = req
+            self._when_fence_clear(lambda: self._send_token(st, req))
             return
-        # Remote transfer: fence on outstanding diffs (scalar mode).
-        st.token.pop_next()
-        st.transit = True
-        st.pending_grant = req
-        self._when_fence_clear(lambda: self._send_token(st, req))
 
     def _send_token(self, st: NodeLockState, req: LockRequest) -> None:
         token = st.token
         assert token is not None
+        if self.ft is not None and req.node in self.transport.dead_peers:
+            # The grantee died while this transfer waited on the fence:
+            # keep the token and serve the next live requester instead.
+            st.transit = False
+            st.pending_grant = None
+            self._service_queue(st)
+            return
+        if self._ft_token_freeze:
+            # Recovery is counting live tokens; commit the send but hold
+            # the frame until the freeze lifts.
+            self._ft_frozen_sends.append(
+                lambda: self._send_token(st, req))
+            return
         # Per-receiver delta: what THIS node's table has that the token
         # has not yet delivered to req.node specifically.
         per_receiver = token.seen_notices.setdefault(req.node, {})
@@ -1083,7 +1241,7 @@ class DsmEngine:
         notices = [Notice(g, v, w) for g, v, w in p["delta"]]
         self._apply_notices(notices)
         # Tell the home who owns the lock now.
-        home = home_of(gid)
+        home = self.home_node(gid)
         if home != self.node_id:
             self.transport.send(home, M_OWNER_UPDATE, {
                 "gid": gid, "owner": self.node_id,
@@ -1093,13 +1251,218 @@ class DsmEngine:
         node, tid, _prio, restore = p["grant"]
         if node != self.node_id:  # pragma: no cover - defensive
             raise ProtocolError("token granted to the wrong node")
+        if self.ft is not None:
+            entry = self._blocked_on.get(tid)
+            if entry is None or entry[0] != gid:
+                # Stale grant from a recovery re-issue: the thread was
+                # already granted (and may have moved on).  Keep the
+                # token and serve whoever is actually waiting.
+                self._service_queue(st)
+                return
+            restore = entry[1]
         st.holder_tid = tid
         st.count = restore
+        self._blocked_on.pop(tid, None)
         self._thread(tid).complete(NO_VALUE)
 
     def _on_owner_update(self, msg: Message) -> None:
         p = msg.payload
         self.lock_owner[p["gid"]] = p["owner"]
+
+    # ==================================================================
+    # Fault-tolerance recovery primitives (driven by repro.ft.recovery)
+    # ==================================================================
+    def ft_serialize_unit(self, key: Any) -> Optional[Dict[str, Any]]:
+        """Serialize one home coherency unit for buddy replication, in
+        the same format a fetch reply uses."""
+        gid, region = key if isinstance(key, tuple) else (key, None)
+        obj = self.cache.get(gid)
+        if obj is None:
+            return None
+        unit: Dict[str, Any] = {
+            "gid": gid,
+            "region": region,
+            "class_name": obj.class_name,
+        }
+        if region is not None:
+            reg = self._regions.get(gid)
+            if reg is None:
+                return None
+            lo, hi = reg.bounds(region, len(obj.data))
+            unit["data"] = serialize_region(obj, lo, hi, self)
+            unit["version"] = reg.versions[region]
+            unit["total_len"] = len(obj.data)
+            unit["region_elems"] = reg.elems
+        else:
+            unit["data"] = serialize_any(
+                obj, self.specs.get(self._spec_key(obj)), self)
+            unit["version"] = obj.header.version
+        return unit
+
+    def ft_home_keys(self) -> List[Any]:
+        """Keys of every coherency unit this node is (origin) home of."""
+        keys: List[Any] = []
+        for gid, obj in self.cache.items():
+            hdr = obj.header
+            if hdr is None or home_of(gid) != self.node_id:
+                continue
+            reg = self._regions.get(gid)
+            if reg is not None:
+                keys.extend((gid, r) for r in range(reg.n_regions))
+            elif hdr.state == ObjState.HOME:
+                keys.append(gid)
+        return keys
+
+    def ft_install_master(self, unit: Dict[str, Any]) -> None:
+        """Adopt one replicated coherency unit as a local master.  Local
+        uncommitted writes to a cached replica of the same unit are
+        merged back on top (they are program actions the multiple-writer
+        protocol has not lost yet)."""
+        gid = unit["gid"]
+        region = unit["region"]
+        obj = self.cache.get(gid)
+        if obj is None:
+            class_name = unit["class_name"]
+            if class_name.endswith("[]"):
+                obj = ArrayObj(class_name[:-2], 0)
+            else:
+                obj = Obj(self.jvm.lookup(class_name))
+            hdr = attach_header(obj)
+            hdr.gid = gid
+            hdr.state = ObjState.INVALID
+            hdr.version = 0
+            self.cache[gid] = obj
+        hdr = obj.header
+        if region is not None:
+            total_len = unit["total_len"]
+            reg = self._regions.get(gid)
+            if reg is None:
+                elems = unit["region_elems"]
+                n = (total_len + elems - 1) // elems
+                reg = RegionInfo(
+                    elems=elems,
+                    states=[ObjState.INVALID] * n,
+                    versions=[0] * n,
+                    length_known=True,
+                )
+                self._regions[gid] = reg
+            if len(obj.data) != total_len:
+                from ..jvm.classfile import default_value
+                obj.data = [default_value(obj.elem_type)] * total_len
+            lo, _hi = reg.bounds(region, total_len)
+            twin = reg.twins.pop(region, None)
+            local_diff = None
+            if twin is not None:
+                local_diff = compute_region_diff(obj, lo, twin, self)
+                self._dirty.discard((gid, region))
+            deserialize_region(obj, lo, unit["data"], self)
+            reg.states[region] = ObjState.HOME
+            reg.versions[region] = max(reg.versions[region],
+                                       unit["version"])
+            hdr.state = ObjState.HOME
+            if local_diff is not None:
+                apply_region_diff(obj, lo, local_diff, self)
+                self._dirty_home.add((gid, region))
+        else:
+            spec = self.specs.get(self._spec_key(obj))
+            twin = hdr.twin
+            hdr.twin = None
+            local_diff = None
+            if twin is not None:
+                local_diff = compute_diff(obj, twin, spec, self)
+                self._dirty.discard(gid)
+            deserialize_any(obj, spec, unit["data"], self)
+            hdr.version = max(hdr.version, unit["version"])
+            hdr.state = ObjState.HOME
+            if local_diff is not None:
+                apply_diff(obj, spec, local_diff, self)
+                self._dirty_home.add(gid)
+
+    def ft_set_home(self, origin: int, new_home: int) -> None:
+        """Point the home table of a failed origin node at its buddy."""
+        self._home_map[origin] = new_home
+
+    def ft_set_token_freeze(self, frozen: bool) -> None:
+        """Freeze/unfreeze outbound token transfers.  Unfreezing flushes
+        transfers the fence released during the freeze and re-services
+        every lock queue."""
+        self._ft_token_freeze = frozen
+        if frozen:
+            return
+        sends, self._ft_frozen_sends = self._ft_frozen_sends, []
+        for action in sends:
+            action()
+        for gid in sorted(self.lock_states):
+            self._service_queue(self.lock_states[gid])
+
+    def ft_purge_dead(self, dead: int) -> None:
+        """Drop every trace of a dead node from local lock state: its
+        queued requests and parked waiters can never be granted, and
+        routing hints pointing at it would black-hole lock requests."""
+        for gid in sorted(self.lock_states):
+            st = self.lock_states[gid]
+            if st.last_sent_to == dead:
+                st.last_sent_to = None
+            token = st.token
+            if token is None:
+                continue
+            token.queue = [r for r in token.queue if r.node != dead]
+            token.waitq = [r for r in token.waitq if r.node != dead]
+            token.seen_notices.pop(dead, None)
+
+    def ft_reissue_fetches(self, dead: int) -> int:
+        """Re-send fetch requests that were in flight to a dead home;
+        the adoptive home answers them from the replica store."""
+        reissued = 0
+        for (gid, region), waiters in list(self._fetch_waiters.items()):
+            if not waiters or home_of(gid) != dead:
+                continue
+            key = gid if region is None else (gid, region)
+            payload: Dict[str, Any] = {"gid": gid, "region": region}
+            if self.config.timestamp_mode == VECTOR:
+                payload["required"] = self.notice_table.required_vector(key)
+            else:
+                payload["required"] = self.notice_table.required_scalar(key)
+            self.stats.fetches += 1
+            self.transport.send(self.home_node(gid), M_FETCH_REQ, payload)
+            reissued += 1
+        return reissued
+
+    def ft_reissue_blocked(self) -> int:
+        """Re-issue lock requests for locally blocked threads whose
+        request (or parked-waiter record) may have died with the failed
+        node.  Duplicates are suppressed by the token queues' per-thread
+        dedup; a re-grant of an already-granted request is skipped by
+        the stale-grant check.  A waiter parked on a lost token wakes
+        spuriously — legal, Java wait loops re-check their condition."""
+        reissued = 0
+        for tid in sorted(self._blocked_on):
+            gid, restore = self._blocked_on[tid]
+            thread = self._threads.get(tid)
+            if thread is None:
+                continue
+            st = self.lock_states.get(gid)
+            if st is not None and st.token is not None:
+                if st.token.holds_request(self.node_id, tid):
+                    continue  # original record survived with the token
+                # Token is local (possibly freshly re-issued) but the
+                # request record died with the old holder: requeue here.
+                st.token.enqueue(LockRequest(
+                    self.node_id, tid, thread.priority,
+                    restore_count=restore,
+                ))
+                reissued += 1
+                continue
+            self.stats.lock_requests += 1
+            self.transport.send(self.home_node(gid), M_LOCK_REQ, {
+                "gid": gid,
+                "node": self.node_id,
+                "tid": tid,
+                "priority": thread.priority,
+                "restore": restore,
+            })
+            reissued += 1
+        return reissued
 
     # ==================================================================
     # Introspection / testing helpers

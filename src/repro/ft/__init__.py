@@ -1,0 +1,47 @@
+"""Fault tolerance for MTS-HLRC: survive the loss of a worker node.
+
+Three cooperating pieces, all riding on the existing simulated network:
+
+- :mod:`heartbeat` — periodic pings to the master node plus the ARQ
+  layer's ``peer_unreachable`` events; a worker missing K consecutive
+  beats is declared failed.
+- :mod:`replication` — every node mirrors its home-side coherency state
+  (master copies, versions) to a deterministic *buddy* node, piggybacked
+  on the same release-time events that advance that state.
+- :mod:`recovery` — on a confirmed failure, the dead node's coherency
+  units are re-homed onto the buddy's replica, lost lock tokens are
+  re-issued, stale replicas invalidated via write notices, and the dead
+  node's unfinished threads re-shipped through the normal scheduler.
+
+:class:`~repro.ft.manager.FtManager` wires it all into a
+:class:`~repro.runtime.javasplit.JavaSplitRuntime` when
+``RuntimeConfig.ft_enabled`` is set.
+"""
+
+from .heartbeat import FailureDetector, HeartbeatAgent
+from .manager import FtManager
+from .recovery import MasterFailedError, RecoveryOrchestrator
+from .replication import (
+    M_FT_NOTICES,
+    M_FT_PING,
+    M_FT_REPL,
+    M_FT_SUSPECT,
+    FtNodeAgent,
+    ReplicaStore,
+    buddy_of,
+)
+
+__all__ = [
+    "FtManager",
+    "FtNodeAgent",
+    "ReplicaStore",
+    "HeartbeatAgent",
+    "FailureDetector",
+    "RecoveryOrchestrator",
+    "MasterFailedError",
+    "buddy_of",
+    "M_FT_PING",
+    "M_FT_SUSPECT",
+    "M_FT_REPL",
+    "M_FT_NOTICES",
+]

@@ -45,6 +45,14 @@ class SimNetwork:
         self._last_delivery: Dict[tuple[int, int], int] = {}
         self._jitter_ns = jitter_ns
         self._rng = np.random.default_rng(seed)
+        # Frames accepted but not yet delivered (or dropped), per type.
+        # Recovery uses this to wait out in-flight lock tokens before
+        # deciding a token was lost with a dead node.
+        self._in_flight: Dict[str, int] = {}
+
+    def in_flight(self, msg_type: str) -> int:
+        """Number of frames of one type currently on the wire."""
+        return self._in_flight.get(msg_type, 0)
 
     # ------------------------------------------------------------------
     # Registration
@@ -94,6 +102,7 @@ class SimNetwork:
         if msg.src not in self._cost_models:
             raise KeyError(f"no endpoint attached for node {msg.src}")
         self.stats.record(msg)
+        self._in_flight[msg.msg_type] = self._in_flight.get(msg.msg_type, 0) + 1
         if msg.src == msg.dst:
             delay = 500  # loopback
         else:
@@ -103,6 +112,11 @@ class SimNetwork:
         self.engine.schedule(delay, lambda: self._deliver(msg))
 
     def _deliver(self, msg: Message) -> None:
+        left = self._in_flight.get(msg.msg_type, 0) - 1
+        if left > 0:
+            self._in_flight[msg.msg_type] = left
+        else:
+            self._in_flight.pop(msg.msg_type, None)
         handler = self._handlers.get(msg.dst)
         if handler is None:
             # Endpoint detached while the message was in flight: drop it,

@@ -56,6 +56,33 @@ class NetStats:
             self.by_link[link] = (cn + n, cb + b)
         return self
 
+    def prefix_totals(self, prefix: str) -> Tuple[int, int]:
+        """(messages, bytes) summed over types with the given prefix."""
+        n_total, b_total = 0, 0
+        for mtype, (n, b) in self.by_type.items():
+            if mtype.startswith(prefix):
+                n_total += n
+                b_total += b
+        return n_total, b_total
+
+    def ft_overhead(self) -> Dict[str, Tuple[int, int]]:
+        """Fault-tolerance traffic grouped by purpose, for benchmark
+        tables: heartbeat (ping/suspect), replication (buddy mirroring),
+        recovery (rediff/notice/thread re-ship control traffic)."""
+        hb_n, hb_b = self.prefix_totals("ft.ping")
+        sus_n, sus_b = self.prefix_totals("ft.suspect")
+        repl = self.prefix_totals("ft.repl")
+        rec_n, rec_b = 0, 0
+        for prefix in ("ft.rediff", "ft.notices", "ft.thread"):
+            n, b = self.prefix_totals(prefix)
+            rec_n += n
+            rec_b += b
+        return {
+            "heartbeat": (hb_n + sus_n, hb_b + sus_b),
+            "replication": repl,
+            "recovery": (rec_n, rec_b),
+        }
+
     def summary(self) -> str:
         """Multi-line human-readable totals."""
         lines = [f"total: {self.messages} msgs, {self.bytes} bytes"]
@@ -64,4 +91,10 @@ class NetStats:
         for mtype in sorted(self.by_type):
             n, b = self.by_type[mtype]
             lines.append(f"  {mtype}: {n} msgs, {b} bytes")
+        ft = self.ft_overhead()
+        if any(n for n, _ in ft.values()):
+            lines.append("  ft overhead:")
+            for group in ("heartbeat", "replication", "recovery"):
+                n, b = ft[group]
+                lines.append(f"    {group}: {n} msgs, {b} bytes")
         return "\n".join(lines)

@@ -53,6 +53,8 @@ class TransportStats:
     retransmissions: int = 0     # frames re-sent after an RTO
     gave_up: int = 0             # frames abandoned after max retries
     to_dead_dropped: int = 0     # sends/retransmits to a detached peer
+    unreachable_events: int = 0  # peer_unreachable notifications fired
+    stale_dropped: int = 0       # frames from a dead peer / dead epoch
 
 
 class Transport:
@@ -73,6 +75,19 @@ class Transport:
         self.rto_ns = rto_ns
         self.max_retries = max_retries
         self.stats = TransportStats()
+        # Called (once per peer, until reset by mark_dead) when the ARQ
+        # give-up bound is reached for a destination: the frames were
+        # abandoned and the runtime should treat the peer as suspect.
+        self.on_peer_unreachable: Optional[Callable[[int], None]] = None
+        self._unreachable_reported: set = set()
+        # Failure-recovery epoch machinery: frames from declared-dead
+        # peers are discarded, and (when stamping is enabled) frames
+        # carrying an epoch below a peer's floor are late packets from a
+        # dead epoch and are likewise discarded.
+        self.epoch = 0
+        self.stamp_epoch = False
+        self.dead_peers: set = set()
+        self._min_epoch: Dict[int, int] = {}
         self._handlers: Dict[str, Handler] = {}
         self._send_seq: Dict[int, int] = {}      # dst -> next seq
         self._recv_next: Dict[int, int] = {}     # src -> next expected seq
@@ -113,6 +128,12 @@ class Transport:
             size_bytes=size_bytes,
         )
         msg.payload["__seq__"] = seq
+        if self.stamp_epoch:
+            msg.payload["__epoch__"] = self.epoch
+        if dst in self.dead_peers:
+            # Declared dead by recovery: don't buffer, don't retransmit.
+            self.stats.to_dead_dropped += 1
+            return msg
         if self.reliable and dst != self.node_id:
             # Buffer until cumulatively acked; loopback cannot be lost.
             self._unacked.setdefault(dst, {})[seq] = msg
@@ -159,6 +180,7 @@ class Transport:
             self.stats.gave_up += len(pending)
             pending.clear()
             self._retries.pop(dst, None)
+            self._report_unreachable(dst)
             return
         for seq in sorted(pending):      # go-back-N, in order
             self.stats.retransmissions += 1
@@ -167,8 +189,19 @@ class Transport:
                 self.stats.gave_up += len(pending)
                 pending.clear()
                 self._retries.pop(dst, None)
+                self._report_unreachable(dst)
                 return
         self._ensure_timer(dst)
+
+    def _report_unreachable(self, dst: int) -> None:
+        """Surface an ARQ give-up to the runtime (at most once per peer)."""
+        self.stats.unreachable_events += 1
+        if self.on_peer_unreachable is None:
+            return
+        if dst in self._unreachable_reported:
+            return
+        self._unreachable_reported.add(dst)
+        self.on_peer_unreachable(dst)
 
     def _on_ack(self, msg: Message) -> None:
         nxt = msg.payload["next"]
@@ -192,9 +225,44 @@ class Transport:
         ))
 
     # ------------------------------------------------------------------
+    # Failure epochs
+    # ------------------------------------------------------------------
+    def mark_dead(self, peer: int) -> None:
+        """Declare a peer dead: abandon its unacked frames, stop its
+        retransmission timer, and discard anything it still has in
+        flight.  Bumps this endpoint's epoch so post-recovery traffic is
+        distinguishable from dead-epoch stragglers."""
+        self.dead_peers.add(peer)
+        self._unreachable_reported.discard(peer)
+        pending = self._unacked.pop(peer, None)
+        if pending:
+            self.stats.gave_up += len(pending)
+        timer = self._retrans_timer.pop(peer, None)
+        if timer is not None:
+            timer.cancel()
+        self._retries.pop(peer, None)
+        self._reassembly.pop(peer, None)
+        self.epoch += 1
+
+    def quarantine_epoch(self, peer: int, min_epoch: int) -> None:
+        """Discard frames from ``peer`` stamped below ``min_epoch``."""
+        self._min_epoch[peer] = min_epoch
+
+    def _stale(self, msg: Message) -> bool:
+        if msg.src in self.dead_peers:
+            return True
+        floor = self._min_epoch.get(msg.src)
+        if floor is not None and msg.payload.get("__epoch__", 0) < floor:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
     def _on_raw(self, msg: Message) -> None:
+        if self._stale(msg):
+            self.stats.stale_dropped += 1
+            return
         if msg.msg_type == ACK_TYPE:
             self._on_ack(msg)
             return

@@ -40,6 +40,23 @@ class RuntimeConfig:
     # Cost calibration: "app" (default; §6.2 application-level slowdowns)
     # or "micro" (Table 1/2 repeated-access microbenchmark numbers).
     cost_profile: str = "app"
+    # ----- fault tolerance (src/repro/ft) ------------------------------
+    # Survive the loss of a single (non-master) worker: heartbeat failure
+    # detection, buddy replication of home state, and node-failure
+    # recovery.  Off by default — fault-free runs with ft_enabled=False
+    # are byte-identical to a build without the subsystem.
+    ft_enabled: bool = False
+    # Heartbeat period (every worker pings the master node).
+    ft_heartbeat_ns: int = 20_000_000  # 20 ms
+    # Consecutive missed heartbeats before a worker is declared failed.
+    # A transport-level ARQ give-up ("peer unreachable") lowers the bar
+    # to max(1, ft_suspect_beats // 4) for the suspected peer.
+    ft_suspect_beats: int = 3
+    # "eager": mirror every home-state advance to the buddy as it
+    # happens.  "lazy": mirror only units whose gid has crossed the wire
+    # (nothing a survivor can name is ever lost; purely-local state dies
+    # with the node, whose threads restart from scratch anyway).
+    ft_replication: str = "eager"
 
     def brand_of(self, node_id: int) -> str:
         """JVM brand name for one node (single- or per-node list)."""
@@ -62,3 +79,28 @@ class RuntimeConfig:
             raise ValueError("master_node out of range")
         for i in range(self.num_nodes):
             self.brand_of(i)  # raises on mismatch
+        if self.ft_enabled:
+            if self.num_nodes < 2:
+                raise ValueError(
+                    "ft_enabled requires num_nodes >= 2 (a buddy node)"
+                )
+            if not self.reliable_transport:
+                raise ValueError(
+                    "ft_enabled requires reliable_transport=True (the "
+                    "failure detector rides on the ARQ layer)"
+                )
+            if self.dsm.timestamp_mode != "scalar":
+                raise ValueError(
+                    "ft_enabled supports only the scalar (MTS-HLRC) "
+                    "timestamp mode"
+                )
+            if self.ft_replication not in ("eager", "lazy"):
+                raise ValueError(
+                    f"unknown ft_replication {self.ft_replication!r} "
+                    "(expected 'eager' or 'lazy')"
+                )
+            if self.ft_heartbeat_ns <= 0 or self.ft_suspect_beats < 1:
+                raise ValueError(
+                    "ft_heartbeat_ns must be positive and "
+                    "ft_suspect_beats >= 1"
+                )

@@ -57,6 +57,9 @@ class RunReport:
     class_bytes: int = 0
     node_busy_ns: Dict[int, int] = field(default_factory=dict)
     events: int = 0
+    # Fault-tolerance summary (None unless RuntimeConfig.ft_enabled):
+    # failures detected, dead nodes, per-recovery repair counts.
+    ft: Optional[Dict[str, Any]] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -130,6 +133,11 @@ class JavaSplitRuntime:
         for class_name, (gid, holder) in rewritten.static_gids.items():
             master.dsm.install_static_holder(class_name, gid, holder)
         self._main_thread: Optional[JThread] = None
+        self.ft = None
+        if self.config.ft_enabled:
+            from ..ft import FtManager
+            self.ft = FtManager(self)
+            self.ft.attach()
 
     # ------------------------------------------------------------------
     def _choose_spawn_node(self) -> int:
@@ -144,6 +152,7 @@ class JavaSplitRuntime:
             _LoadView(w.node_id,
                       w.node.load + self._pending_spawns.get(w.node_id, 0))
             for w in self.workers
+            if not w.dead
         ]
         node_id = self.scheduler.choose(views)
         self._pending_spawns[node_id] = self._pending_spawns.get(node_id, 0) + 1
@@ -188,6 +197,8 @@ class JavaSplitRuntime:
         )
         worker.dsm.on_spawn_arrival = self._spawn_arrived
         self.workers.append(worker)
+        if self.ft is not None:
+            self.ft.on_worker_added(worker)
         return worker
 
     def schedule_join(self, at_ns: int, brand: Optional[str] = None) -> None:
@@ -222,10 +233,12 @@ class JavaSplitRuntime:
             max_events=max_events or self.config.max_events
         )
         for w in self.workers:
-            w.jvm.check_no_failures()
+            if not w.dead:
+                w.jvm.check_no_failures()
         blocked = [
             (w.node_id, t.name, t.block_reason)
             for w in self.workers
+            if not w.dead
             for t in w.jvm.threads
             if t.state is StreamState.BLOCKED
         ]
@@ -245,6 +258,7 @@ class JavaSplitRuntime:
             class_bytes=self.registry.total_bytes,
             node_busy_ns={w.node_id: w.node.busy_ns for w in self.workers},
             events=events,
+            ft=None if self.ft is None else self.ft.report(),
         )
 
 

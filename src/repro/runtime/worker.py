@@ -27,6 +27,9 @@ class WorkerNode:
     jvm: JVM
     transport: Transport
     dsm: DsmEngine
+    # Declared failed by the fault-tolerance subsystem; the runtime
+    # excludes dead workers from placement, failure checks and reports.
+    dead: bool = False
 
 
 def build_worker(

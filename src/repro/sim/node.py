@@ -70,6 +70,7 @@ class Node:
         self._streams_alive = 0
         self.busy_ns = 0                         # total CPU-busy simulated time
         self.finished_streams = 0
+        self.halted = False                      # failed node: CPUs stop
 
     # ------------------------------------------------------------------
     # Stream lifecycle
@@ -82,12 +83,21 @@ class Node:
 
     def wake(self, stream: ExecStream) -> None:
         """Move a blocked stream back to the runnable queue."""
+        if self.halted:
+            return  # a failed workstation executes nothing further
         key = id(stream)
         if key not in self._blocked:
             raise RuntimeError("wake() on a stream that is not blocked")
         self._blocked.remove(key)
         self._runnable.append(stream)
         self._kick()
+
+    def halt(self) -> None:
+        """Model node failure: discard all streams and park every CPU.
+        Already-scheduled CPU events become no-ops when they fire."""
+        self.halted = True
+        self._runnable.clear()
+        self._blocked.clear()
 
     @property
     def load(self) -> int:
@@ -109,7 +119,7 @@ class Node:
             self.engine.schedule(0, lambda c=cpu: self._cpu_loop(c))
 
     def _cpu_loop(self, cpu: int) -> None:
-        if not self._runnable:
+        if self.halted or not self._runnable:
             self._idle_cpus.add(cpu)
             return
         stream = self._runnable.popleft()
@@ -133,6 +143,8 @@ class Node:
         self.engine.schedule(delay, lambda: self._cpu_loop(cpu))
 
     def _requeue(self, stream: ExecStream) -> None:
+        if self.halted:
+            return
         self._runnable.append(stream)
         self._kick()
 
