@@ -3,7 +3,8 @@
 One module per concern: :mod:`~repro.bench.micro` (Tables 1-3
 micro-benchmarks), :mod:`~repro.bench.harness` (figure sweeps),
 :mod:`~repro.bench.tables` (formatting + persistence under
-``benchmarks/results/``).
+``benchmarks/results/``), :mod:`~repro.bench.jsonbench`
+(machine-readable locality on/off runs behind ``repro bench --json``).
 """
 
 from .harness import (
@@ -22,6 +23,7 @@ from .micro import (
     measure_acquire_cost,
     measure_comm_latency,
 )
+from .jsonbench import DEFAULT_APPS, bench_app, run_bench, write_results
 from .tables import emit, format_figure, format_table1, format_table2, format_table3
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "AccessLatencyRow", "AcquireCostRow", "MESSAGE_SIZES",
     "access_micro_source", "measure_access_latency", "measure_acquire_cost",
     "measure_comm_latency",
+    "DEFAULT_APPS", "bench_app", "run_bench", "write_results",
     "emit", "format_figure", "format_table1", "format_table2",
     "format_table3",
 ]

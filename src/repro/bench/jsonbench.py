@@ -1,0 +1,117 @@
+"""Machine-readable benchmark runs behind ``python -m repro bench``.
+
+One invocation executes every requested app on the simulated cluster
+with the adaptive-locality subsystem off and on (and, with
+``ablation=True``, each locality component alone), and emits the
+numbers a trend dashboard needs — simulated time, ``NetStats``
+messages/bytes, DSM fetch/diff counts, and the locality subsystem's own
+report — as JSON under ``benchmarks/results/``.  Everything measured is
+simulated and seed-deterministic, so the output is reproducible
+bit-for-bit and safe to diff across commits (``BENCH_3.json`` at the
+repo root is exactly such a committed snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..check.runner import app_source, parse_locality
+from ..lang import compile_source
+from ..rewriter import rewrite_application
+from ..runtime import JavaSplitRuntime, RuntimeConfig
+
+#: Default output directory, relative to the repo root / cwd.
+RESULTS_DIR = Path("benchmarks/results")
+
+#: Locality modes measured by default (off vs everything on) and the
+#: extra single-component modes an ablation run adds.
+BASE_MODES: Tuple[str, ...] = ("off", "all")
+ABLATION_MODES: Tuple[str, ...] = (
+    "off", "migration", "prefetch", "aggregation", "all")
+
+#: Apps benched by default (the ``repro check``-scale instances, so a
+#: full bench stays CI-cheap).
+DEFAULT_APPS: Tuple[str, ...] = ("series", "tsp", "raytracer")
+
+
+def _measure(rewritten, nodes: int, mode: str) -> Dict[str, Any]:
+    """One simulated run; ``mode`` is a locality spec ('' = off)."""
+    spec = "" if mode == "off" else mode
+    config = RuntimeConfig(num_nodes=nodes, **parse_locality(spec))
+    report = JavaSplitRuntime(rewritten, config).run()
+    total = report.total_dsm()
+    assert report.net is not None
+    out: Dict[str, Any] = {
+        "simulated_ms": round(report.simulated_ns / 1e6, 6),
+        "messages": report.net.messages,
+        "bytes": report.net.bytes,
+        "fetches": total.fetches,
+        "diffs_sent": total.diffs_sent,
+        "token_transfers": total.token_transfers,
+        "result": repr(report.result),
+    }
+    if report.locality is not None:
+        out["locality"] = report.locality
+    return out
+
+
+def _pct(off: float, on: float) -> Optional[float]:
+    """Signed percentage change on→off baseline (negative = reduction)."""
+    if not off:
+        return None
+    return round(100.0 * (on - off) / off, 2)
+
+
+def bench_app(app: str, nodes: int = 3,
+              modes: Iterable[str] = BASE_MODES) -> Dict[str, Any]:
+    """Bench one app across the given locality modes."""
+    rewritten = rewrite_application(compile_source(app_source(app)))
+    runs = {mode: _measure(rewritten, nodes, mode) for mode in modes}
+    off = runs["off"]
+    entry: Dict[str, Any] = {"runs": runs}
+    entry["result_matches"] = all(
+        r["result"] == off["result"] for r in runs.values())
+    if "all" in runs:
+        on = runs["all"]
+        entry["delta_all_vs_off"] = {
+            "messages_pct": _pct(off["messages"], on["messages"]),
+            "bytes_pct": _pct(off["bytes"], on["bytes"]),
+            "fetches_pct": _pct(off["fetches"], on["fetches"]),
+            "simulated_ms_pct": _pct(off["simulated_ms"],
+                                     on["simulated_ms"]),
+        }
+    return entry
+
+
+def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
+              ablation: bool = False) -> Dict[str, Any]:
+    """The full bench document (what the JSON files serialize)."""
+    modes = ABLATION_MODES if ablation else BASE_MODES
+    return {
+        "bench": "locality",
+        "schema": 1,
+        "nodes": nodes,
+        "modes": list(modes),
+        "apps": {app: bench_app(app, nodes, modes) for app in apps},
+    }
+
+
+def write_results(doc: Dict[str, Any],
+                  out_dir: Path = RESULTS_DIR) -> List[Path]:
+    """Write one JSON file per app plus the combined document; returns
+    the paths written."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for app, entry in doc["apps"].items():
+        per_app = {k: v for k, v in doc.items() if k != "apps"}
+        per_app["app"] = app
+        per_app.update(entry)
+        path = out_dir / f"bench_{app}.json"
+        path.write_text(json.dumps(per_app, indent=2) + "\n")
+        paths.append(path)
+    combined = out_dir / "bench_locality.json"
+    combined.write_text(json.dumps(doc, indent=2) + "\n")
+    paths.append(combined)
+    return paths

@@ -25,7 +25,11 @@ Invariants checked (violations are collected, or raised with
     twin the diff was computed against.
 ``single-home``
     Every shared object has exactly one master copy, resident on the
-    node its gid names (``home_of``).
+    node its gid names (``home_of``) — or, once the adaptive-locality
+    subsystem has migrated it, on the node the home directory names.
+    Each migration handoff and recovery adoption is additionally
+    checked *at the instant it installs*: no two live nodes may hold a
+    master of the same unit, ever.
 ``bounded-notices``
     In bounded scalar mode a node never stores more than one notice per
     coherency unit (the paper's §5 storage claim; vector timestamps
@@ -45,7 +49,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 from ..dsm.objectstate import ObjState
 from ..dsm.directory import home_of
 from ..dsm.protocol import M_DIFF, M_FT_REDIFF, SCALAR, DsmEngine
-from ..net.message import Message
+from ..net.message import M_LOC_FWD_DIFF, Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.javasplit import JavaSplitRuntime
@@ -131,6 +135,11 @@ class InvariantMonitor:
     def _wrap(self, dsm: DsmEngine) -> None:
         node = dsm.node_id
         scalar = dsm.config.timestamp_mode == SCALAR
+        # With the adaptive-locality subsystem on, a diff can be split
+        # (entries homed elsewhere are forwarded, not applied here) and
+        # a migration grant can advance the version past the +1 the
+        # plain apply produces — the per-entry checks adapt below.
+        has_loc = dsm.locality is not None
         self._unacked.setdefault(node, set())
         self._cu_keys.setdefault(node, set())
 
@@ -191,22 +200,49 @@ class InvariantMonitor:
         # several observers compose in attach order.
         on_diff = dsm.transport._handlers[M_DIFF]
 
-        def checked_on_diff(msg: Message):
+        def pre_applied_entries(payload):
+            """Version snapshot of the entries this node will apply
+            (skipping entries a locality split forwards elsewhere);
+            also returns the keys the locality agent will DROP because
+            they are this node's own pre-grant diffs, already folded
+            into the master it installed."""
             pre = {}
-            for gid, _diff, region in msg.payload["entries"]:
+            folded = set()
+            for gid, _diff, region in payload["entries"]:
+                if has_loc and region is None \
+                        and dsm.home_node(gid) != node:
+                    continue  # forwarded to the migrated home, not applied
                 key = gid if region is None else (gid, region)
+                if has_loc and region is None and \
+                        dsm.locality.folds_own_diff(gid, payload["writer"]):
+                    folded.add(key)
                 pre[key] = self._version_of(dsm, gid, region)
-            on_diff(msg)
-            writer = msg.payload["writer"]
+            return pre, folded
+
+        def post_applied_entries(payload, pre, folded):
+            """Version and twin-base checks after a diff apply; shared
+            by M_DIFF and the locality forward."""
+            writer = payload["writer"]
             for key, before in pre.items():
                 gid, region = (key if isinstance(key, tuple)
                                else (key, None))
+                fifo = self._bases.get((writer, key))
+                if key in folded:
+                    # Dropped, not applied: settle the twin-base FIFO
+                    # slot but expect no version movement.
+                    if fifo:
+                        fifo.popleft()
+                    continue
                 after = self._version_of(dsm, gid, region)
-                if before is not None and after != before + 1:
+                # A migration grant resolves the home's own pending
+                # write on top of the apply, so +2 is legitimate with
+                # locality on; regression never is.
+                bad = (after < before + 1) if has_loc \
+                    else (after != before + 1)
+                if before is not None and bad:
                     self.report(node, "version-monotonic",
                                 f"diff apply moved {key!r} "
                                 f"{before} -> {after}")
-                fifo = self._bases.get((writer, key))
                 if fifo:
                     base = fifo.popleft()
                     if before is not None and before < base:
@@ -215,7 +251,23 @@ class InvariantMonitor:
                                     f"built on version {base} applied to "
                                     f"master at {before}")
 
+        def checked_on_diff(msg: Message):
+            pre, folded = pre_applied_entries(msg.payload)
+            on_diff(msg)
+            post_applied_entries(msg.payload, pre, folded)
+
         self._replace_handler(dsm, M_DIFF, checked_on_diff)
+
+        # --- locality: forwarded diff applies at the migrated home ----
+        on_fwd_diff = dsm.transport._handlers.get(M_LOC_FWD_DIFF)
+        if on_fwd_diff is not None:
+            def checked_on_fwd_diff(msg: Message):
+                pre, folded = pre_applied_entries(msg.payload)
+                on_fwd_diff(msg)
+                post_applied_entries(msg.payload, pre, folded)
+
+            self._replace_handler(dsm, M_LOC_FWD_DIFF,
+                                  checked_on_fwd_diff)
 
         # --- diff acks: ledger settle --------------------------------
         from ..dsm.protocol import M_DIFF_ACK, M_FT_REDIFF_ACK
@@ -282,6 +334,53 @@ class InvariantMonitor:
             serve_fetch(requester, obj, region)
 
         dsm._serve_fetch = checked_serve_fetch
+
+        # --- locality: bulk prefetch serves publish versions too ------
+        serve_bulk = dsm._serve_bulk
+
+        def checked_serve_bulk(requester, gids):
+            for gid in gids:
+                obj = dsm.cache.get(gid)
+                if obj is None or obj.header is None \
+                        or obj.header.state != ObjState.HOME \
+                        or gid in dsm._regions:
+                    continue  # not served; the reply only echoes it
+                version = obj.header.version
+                last = self._served.get(gid)
+                if last is not None and version < last:
+                    self.report(node, "version-monotonic",
+                                f"bulk serve of gid {gid:#x} at version "
+                                f"{version} after serving {last}")
+                self._served[gid] = max(self._served.get(gid, 0), version)
+            return serve_bulk(requester, gids)
+
+        dsm._serve_bulk = checked_serve_bulk
+
+        # --- per-instant single-home across migrations/adoptions ------
+        # ft_install_master is the one door through which a master ever
+        # moves (migration grants and recovery adoptions both use it);
+        # right after it runs, no other live node may still hold a
+        # master of the same whole-object unit.
+        ft_install = dsm.ft_install_master
+
+        def checked_ft_install_master(unit):
+            ft_install(unit)
+            if unit.get("region") is None:
+                gid = unit["gid"]
+                holders = []
+                for w in self._workers:
+                    if getattr(w, "dead", False):
+                        continue
+                    obj = w.dsm.cache.get(gid)
+                    if obj is not None and obj.header is not None \
+                            and obj.header.state == ObjState.HOME:
+                        holders.append(w.node_id)
+                if len(holders) > 1:
+                    self.report(node, "single-home",
+                                f"gid {gid:#x} has master copies on "
+                                f"nodes {holders} at install")
+
+        dsm.ft_install_master = checked_ft_install_master
 
         from ..dsm.protocol import M_FETCH_REPLY
 

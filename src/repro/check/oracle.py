@@ -38,7 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 from ..dsm.objectstate import ObjState
 from ..dsm.protocol import M_DIFF, M_FETCH_REPLY, DsmEngine
 from ..jvm.heap import ArrayObj, Obj
-from ..net.message import Message
+from ..net.message import M_LOC_BULK_REPLY, M_LOC_FWD_DIFF, Message
 from .monitor import Violation
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -129,6 +129,7 @@ class SingleCopyOracle:
     # ------------------------------------------------------------------
     def _wrap(self, dsm: DsmEngine) -> None:
         node = dsm.node_id
+        has_loc = dsm.locality is not None
 
         # --- home: serving a fetch publishes a version ----------------
         serve_fetch = dsm._serve_fetch
@@ -150,11 +151,24 @@ class SingleCopyOracle:
         # Wrap the registered handler so monitor + oracle compose.
         on_diff = dsm.transport._handlers[M_DIFF]
 
-        def recording_on_diff(msg: Message):
-            on_diff(msg)
-            for gid, _diff, region in msg.payload["entries"]:
+        def record_applied_entries(payload):
+            """Record the post-apply golden state of every entry this
+            node mastered; shared by M_DIFF and the locality forward."""
+            for gid, _diff, region in payload["entries"]:
                 obj = dsm.cache.get(gid)
                 if obj is None:  # pragma: no cover - _on_diff raised
+                    continue
+                if has_loc and region is None \
+                        and obj.header.state != ObjState.HOME:
+                    # Split/forwarded entry (not applied here) or one
+                    # granted away by the migration the apply triggered
+                    # (the grant wrap below records that version).
+                    continue
+                if has_loc and region is None and \
+                        dsm.locality.folds_own_diff(gid, payload["writer"]):
+                    # The agent dropped this entry: it is the node's own
+                    # pre-grant diff, already folded into the master it
+                    # installed — nothing new was published.
                     continue
                 key = gid if region is None else (gid, region)
                 if region is None:
@@ -164,7 +178,96 @@ class SingleCopyOracle:
                 self._record(key, version, normalize_slots(
                     self._unit_slots(dsm, obj, region)))
 
+        def recording_on_diff(msg: Message):
+            on_diff(msg)
+            record_applied_entries(msg.payload)
+
         dsm.transport._handlers[M_DIFF] = recording_on_diff
+
+        # --- locality: forwarded applies and migration grants ---------
+        on_fwd_diff = dsm.transport._handlers.get(M_LOC_FWD_DIFF)
+        if on_fwd_diff is not None:
+            def recording_on_fwd_diff(msg: Message,
+                                      _inner=on_fwd_diff):
+                _inner(msg)
+                record_applied_entries(msg.payload)
+
+            dsm.transport._handlers[M_LOC_FWD_DIFF] = recording_on_fwd_diff
+
+        if has_loc:
+            # A grant publishes the unit at its (possibly just-bumped)
+            # version; the new home may serve that version before any
+            # further diff touches it.
+            grant_unit = dsm._loc_grant_unit
+
+            def recording_grant_unit(gid):
+                unit = grant_unit(gid)
+                if unit is not None:
+                    obj = dsm.cache.get(gid)
+                    self._record(gid, unit["version"], normalize_slots(
+                        self._unit_slots(dsm, obj, None)))
+                return unit
+
+            dsm._loc_grant_unit = recording_grant_unit
+
+            # A grant install may fold the grantee's own in-flight
+            # diffs into the master (install_grants keeps the local
+            # working copy): that folded state is published at the
+            # grant's version and is what later serves start from.
+            ft_install = dsm.ft_install_master
+
+            def recording_ft_install_master(unit):
+                ft_install(unit)
+                if unit.get("region") is not None:
+                    return
+                obj = dsm.cache.get(unit["gid"])
+                if obj is not None and obj.header is not None \
+                        and obj.header.state == ObjState.HOME:
+                    self._record(unit["gid"], obj.header.version,
+                                 normalize_slots(
+                                     self._unit_slots(dsm, obj, None)))
+
+            dsm.ft_install_master = recording_ft_install_master
+
+            # A bulk prefetch serve publishes versions like a fetch
+            # serve does...
+            serve_bulk = dsm._serve_bulk
+
+            def recording_serve_bulk(requester, gids):
+                units = serve_bulk(requester, gids)
+                for unit in units:
+                    obj = dsm.cache.get(unit["gid"])
+                    if obj is None:  # pragma: no cover - just served
+                        continue
+                    self._record(unit["gid"], unit["version"],
+                                 normalize_slots(
+                                     self._unit_slots(dsm, obj, None)))
+                return units
+
+            dsm._serve_bulk = recording_serve_bulk
+
+        # ...and a prefetch install must match the served golden state.
+        on_bulk_reply = dsm.transport._handlers.get(M_LOC_BULK_REPLY)
+        if on_bulk_reply is not None:
+            def checking_on_bulk_reply(msg: Message,
+                                       _inner=on_bulk_reply):
+                _inner(msg)
+                for unit in msg.payload["units"]:
+                    gid = unit["gid"]
+                    obj = dsm.cache.get(gid)
+                    if obj is None or obj.header is None:
+                        continue
+                    if obj.header.state != ObjState.VALID \
+                            or obj.header.version != unit["version"]:
+                        continue  # agent rejected this unit as stale
+                    self._tainted.discard((node, gid))
+                    got = normalize_slots(self._unit_slots(dsm, obj, None))
+                    self._check(node, gid, unit["version"], got,
+                                "prefetch install")
+                    self.checked_installs += 1
+
+            dsm.transport._handlers[M_LOC_BULK_REPLY] = \
+                checking_on_bulk_reply
 
         # --- cache: a flushed local write taints the replica ----------
         transport_send = dsm.transport.send

@@ -77,6 +77,7 @@ class CheckReport:
     faults: str
     nodes: int
     kill: Optional[str] = None
+    locality: str = ""
     results: List[SeedResult] = field(default_factory=list)
     reference_result: Any = None
 
@@ -103,7 +104,8 @@ class CheckReport:
         lines = [
             f"check: app={self.app} nodes={self.nodes} "
             f"faults={self.faults or 'none'}"
-            + (f" kill={self.kill}" if self.kill else ""),
+            + (f" kill={self.kill}" if self.kill else "")
+            + (f" locality={self.locality}" if self.locality else ""),
             f"  seeds run           : {n}",
             f"  installs cross-checked: {installs}",
             f"  final units checked : {finals}",
@@ -132,6 +134,34 @@ class CheckReport:
                 for v in r.violations:
                     lines.append(f"  seed {r.seed}: {v}")
         return "\n".join(lines)
+
+
+#: Component names accepted by a ``--locality`` spec.
+LOCALITY_COMPONENTS = ("migration", "prefetch", "aggregation")
+
+
+def parse_locality(spec: str) -> Dict[str, bool]:
+    """Resolve a ``--locality`` spec to RuntimeConfig knob values.
+
+    The spec is a comma-separated subset of migration/prefetch/
+    aggregation; ``all`` switches on every component; ``""`` leaves the
+    subsystem off entirely (no agent attached).
+    """
+    knobs = {c: False for c in LOCALITY_COMPONENTS}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "all":
+            for c in LOCALITY_COMPONENTS:
+                knobs[c] = True
+        elif part in knobs:
+            knobs[part] = True
+        else:
+            raise ValueError(
+                f"unknown locality component {part!r} (choose from "
+                f"{', '.join(LOCALITY_COMPONENTS)} or 'all')")
+    return {f"locality_{c}": v for c, v in knobs.items()}
 
 
 def app_source(app: str) -> str:
@@ -184,6 +214,7 @@ def run_check(
     jitter_ns: int = DEFAULT_JITTER_NS,
     strict: bool = False,
     kill: Optional[str] = None,
+    locality: str = "",
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -199,6 +230,11 @@ def run_check(
     complete with an oracle-clean heap.  Exact result equality is
     additionally required except for tsp, whose shared job queue may
     legitimately lose a taken-but-unprocessed job with the worker.
+
+    ``locality`` (comma-separated subset of migration/prefetch/
+    aggregation, or ``all``) runs every seed with those adaptive-
+    locality components switched on, putting the migration handoff,
+    bulk-fetch, and aggregation paths under the same oracle.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
@@ -214,6 +250,7 @@ def run_check(
     if killing and timestamp_mode != "scalar":
         raise ValueError("node kills require the scalar timestamp mode "
                          "(the only mode the ft subsystem supports)")
+    locality_knobs = parse_locality(locality)
     source = app_source(app)
     classfiles = compile_source(source)
     reference = run_original(classfiles=classfiles)
@@ -221,6 +258,7 @@ def run_check(
     rewritten = rewrite_application(classfiles)
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
+                         locality=locality,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
@@ -234,6 +272,7 @@ def run_check(
             seed=seed,
             reliable_transport=plan.lossy,
             ft_enabled=killing,
+            **locality_knobs,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,
                 array_region_elems=region_elems,

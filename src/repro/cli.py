@@ -10,14 +10,20 @@ trace     run distributed with full DSM protocol tracing
 check     sweep seeded schedules of a benchmark app under the
           consistency oracle + invariant monitor, optionally with
           fault injection
+bench     run the built-in apps with the adaptive-locality subsystem
+          off/on and report the numbers (``--json`` writes them under
+          benchmarks/results/)
 
 Examples::
 
     python -m repro run app.mj --nodes 4 --brand ibm
+    python -m repro run app.mj --nodes 4 --locality all
     python -m repro disasm app.mj --rewritten
     python -m repro trace app.mj --nodes 2 --limit 80
     python -m repro check --app series --seeds 25 --faults drop,reorder,dup
     python -m repro check --app tsp --seeds 10 --kill 2@5ms
+    python -m repro check --app tsp --kill random --locality migration
+    python -m repro bench --json
 """
 
 from __future__ import annotations
@@ -55,9 +61,15 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    help="array-region coherency units (§4.3 extension)")
     p.add_argument("--vector-timestamps", action="store_true",
                    help="use the HLRC vector-timestamp baseline mode")
+    p.add_argument("--locality", default="", metavar="COMPONENTS",
+                   help="adaptive-locality components to enable: "
+                        "comma-separated migration,prefetch,aggregation "
+                        "or 'all' (default: off)")
 
 
 def _config(args) -> RuntimeConfig:
+    from .check.runner import parse_locality
+
     return RuntimeConfig(
         num_nodes=args.nodes,
         cpus_per_node=args.cpus,
@@ -68,6 +80,7 @@ def _config(args) -> RuntimeConfig:
             timestamp_mode="vector" if args.vector_timestamps else "scalar",
             array_region_elems=args.region_elems,
         ),
+        **parse_locality(args.locality),
     )
 
 
@@ -86,6 +99,14 @@ def _report(report, show_traffic: bool = True) -> None:
         print(f"dsm               : {total.fetches} fetches, "
               f"{total.diffs_sent} diffs, {total.token_transfers} token "
               f"transfers, {total.invalidations} invalidations")
+    if report.locality is not None:
+        loc = report.locality
+        print(f"locality          : {loc['migrated_units']} units migrated, "
+              f"{loc['fwd_diffs']} diffs forwarded, "
+              f"{loc['prefetch_units']} units prefetched "
+              f"({loc['prefetch_hits']} hits), "
+              f"{loc['agg_subframes']} msgs in {loc['agg_frames']} "
+              f"aggregate frames")
 
 
 def cmd_run(args) -> int:
@@ -148,6 +169,7 @@ def cmd_check(args) -> int:
             region_elems=args.region_elems,
             strict=args.strict,
             kill=args.kill,
+            locality=args.locality,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -155,6 +177,35 @@ def cmd_check(args) -> int:
         return 2
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    """`repro bench`: locality off/on numbers for the built-in apps."""
+    from pathlib import Path
+
+    from .bench import DEFAULT_APPS, run_bench, write_results
+
+    apps = args.apps or list(DEFAULT_APPS)
+    doc = run_bench(apps=apps, nodes=args.nodes, ablation=args.ablation)
+    if args.json:
+        out_dir = Path(args.out) if args.out else None
+        paths = write_results(doc, **({} if out_dir is None
+                                      else {"out_dir": out_dir}))
+        for path in paths:
+            print(f"wrote {path}")
+    for app, entry in doc["apps"].items():
+        off = entry["runs"]["off"]
+        on = entry["runs"].get("all", off)
+        delta = entry.get("delta_all_vs_off", {})
+        print(f"{app:10s} off: {off['messages']:5d} msgs "
+              f"{off['bytes']:7d} B {off['simulated_ms']:8.3f} ms | "
+              f"all: {on['messages']:5d} msgs {on['bytes']:7d} B "
+              f"{on['simulated_ms']:8.3f} ms | "
+              f"fetches {off['fetches']} -> {on['fetches']} "
+              f"({delta.get('fetches_pct')}%)"
+              + ("" if entry["result_matches"] else "  RESULT DIVERGES"))
+    ok = all(e["result_matches"] for e in doc["apps"].values())
+    return 0 if ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -222,9 +273,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chk.add_argument("--strict", action="store_true",
                        help="raise on the first violation instead of "
                             "collecting")
+    p_chk.add_argument("--locality", default="", metavar="COMPONENTS",
+                       help="run every seed with these adaptive-locality "
+                            "components on: migration,prefetch,aggregation "
+                            "or 'all' (default: off)")
     p_chk.add_argument("--verbose", action="store_true",
                        help="print one line per seed")
     p_chk.set_defaults(fn=cmd_check)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="bench built-in apps with the locality subsystem off/on")
+    p_bench.add_argument("--app", action="append", dest="apps",
+                         choices=("series", "tsp", "raytracer"),
+                         help="app to bench (repeatable; default: all)")
+    p_bench.add_argument("--nodes", type=int, default=3)
+    p_bench.add_argument("--ablation", action="store_true",
+                         help="also bench each locality component alone")
+    p_bench.add_argument("--json", action="store_true",
+                         help="write JSON files under --out")
+    p_bench.add_argument("--out", default=None, metavar="DIR",
+                         help="output directory for --json "
+                              "(default: benchmarks/results)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")
     _add_cluster_args(p_tr)

@@ -14,7 +14,7 @@ time, so every node agrees without negotiation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 NODE_SHIFT = 40
 COUNTER_MASK = (1 << NODE_SHIFT) - 1
@@ -46,6 +46,47 @@ def home_of(gid: int) -> int:
     if gid <= 0:
         raise ValueError(f"not a valid gid: {gid}")
     return gid >> NODE_SHIFT
+
+
+class HomeDirectory:
+    """Per-gid home redirect entries for migrated coherency units.
+
+    Plain ``home_of(gid)`` stays the common case (no lookup); a redirect
+    entry exists only for units the locality subsystem re-homed.  Each
+    entry carries a monotonically increasing migration epoch so redirect
+    gossip arriving out of order can never roll a mapping backwards.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[int, int]] = {}  # gid -> (home, epoch)
+
+    def set(self, gid: int, home: int, epoch: int) -> bool:
+        """Install a redirect; returns False for stale (old-epoch) news."""
+        current = self._entries.get(gid)
+        if current is not None and current[1] >= epoch:
+            return False
+        self._entries[gid] = (home, epoch)
+        return True
+
+    def get(self, gid: int) -> Optional[int]:
+        entry = self._entries.get(gid)
+        return entry[0] if entry is not None else None
+
+    def epoch(self, gid: int) -> int:
+        entry = self._entries.get(gid)
+        return entry[1] if entry is not None else 0
+
+    def entry(self, gid: int) -> Optional[Tuple[int, int]]:
+        return self._entries.get(gid)
+
+    def items(self):
+        return self._entries.items()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, gid: int) -> bool:
+        return gid in self._entries
 
 
 class ClassIdRegistry:

@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..jvm.heap import ArrayObj, Obj
 from ..jvm.interpreter import NO_VALUE
 from ..jvm.jvm import JThread, JVM
-from ..net.message import HEADER_BYTES, Message
+from ..net.message import HEADER_BYTES, M_LOC_BULK_REPLY, Message
 from ..net.transport import Transport
 from ..sim import cost_model as cm
 from .diffs import (
@@ -51,7 +51,7 @@ from .diffs import (
     make_twin,
     serialize_region,
 )
-from .directory import ClassIdRegistry, GidAllocator, home_of
+from .directory import ClassIdRegistry, GidAllocator, HomeDirectory, home_of
 from .locks import LockRequest, LockToken, NodeLockState
 from .objectstate import DSMHeader, ObjState, attach_header
 from .serialization import ClassSpec, deserialize_any, serialize_any
@@ -137,6 +137,16 @@ class DsmStats:
     fence_waits: int = 0
     deferred_fetches: int = 0
     region_fetches: int = 0
+    # ----- adaptive locality (src/repro/locality) ---------------------
+    migrations_out: int = 0     # units this home granted away
+    migrations_in: int = 0      # units this node became home of
+    fwd_diffs: int = 0          # diff entries forwarded by an old home
+    home_forwards: int = 0      # fetch/lock/owner messages re-routed
+    prefetch_bulk: int = 0      # bulk-fetch messages issued
+    prefetch_units: int = 0     # units installed from bulk replies
+    prefetch_hits: int = 0      # demand fetches satisfied by a prefetch
+    agg_frames: int = 0         # aggregate frames sent
+    agg_subframes: int = 0      # logical messages carried inside them
 
 
 @dataclass
@@ -218,6 +228,17 @@ class DsmEngine:
         #   _ft_token_freeze recovery is scanning for live tokens; no token
         #                    may leave this node until it finishes
         self.ft: Optional[Any] = None
+        # ------------------------------------------------------------------
+        # Adaptive locality (src/repro/locality).  Inert unless a
+        # LocalityAgent is attached as ``self.locality``:
+        #   _loc_dir        per-gid home redirects for migrated units
+        #                   (epoch-guarded; consulted by home_node)
+        #   _fetch_targets  where each in-flight fetch was actually sent
+        #                   (a migrated unit's fetch may not target
+        #                   home_of(gid)), for failure-recovery reissue
+        self.locality: Optional[Any] = None
+        self._loc_dir = HomeDirectory()
+        self._fetch_targets: Dict[Tuple[int, Optional[int]], int] = {}
         self._home_map: Dict[int, int] = {}
         self._pending_diffs: Dict[int, Tuple[int, Dict[str, Any], int]] = {}
         self._blocked_on: Dict[int, Tuple[int, int]] = {}
@@ -244,10 +265,21 @@ class DsmEngine:
     # Home-table indirection (fault tolerance)
     # ==================================================================
     def home_node(self, gid: int) -> int:
-        """Current home of a gid: its origin node unless that node died
-        and its coherency units were adopted by a buddy."""
+        """Current home of a gid: its origin node unless the locality
+        subsystem migrated the unit, or the home died and its coherency
+        units were adopted by a buddy (the two compose: a migrated
+        unit's new home can itself die and be re-homed)."""
+        if self.locality is not None:
+            redirected = self._loc_dir.get(gid)
+            if redirected is not None:
+                return self._home_map.get(redirected, redirected)
         home = home_of(gid)
         return self._home_map.get(home, home)
+
+    def set_gid_home(self, gid: int, home: int, epoch: int) -> bool:
+        """Install a per-gid home redirect (locality migration).  Epoch-
+        guarded: stale news never rolls a newer mapping back."""
+        return self._loc_dir.set(gid, home, epoch)
 
     # ==================================================================
     # Setup helpers
@@ -475,6 +507,12 @@ class DsmEngine:
             payload["required"] = self.notice_table.required_vector(key)
         else:
             payload["required"] = self.notice_table.required_scalar(key)
+        if self.locality is not None:
+            self._fetch_targets[(gid, region)] = self.home_node(gid)
+            if self.locality.fetch_covered(gid, region):
+                # A prefetch for this unit is already in flight; its bulk
+                # reply will install the data and wake the waiters.
+                return
         self.stats.fetches += 1
         if region is not None:
             self.stats.region_fetches += 1
@@ -827,18 +865,33 @@ class DsmEngine:
 
     def _on_diff(self, msg: Message) -> None:
         p = msg.payload
+        if self.locality is not None and self.locality.intercept_diff(msg):
+            # Some entries name units migrated away: the locality agent
+            # split the batch, forwarded the remote parts, and will send
+            # one combined M_DIFF_ACK when everything is applied.
+            return
         acks = self._apply_diff_entries(p)
         if self.ft is not None:
             self.ft.on_home_advance(acks)
+        ack_payload: Dict[str, Any] = {"ack_id": p["ack_id"],
+                                       "versions": acks}
+        if self.locality is not None:
+            grants = self.locality.consider_migration(msg)
+            if grants:
+                ack_payload["migrate"] = grants
         delay = self.cost_model[cm.PROTO_HANDLER_NS]
         self.engine.schedule(delay, lambda: self.transport.send(
-            msg.src, M_DIFF_ACK, {"ack_id": p["ack_id"], "versions": acks}
+            msg.src, M_DIFF_ACK, ack_payload
         ))
 
     def _on_diff_ack(self, msg: Message) -> None:
         self._pending_diffs.pop(msg.payload["ack_id"], None)
         for key, version in msg.payload["versions"]:
             self.notice_table.add(Notice(key, version))
+        if self.locality is not None:
+            grants = msg.payload.get("migrate")
+            if grants:
+                self.locality.install_grants(msg.src, grants)
         self._outstanding_acks -= 1
         if self._outstanding_acks < 0:  # pragma: no cover - defensive
             raise ProtocolError("diff ack underflow")
@@ -857,6 +910,8 @@ class DsmEngine:
         so at worst the version inflates — versions only ever need to be
         monotonic."""
         p = msg.payload
+        if self.locality is not None and self.locality.intercept_rediff(msg):
+            return
         acks = self._apply_diff_entries(p)
         if self.ft is not None:
             self.ft.on_home_advance(acks)
@@ -908,6 +963,8 @@ class DsmEngine:
     def _on_fetch_req(self, msg: Message) -> None:
         gid = msg.payload["gid"]
         region = msg.payload.get("region")
+        if self.locality is not None and self.locality.redirect_fetch(msg):
+            return  # unit migrated away: forwarded to the current home
         obj = self.cache.get(gid)
         if obj is None:
             raise ProtocolError(
@@ -923,7 +980,9 @@ class DsmEngine:
                 self.stats.deferred_fetches += 1
                 self._deferred_fetch.setdefault(key, []).append(msg)
                 return
-        self._serve_fetch(msg.src, obj, region)
+        # A forwarded request names the original requester; a direct one
+        # is answered to its sender.
+        self._serve_fetch(msg.payload.get("requester", msg.src), obj, region)
 
     def _retry_deferred_fetches(self, key: Any) -> None:
         queue = self._deferred_fetch.get(key)
@@ -981,6 +1040,21 @@ class DsmEngine:
 
     def _on_fetch_reply(self, msg: Message) -> None:
         p = msg.payload
+        gid, region = self._install_unit(p)
+        if self.locality is not None:
+            self._fetch_targets.pop((gid, region), None)
+        waiters = self._fetch_waiters.pop((gid, region), [])
+        for thread in waiters:
+            thread.wake()
+        if region is not None:
+            # A no-index (length) waiter may also be parked on region 0.
+            if region == 0:
+                for thread in self._fetch_waiters.pop((gid, None), []):
+                    thread.wake()
+
+    def _install_unit(self, p: Dict[str, Any]) -> Tuple[int, Optional[int]]:
+        """Install one fetched coherency unit payload into the local
+        cache (shared by fetch replies and prefetch bulk replies)."""
         gid = p["gid"]
         region = p.get("region")
         obj = self.cache.get(gid)
@@ -1019,14 +1093,68 @@ class DsmEngine:
             key = gid
         if self.config.timestamp_mode == VECTOR:
             self._replica_vc[key] = dict(p.get("applied", {}))
-        waiters = self._fetch_waiters.pop((gid, region), [])
-        for thread in waiters:
-            thread.wake()
-        if region is not None:
-            # A no-index (length) waiter may also be parked on region 0.
-            if region == 0:
-                for thread in self._fetch_waiters.pop((gid, None), []):
-                    thread.wake()
+        return gid, region
+
+    # ==================================================================
+    # Adaptive-locality primitives (driven by repro.locality)
+    # ==================================================================
+    def _serve_bulk(self, requester: int, gids: List[int]) -> List[Dict[str, Any]]:
+        """Answer one prefetch bulk-fetch: serialize every requested
+        whole-object unit this node masters into a single reply frame.
+        The reply always echoes the requested gids so the requester can
+        retire its in-flight bookkeeping even for units served elsewhere.
+        Returns the units served (for external cross-checking)."""
+        units: List[Dict[str, Any]] = []
+        total = 0
+        for gid in gids:
+            obj = self.cache.get(gid)
+            if obj is None or gid in self._regions:
+                continue
+            hdr = obj.header
+            if hdr is None or hdr.state != ObjState.HOME:
+                continue
+            if self.ft is not None:
+                self.ft.on_serve(gid, None)
+            unit = self.ft_serialize_unit(gid)
+            if unit is None:  # pragma: no cover - defensive
+                continue
+            units.append(unit)
+            total += len(unit["data"])
+        size = HEADER_BYTES + sum(24 + len(u["data"]) for u in units)
+        self.stats.fetch_bytes += size
+        payload = {"requested": list(gids), "units": units}
+        delay = (
+            self.cost_model[cm.PROTO_HANDLER_NS]
+            + total * self.cost_model[cm.SERIALIZE_PER_BYTE_NS]
+        )
+        self.engine.schedule(delay, lambda: self.transport.send(
+            requester, M_LOC_BULK_REPLY, payload, size_bytes=size
+        ))
+        return units
+
+    def _loc_grant_unit(self, gid: int) -> Optional[Dict[str, Any]]:
+        """Serialize a mastered unit for a migration grant and demote
+        the local copy to an invalid replica (the grantee becomes the
+        home).  A pending home write is published first so the grant
+        carries a committed version, mirroring the release-time flush."""
+        obj = self.cache.get(gid)
+        if obj is None:
+            return None
+        hdr: DSMHeader = obj.header
+        if hdr is None or hdr.state != ObjState.HOME:
+            return None
+        if gid in self._dirty_home:
+            self._dirty_home.discard(gid)
+            hdr.version += 1
+            self.notice_table.add(Notice(gid, hdr.version))
+            if self.ft is not None:
+                self.ft.on_home_advance([(gid, hdr.version)])
+        unit = self.ft_serialize_unit(gid)
+        if unit is None:  # pragma: no cover - defensive
+            return None
+        hdr.state = ObjState.INVALID
+        hdr.twin = None
+        return unit
 
     # ==================================================================
     # Invalidation
@@ -1103,6 +1231,9 @@ class DsmEngine:
         """Home role: route the request to the current owner (§3.2)."""
         p = msg.payload
         gid = p["gid"]
+        if self.locality is not None \
+                and self.locality.redirect_lock_req(msg):
+            return  # unit migrated away: re-routed to the current home
         owner = self.lock_owner.get(gid)
         if owner is None:
             raise ProtocolError(
@@ -1240,6 +1371,10 @@ class DsmEngine:
         # Acquire-side of the sync point: invalidate per the notice delta.
         notices = [Notice(g, v, w) for g, v, w in p["delta"]]
         self._apply_notices(notices)
+        if self.locality is not None:
+            # Sharing-pattern prefetch: bulk-fetch the units this delta
+            # just invalidated (they are the acquirer's likely next reads).
+            self.locality.on_token_notices(notices)
         # Tell the home who owns the lock now.
         home = self.home_node(gid)
         if home != self.node_id:
@@ -1267,6 +1402,9 @@ class DsmEngine:
 
     def _on_owner_update(self, msg: Message) -> None:
         p = msg.payload
+        if self.locality is not None \
+                and self.locality.redirect_owner_update(msg):
+            return  # unit migrated away: re-routed to the current home
         self.lock_owner[p["gid"]] = p["owner"]
 
     # ==================================================================
@@ -1415,7 +1553,17 @@ class DsmEngine:
         the adoptive home answers them from the replica store."""
         reissued = 0
         for (gid, region), waiters in list(self._fetch_waiters.items()):
-            if not waiters or home_of(gid) != dead:
+            if not waiters:
+                continue
+            # Migrated units' fetches may have targeted a node other
+            # than home_of(gid); _fetch_targets records where each
+            # in-flight (or prefetch-covered) fetch actually went.
+            if self.locality is not None:
+                target_was = self._fetch_targets.get(
+                    (gid, region), home_of(gid))
+            else:
+                target_was = home_of(gid)
+            if target_was != dead:
                 continue
             key = gid if region is None else (gid, region)
             payload: Dict[str, Any] = {"gid": gid, "region": region}
@@ -1424,7 +1572,10 @@ class DsmEngine:
             else:
                 payload["required"] = self.notice_table.required_scalar(key)
             self.stats.fetches += 1
-            self.transport.send(self.home_node(gid), M_FETCH_REQ, payload)
+            target = self.home_node(gid)
+            if self.locality is not None:
+                self._fetch_targets[(gid, region)] = target
+            self.transport.send(target, M_FETCH_REQ, payload)
             reissued += 1
         return reissued
 

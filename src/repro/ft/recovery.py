@@ -123,11 +123,20 @@ class RecoveryOrchestrator:
         manager.detector.last_seen.pop(dead, None)
         manager.detector.suspected.discard(dead)
 
-        # Phase 3: the buddy adopts the dead node's units.
+        # Phase 3: the buddy adopts the dead node's units.  With the
+        # locality subsystem on, the store may hold units the dead node
+        # migrated AWAY before dying — those have a live master
+        # elsewhere, and adopting them would mint a second one.  Units
+        # migrated TO the dead node stay: the dead node replicated them
+        # after adopting, so the buddy is their rightful heir.
         buddy_id = buddy_of(dead, len(workers), manager.dead_nodes)
         buddy = workers[buddy_id]
         agent_b = manager.agents[buddy_id]
         units = agent_b.store.units_of(dead)
+        locality = getattr(runtime, "locality", None)
+        if locality is not None:
+            units = [u for u in units
+                     if locality.current_home(u["gid"]) == dead]
         for unit in units:
             buddy.dsm.ft_install_master(unit)
             agent_b.note_adopted(unit_key(unit))
@@ -140,6 +149,10 @@ class RecoveryOrchestrator:
         for w in live:
             for origin, target in manager.home_redirects.items():
                 w.dsm.ft_set_home(origin, target)
+        if locality is not None:
+            # Units migrated TO the dead node now live at the buddy:
+            # bump their directory entries on every survivor.
+            locality.on_node_dead(dead, buddy_id)
 
         # Phase 4: lock repair.  After the drain, every surviving token
         # sits at exactly one node; a candidate gid with no live holder
@@ -155,7 +168,14 @@ class RecoveryOrchestrator:
                 if (st := w.dsm.lock_states.get(gid)) is not None
                 and st.token is not None
             ]
-            home_w = workers[live[0].dsm.home_node(gid)]
+            if locality is not None:
+                # live[0]'s directory may lack a migrated gid's redirect
+                # (gossip is lazy); the registry always knows.
+                home_id = locality.current_home(gid)
+                home_id = live[0].dsm._home_map.get(home_id, home_id)
+                home_w = workers[home_id]
+            else:
+                home_w = workers[live[0].dsm.home_node(gid)]
             if holders:
                 owner = holders[0].node_id
             else:
@@ -173,6 +193,10 @@ class RecoveryOrchestrator:
             w.dsm.ft_redirect_pending(dead, buddy_id) for w in live)
         refetches = sum(w.dsm.ft_reissue_fetches(dead) for w in live)
         relocks = sum(w.dsm.ft_reissue_blocked() for w in live)
+        if locality is not None:
+            # Re-aim pending forwarded diffs and drop unanswerable
+            # prefetches on every survivor.
+            locality.on_peer_dead_all(dead)
 
         # Phase 6: invalidate unprovable replicas.
         notices = [(unit_key(u), u["version"]) for u in units]

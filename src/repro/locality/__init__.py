@@ -1,0 +1,30 @@
+"""Adaptive locality subsystem: home migration, sharing-pattern
+prefetch, and release-time message aggregation for MTS-HLRC.
+
+The paper's protocol pins every coherency unit to the node that created
+it.  That is cheap (homes are computable from the gid) but pessimal for
+single-remote-writer units: every release pays a diff round-trip to a
+home that never reads the data.  This subsystem observes per-unit access
+patterns at runtime and adapts three things, each behind its own
+``RuntimeConfig`` knob and each off by default:
+
+- ``locality_migration``: re-home a unit to its dominant writer once the
+  writer's remote diffs cross a threshold.  The ownership handoff
+  piggybacks on the diff-ack the writer is already waiting on, so it
+  costs no extra messages; stale-directory traffic is forwarded by the
+  old home and corrected with lazy redirect gossip.
+- ``locality_prefetch``: on acquire, the units the incoming write-notice
+  delta just invalidated are the acquirer's likely next reads — batch
+  them into one bulk-fetch per home instead of k demand round-trips.
+- ``locality_aggregation``: coalesce same-destination protocol messages
+  emitted inside one release/acquire handler into a single aggregate
+  frame, paying the fixed per-message cost and header once.
+
+With every knob off no agent is attached and runs are byte-identical to
+a build without the subsystem.
+"""
+
+from .manager import LocalityAgent, LocalityManager
+from .profiler import AccessProfiler
+
+__all__ = ["AccessProfiler", "LocalityAgent", "LocalityManager"]

@@ -1,0 +1,663 @@
+"""LocalityManager / LocalityAgent: the adaptive-locality runtime.
+
+One :class:`LocalityManager` per runtime (when any ``locality_*`` knob
+is on) owns a per-node :class:`LocalityAgent` and a harness-level
+migration registry (which unit lives where now) mirroring what the
+paper's coordinator would track.  All actual adaptation traffic —
+migration grants, forwarded diffs, redirect gossip, bulk fetches,
+aggregate frames — flows through the simulated network and is accounted
+like any other protocol message.
+
+Correctness notes for the migration handoff:
+
+- A grant rides in the M_DIFF_ACK of the diff that crossed the policy
+  threshold.  Under the §3.1 fence no third-party diff of the unit can
+  be in flight at that instant (any earlier writer's flush was acked
+  before the token could reach the current writer), so the only diffs a
+  stale directory can still aim at the old home come *after* the grant
+  — and those hit the forwarding path below.
+- The old home demotes its master to an INVALID replica in the same
+  handler that serializes the grant, so there is never an instant with
+  two masters.
+- Directory entries are epoch-guarded: epochs increase strictly along
+  a forwarding chain, so stale gossip never rolls a mapping back and
+  chained forwards terminate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..dsm.directory import home_of
+from ..dsm.objectstate import ObjState
+from ..dsm.protocol import (
+    M_DIFF,
+    M_DIFF_ACK,
+    M_FETCH_REQ,
+    M_FT_REDIFF_ACK,
+    M_LOCK_REQ,
+    M_TOKEN,
+    M_OWNER_UPDATE,
+)
+from ..net.message import (
+    HEADER_BYTES,
+    M_LOC_AGG,
+    M_LOC_BULK_FETCH,
+    M_LOC_BULK_REPLY,
+    M_LOC_FWD_DIFF,
+    M_LOC_FWD_DIFF_ACK,
+    M_LOC_HOME_UPDATE,
+    Message,
+)
+from .profiler import AccessProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.javasplit import JavaSplitRuntime
+    from ..runtime.worker import WorkerNode
+
+#: Message types the release/acquire aggregator may coalesce.  Everything
+#: else (tokens, demand fetches, acks) is latency-critical or ordering-
+#: sensitive and is sent through immediately — after flushing the
+#: destination's buffer, so per-link FIFO order is preserved.
+AGG_TYPES = frozenset({
+    M_DIFF, M_OWNER_UPDATE, M_LOC_BULK_FETCH, M_LOC_HOME_UPDATE,
+})
+
+#: Wire fields stamped by the transport that must not survive a forward.
+_TRANSPORT_FIELDS = ("__seq__", "__epoch__")
+
+
+def _strip(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in payload.items() if k not in _TRANSPORT_FIELDS}
+
+
+class LocalityManager:
+    """Adaptive-locality subsystem root, attached to one runtime."""
+
+    def __init__(self, runtime: "JavaSplitRuntime") -> None:
+        self.runtime = runtime
+        cfg = runtime.config
+        self.migration = cfg.locality_migration
+        self.prefetch = cfg.locality_prefetch
+        self.aggregation = cfg.locality_aggregation
+        self.window = cfg.locality_window
+        self.threshold = cfg.locality_migration_threshold
+        self.prefetch_depth = cfg.locality_prefetch_depth
+        self.agents: Dict[int, "LocalityAgent"] = {}
+        # Harness-level registry: gid -> (current home, epoch) for every
+        # migrated unit.  Recovery consults it to decide which of a dead
+        # node's replicated units the buddy should adopt (units that
+        # migrated away have a live master elsewhere).
+        self.migrations: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        for w in self.runtime.workers:
+            self._attach_worker(w)
+
+    def _attach_worker(self, worker: "WorkerNode") -> None:
+        agent = LocalityAgent(self, worker)
+        self.agents[worker.node_id] = agent
+        worker.dsm.locality = agent
+        agent.attach()
+
+    def on_worker_added(self, worker: "WorkerNode") -> None:
+        """Dynamic join: the newcomer's directory starts from the
+        registry so it never fetches through a demoted old home."""
+        self._attach_worker(worker)
+        for gid in sorted(self.migrations):
+            home, epoch = self.migrations[gid]
+            worker.dsm.set_gid_home(gid, home, epoch)
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def note_migration(self, gid: int, home: int, epoch: int) -> None:
+        current = self.migrations.get(gid)
+        if current is not None and current[1] >= epoch:
+            return
+        self.migrations[gid] = (home, epoch)
+
+    def current_home(self, gid: int) -> int:
+        entry = self.migrations.get(gid)
+        return entry[0] if entry is not None else home_of(gid)
+
+    # ------------------------------------------------------------------
+    # Failure-recovery hooks (driven by repro.ft.recovery)
+    # ------------------------------------------------------------------
+    def on_node_dead(self, dead: int, buddy: int) -> None:
+        """Units that migrated TO the dead node are adopted by its buddy
+        (their data is in the buddy's replica store); point every live
+        directory at the buddy, with a fresh epoch."""
+        for gid in sorted(self.migrations):
+            home, epoch = self.migrations[gid]
+            if home != dead:
+                continue
+            self.migrations[gid] = (buddy, epoch + 1)
+            for node_id in sorted(self.agents):
+                if self.runtime.workers[node_id].dead:
+                    continue
+                self.agents[node_id].dsm.set_gid_home(
+                    gid, buddy, epoch + 1)
+
+    def on_peer_dead_all(self, dead: int) -> None:
+        """Per-agent cleanup after a peer death (recovery phase 5)."""
+        for node_id in sorted(self.agents):
+            if self.runtime.workers[node_id].dead or node_id == dead:
+                continue
+            self.agents[node_id].on_peer_dead(dead)
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """Locality summary for RunReport."""
+        stats = [a.dsm.stats for a in self.agents.values()]
+        return {
+            "migrated_units": len(self.migrations),
+            "migrations_out": sum(s.migrations_out for s in stats),
+            "fwd_diffs": sum(s.fwd_diffs for s in stats),
+            "home_forwards": sum(s.home_forwards for s in stats),
+            "prefetch_bulk": sum(s.prefetch_bulk for s in stats),
+            "prefetch_units": sum(s.prefetch_units for s in stats),
+            "prefetch_hits": sum(s.prefetch_hits for s in stats),
+            "agg_frames": sum(s.agg_frames for s in stats),
+            "agg_subframes": sum(s.agg_subframes for s in stats),
+        }
+
+
+class LocalityAgent:
+    """Per-node locality agent: the DSM engine's ``locality`` hooks plus
+    the locality message handlers and the release-time aggregator."""
+
+    def __init__(self, manager: LocalityManager,
+                 worker: "WorkerNode") -> None:
+        self.manager = manager
+        self.worker = worker
+        self.dsm = worker.dsm
+        self.transport = worker.transport
+        self.node_id = worker.node_id
+        self.migration = manager.migration
+        self.prefetch = manager.prefetch
+        self.aggregation = manager.aggregation
+        self.prefetch_depth = manager.prefetch_depth
+        self.profiler = AccessProfiler(manager.window)
+        # Optional tracer hook: called (node, kind, detail).
+        self.event_sink: Optional[Callable[[int, str, str], None]] = None
+        # Prefetcher: gid -> node the bulk fetch went to.
+        self._inflight_prefetch: Dict[int, int] = {}
+        # Proxy state for split diff batches: fwd_id -> record.  Each
+        # record shares a ``state`` dict with its siblings so the proxy
+        # sends exactly ONE combined ack once every part is applied.
+        self._fwd_pending: Dict[int, Dict[str, Any]] = {}
+        self._next_fwd_id = 0
+        # Redirect gossip dedup: (peer, gid) pairs already hinted.
+        self._hinted: Set[Tuple[int, int]] = set()
+        # Units whose grant was installed around this node's own VALID
+        # working copy: forwarded copies of its pre-grant diffs are
+        # already folded in and must be dropped, not re-applied.
+        self._self_folded: Set[int] = set()
+        # Aggregator: handler-scope depth + per-destination buffers.
+        self._scope_depth = 0
+        self._buffers: Dict[int, List[Message]] = {}
+        self._raw_send: Callable[..., Message] = self.transport.send
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        t = self.transport
+        t.on(M_LOC_HOME_UPDATE, self._on_home_update)
+        t.on(M_LOC_FWD_DIFF, self._on_fwd_diff)
+        t.on(M_LOC_FWD_DIFF_ACK, self._on_fwd_diff_ack)
+        t.on(M_LOC_BULK_FETCH, self._on_bulk_fetch)
+        t.on(M_LOC_BULK_REPLY, self._on_bulk_reply)
+        t.on(M_LOC_AGG, self._on_agg)
+        if self.aggregation:
+            # Innermost send wrapper: observers (oracle/monitor/tracer)
+            # attach after runtime construction, so they wrap _agg_send
+            # and see every LOGICAL message exactly once; the aggregate
+            # frames themselves leave through the raw send captured
+            # above and stay invisible to them.
+            self.transport.send = self._agg_send
+            t._handlers[M_TOKEN] = self._scoped(t._handlers[M_TOKEN])
+            self.dsm.release = self._scoped(self.dsm.release)
+            self.dsm.dsm_wait = self._scoped(self.dsm.dsm_wait)
+
+    def _emit(self, kind: str, detail: str) -> None:
+        if self.event_sink is not None:
+            self.event_sink(self.node_id, kind, detail)
+
+    # ------------------------------------------------------------------
+    # Redirect gossip
+    # ------------------------------------------------------------------
+    def _maybe_hint(self, peer: int, gid: int) -> None:
+        """Tell a peer (once) where a migrated unit lives now, so its
+        next message goes straight to the current home."""
+        if peer == self.node_id or (peer, gid) in self._hinted:
+            return
+        entry = self.dsm._loc_dir.entry(gid)
+        if entry is None:
+            return
+        home, epoch = entry
+        if home == peer:
+            # Never tell a node that it is itself the home: the grant
+            # in flight to it is the authoritative channel, and an early
+            # hint would make it apply still-in-flight forwarded diffs
+            # to the replica the grant is about to overwrite.
+            return
+        self._hinted.add((peer, gid))
+        self.transport.send(peer, M_LOC_HOME_UPDATE, {
+            "gid": gid, "home": home, "epoch": epoch,
+        })
+
+    def _on_home_update(self, msg: Message) -> None:
+        p = msg.payload
+        gid = p["gid"]
+        self.dsm.set_gid_home(gid, p["home"], p["epoch"])
+        # A prefetch aimed at the old home will echo the gid back
+        # unserved; nothing else to do here.
+
+    # ------------------------------------------------------------------
+    # Stale-directory forwarding (old-home side)
+    # ------------------------------------------------------------------
+    def redirect_fetch(self, msg: Message) -> bool:
+        gid = msg.payload["gid"]
+        if self.dsm.home_node(gid) == self.node_id:
+            return False
+        self.dsm.stats.home_forwards += 1
+        fwd = _strip(msg.payload)
+        # Keep the original requester so the serving home replies
+        # directly instead of bouncing through this node.
+        fwd["requester"] = msg.payload.get("requester", msg.src)
+        self.transport.send(self.dsm.home_node(gid), M_FETCH_REQ, fwd)
+        self._maybe_hint(msg.src, gid)
+        return True
+
+    def redirect_lock_req(self, msg: Message) -> bool:
+        gid = msg.payload["gid"]
+        if self.dsm.home_node(gid) == self.node_id:
+            return False
+        self.dsm.stats.home_forwards += 1
+        self.transport.send(
+            self.dsm.home_node(gid), M_LOCK_REQ, _strip(msg.payload))
+        self._maybe_hint(msg.payload["node"], gid)
+        return True
+
+    def redirect_owner_update(self, msg: Message) -> bool:
+        gid = msg.payload["gid"]
+        if self.dsm.home_node(gid) == self.node_id:
+            return False
+        self.dsm.stats.home_forwards += 1
+        self.transport.send(
+            self.dsm.home_node(gid), M_OWNER_UPDATE, _strip(msg.payload))
+        self._maybe_hint(msg.src, gid)
+        return True
+
+    # ------------------------------------------------------------------
+    # Split diff batches (old-home proxy)
+    # ------------------------------------------------------------------
+    def intercept_diff(self, msg: Message) -> bool:
+        """M_DIFF hook: if any entry names a unit migrated away, split
+        the batch — apply the local part, forward the rest — and promise
+        the writer exactly one combined M_DIFF_ACK."""
+        return self._maybe_proxy(
+            msg, M_DIFF_ACK, msg.payload["ack_id"], require_remote=True)
+
+    def intercept_rediff(self, msg: Message) -> bool:
+        """Same, for recovery-time M_FT_REDIFF batches."""
+        return self._maybe_proxy(
+            msg, M_FT_REDIFF_ACK, msg.payload["ack_id"],
+            require_remote=True)
+
+    def _on_fwd_diff(self, msg: Message) -> None:
+        """New-home side of a forwarded diff.  Re-splits if some entries
+        migrated onward (chained migration): epochs increase along the
+        chain, so forwarding terminates."""
+        self._maybe_proxy(
+            msg, M_LOC_FWD_DIFF_ACK, msg.payload["fwd_id"],
+            require_remote=False, ack_field="fwd_id")
+
+    def folds_own_diff(self, gid: int, writer: int) -> bool:
+        """True when a diff entry from ``writer`` for ``gid`` is this
+        node's own pre-grant flush: the grant was installed around the
+        local working copy, so the write is already in the master."""
+        return writer == self.node_id and gid in self._self_folded
+
+    def _maybe_proxy(self, msg: Message, ack_type: str, ack_value: int,
+                     require_remote: bool,
+                     ack_field: str = "ack_id") -> bool:
+        p = msg.payload
+        local: List[Tuple[Any, bytes, Optional[int]]] = []
+        folded: List[Tuple[int, int]] = []
+        by_home: Dict[int, List[Tuple[Any, bytes, Optional[int]]]] = {}
+        for entry in p["entries"]:
+            gid = entry[0]
+            home = self.dsm.home_node(gid)
+            if home == self.node_id:
+                obj = self.dsm.cache.get(gid)
+                hdr = None if obj is None else obj.header
+                if hdr is None or hdr.state != ObjState.HOME:
+                    # Directory says "here" but the master has not been
+                    # installed yet (grant still in flight): bounce via
+                    # the origin home, whose redirect chain is current.
+                    by_home.setdefault(home_of(gid), []).append(entry)
+                    continue
+                if entry[2] is None and self.folds_own_diff(
+                        gid, p["writer"]):
+                    # This node's own diff coming back around the old
+                    # home: applying it would roll the master back over
+                    # newer local releases.  Ack at the current version.
+                    folded.append((gid, hdr.version))
+                    continue
+                local.append(entry)
+            else:
+                by_home.setdefault(home, []).append(entry)
+        if require_remote and not by_home and not folded:
+            return False  # clean batch: the normal handler runs
+        state: Dict[str, Any] = {
+            "src": msg.src,
+            "ack_type": ack_type,
+            "ack_field": ack_field,
+            "ack_value": ack_value,
+            "versions": [],
+            "pending": 0,
+        }
+        state["versions"].extend(folded)
+        if local:
+            acks = self.dsm._apply_diff_entries({
+                "entries": local,
+                "writer": p["writer"],
+                "interval": p["interval"],
+            })
+            if self.dsm.ft is not None:
+                self.dsm.ft.on_home_advance(acks)
+            state["versions"].extend(acks)
+        for home in sorted(by_home):
+            entries = by_home[home]
+            self.dsm.stats.fwd_diffs += len(entries)
+            fwd_id = self._next_fwd_id
+            self._next_fwd_id += 1
+            fpayload = {
+                "entries": entries,
+                "writer": p["writer"],
+                "interval": p["interval"],
+                "fwd_id": fwd_id,
+            }
+            size = HEADER_BYTES + sum(14 + len(d) for _g, d, _r in entries)
+            self._fwd_pending[fwd_id] = {
+                "state": state, "dst": home,
+                "payload": fpayload, "size": size,
+            }
+            state["pending"] += 1
+            self.transport.send(home, M_LOC_FWD_DIFF, fpayload,
+                                size_bytes=size)
+            for gid, _d, _r in entries:
+                self._maybe_hint(p["writer"], gid)
+        if state["pending"] == 0:
+            self._finish_proxy(state)
+        return True
+
+    def _on_fwd_diff_ack(self, msg: Message) -> None:
+        rec = self._fwd_pending.pop(msg.payload["fwd_id"], None)
+        if rec is None:
+            return  # settled by an earlier (re-forwarded) ack
+        state = rec["state"]
+        state["versions"].extend(
+            tuple(v) if isinstance(v, list) else v
+            for v in msg.payload["versions"]
+        )
+        state["pending"] -= 1
+        if state["pending"] == 0:
+            self._finish_proxy(state)
+
+    def _finish_proxy(self, state: Dict[str, Any]) -> None:
+        self.transport.send(state["src"], state["ack_type"], {
+            state["ack_field"]: state["ack_value"],
+            "versions": list(state["versions"]),
+        })
+
+    # ------------------------------------------------------------------
+    # Migration policy (old-home side) and grant install (writer side)
+    # ------------------------------------------------------------------
+    def consider_migration(self, msg: Message) -> Optional[List[Dict[str, Any]]]:
+        """After a clean diff batch applied: feed the profiler and grant
+        away any unit the writer now dominates.  Grants piggyback on the
+        M_DIFF_ACK the writer is fenced on."""
+        if not self.migration:
+            return None
+        p = msg.payload
+        writer = p["writer"]
+        if writer == self.node_id:
+            return None
+        grants: List[Dict[str, Any]] = []
+        for gid, _diff, region in p["entries"]:
+            if region is not None or gid in self.dsm._regions:
+                continue  # regioned arrays keep their static home
+            self.profiler.note_diff(gid, writer)
+            if self.dsm.home_node(gid) != self.node_id:
+                continue
+            if not self.profiler.should_migrate(
+                    gid, writer, self.manager.threshold):
+                continue
+            unit = self.dsm._loc_grant_unit(gid)
+            if unit is None:
+                continue
+            epoch = self.dsm._loc_dir.epoch(gid) + 1
+            grant = dict(unit)
+            grant["epoch"] = epoch
+            grant["lock_owner"] = self.dsm.lock_owner.get(
+                gid, self.node_id)
+            self.dsm.set_gid_home(gid, writer, epoch)
+            self.dsm.stats.migrations_out += 1
+            self.profiler.reset(gid)
+            self.manager.note_migration(gid, writer, epoch)
+            self._emit("locality.migrate",
+                       f"gid={gid:#x} home {self.node_id} -> {writer} "
+                       f"epoch {epoch}")
+            grants.append(grant)
+        return grants or None
+
+    def install_grants(self, src: int,
+                       grants: List[Dict[str, Any]]) -> None:
+        """Writer side (inside M_DIFF_ACK): become the home of each
+        granted unit."""
+        for grant in grants:
+            gid = grant["gid"]
+            if (not self.dsm.set_gid_home(gid, self.node_id,
+                                          grant["epoch"])
+                    and self.dsm._loc_dir.get(gid) != self.node_id):
+                # A strictly newer migration moved the unit elsewhere.
+                # (An equal-epoch entry pointing HERE is just this
+                # migration's own redirect gossip arriving first.)
+                continue
+            obj = self.dsm.cache.get(gid)
+            hdr = obj.header if obj is not None else None
+            if hdr is not None and hdr.state == ObjState.VALID:
+                # Under the §3.1 fence the grantee is the sole writer,
+                # so its VALID working copy holds every interval it has
+                # produced — including diffs still in flight to the old
+                # home, which the grant snapshot predates.  Install the
+                # master around the LOCAL data (at the grant's version)
+                # and drop those diffs when they come back forwarded.
+                snap = self.dsm.ft_serialize_unit(gid)
+                if snap is not None:
+                    grant = dict(grant, data=snap["data"])
+                    self._self_folded.add(gid)
+            self.dsm.ft_install_master(grant)
+            self.dsm.lock_owner[gid] = grant["lock_owner"]
+            self.dsm.stats.migrations_in += 1
+            self.manager.note_migration(gid, self.node_id, grant["epoch"])
+            if self.dsm.ft is not None:
+                # The buddy of THIS node must now protect the unit.
+                self.dsm.ft.note_adopted(gid)
+                self.dsm.ft.on_home_advance([(gid, grant["version"])])
+
+    # ------------------------------------------------------------------
+    # Sharing-pattern prefetch
+    # ------------------------------------------------------------------
+    def fetch_covered(self, gid: int, region: Optional[int]) -> bool:
+        """True when a demand fetch can ride on an in-flight prefetch."""
+        return region is None and gid in self._inflight_prefetch
+
+    def on_token_notices(self, notices: List[Any]) -> None:
+        """Acquire side: the notice delta names the units this node's
+        next reads will miss on — bulk-fetch them per home."""
+        if not self.prefetch:
+            return
+        by_home: Dict[int, List[int]] = {}
+        for n in notices:
+            gid = n.gid
+            if isinstance(gid, tuple):
+                continue  # regioned units fault in per region
+            obj = self.dsm.cache.get(gid)
+            if obj is None or gid in self.dsm._regions:
+                continue
+            hdr = obj.header
+            if hdr is None or hdr.state != ObjState.INVALID:
+                continue
+            if hdr.version <= 0:
+                # Never fetched here: a stub from reference
+                # deserialization, not evidence this node reads it.
+                continue
+            if hdr.version >= self.dsm.notice_table.required_scalar(gid):
+                continue
+            if (gid, None) in self.dsm._fetch_waiters:
+                continue  # a demand fetch is already in flight
+            if gid in self._inflight_prefetch:
+                continue
+            home = self.dsm.home_node(gid)
+            if home == self.node_id:
+                continue
+            by_home.setdefault(home, []).append(gid)
+        for home in sorted(by_home):
+            gids = by_home[home][: self.prefetch_depth]
+            for gid in gids:
+                self._inflight_prefetch[gid] = home
+            self.dsm.stats.prefetch_bulk += 1
+            self._emit("locality.prefetch",
+                       f"{len(gids)} unit(s) from node {home}")
+            self.transport.send(home, M_LOC_BULK_FETCH, {"gids": gids})
+
+    def _on_bulk_fetch(self, msg: Message) -> None:
+        gids = msg.payload["gids"]
+        for gid in gids:
+            self.profiler.note_fetch(gid, msg.src)
+            if self.dsm.home_node(gid) != self.node_id:
+                self._maybe_hint(msg.src, gid)
+        self.dsm._serve_bulk(msg.src, gids)
+
+    def _on_bulk_reply(self, msg: Message) -> None:
+        p = msg.payload
+        served = {u["gid"]: u for u in p["units"]}
+        for gid in p["requested"]:
+            self._inflight_prefetch.pop(gid, None)
+            unit = served.get(gid)
+            installed = False
+            if unit is not None:
+                obj = self.dsm.cache.get(gid)
+                hdr = obj.header if obj is not None else None
+                if (hdr is not None
+                        and hdr.state == ObjState.INVALID
+                        and unit["version"]
+                        >= self.dsm.notice_table.required_scalar(gid)):
+                    self.dsm._install_unit(unit)
+                    self.dsm.stats.prefetch_units += 1
+                    installed = True
+            if installed:
+                self.dsm._fetch_targets.pop((gid, None), None)
+                waiters = self.dsm._fetch_waiters.pop((gid, None), [])
+                if waiters:
+                    self.dsm.stats.prefetch_hits += 1
+                for thread in waiters:
+                    thread.wake()
+            elif self.dsm._fetch_waiters.get((gid, None)):
+                # Parked waiters whose prefetch came back unserved (or
+                # stale): fall back to a normal demand fetch.
+                self._demand_fetch(gid)
+
+    def _demand_fetch(self, gid: int) -> None:
+        payload = {
+            "gid": gid, "region": None,
+            "required": self.dsm.notice_table.required_scalar(gid),
+        }
+        self.dsm.stats.fetches += 1
+        target = self.dsm.home_node(gid)
+        self.dsm._fetch_targets[(gid, None)] = target
+        self.transport.send(target, M_FETCH_REQ, payload)
+
+    # ------------------------------------------------------------------
+    # Release/acquire message aggregation
+    # ------------------------------------------------------------------
+    def _scoped(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            self._scope_depth += 1
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._scope_depth -= 1
+                if self._scope_depth == 0:
+                    self._flush_all()
+        return wrapper
+
+    def _agg_send(self, dst: int, msg_type: str,
+                  payload: Optional[Dict[str, Any]] = None,
+                  size_bytes: int = 0) -> Message:
+        if (self._scope_depth > 0 and dst != self.node_id
+                and msg_type in AGG_TYPES):
+            msg = Message(
+                msg_type=msg_type, src=self.node_id, dst=dst,
+                payload=dict(payload or {}), size_bytes=size_bytes,
+            )
+            self._buffers.setdefault(dst, []).append(msg)
+            return msg
+        if self._buffers.get(dst):
+            # FIFO: buffered frames must precede this send on the link.
+            self._flush_dst(dst)
+        return self._raw_send(dst, msg_type, payload, size_bytes)
+
+    def _flush_all(self) -> None:
+        for dst in sorted(self._buffers):
+            self._flush_dst(dst)
+
+    def _flush_dst(self, dst: int) -> None:
+        buf = self._buffers.pop(dst, None)
+        if not buf:
+            return
+        if len(buf) == 1:
+            m = buf[0]
+            self._raw_send(dst, m.msg_type, m.payload, m.size_bytes)
+            return
+        frames = [(m.msg_type, m.payload, m.size_bytes) for m in buf]
+        size = HEADER_BYTES + sum(m.size_bytes - HEADER_BYTES for m in buf)
+        self.dsm.stats.agg_frames += 1
+        self.dsm.stats.agg_subframes += len(buf)
+        self._emit("locality.aggregate",
+                   f"{len(buf)} frames -> node {dst}")
+        self._raw_send(dst, M_LOC_AGG, {"frames": frames},
+                       size_bytes=size)
+
+    def _on_agg(self, msg: Message) -> None:
+        self.transport.deliver_inner(msg, msg.payload["frames"])
+
+    # ------------------------------------------------------------------
+    # Failure recovery
+    # ------------------------------------------------------------------
+    def on_peer_dead(self, dead: int) -> None:
+        """A peer died: re-aim pending forwarded diffs at the adoptive
+        home and drop prefetches that can never be answered (parked
+        demand waiters are re-issued by ft_reissue_fetches, which
+        consults _fetch_targets)."""
+        for fwd_id in sorted(self._fwd_pending):
+            rec = self._fwd_pending[fwd_id]
+            if rec["dst"] != dead:
+                continue
+            first_gid = rec["payload"]["entries"][0][0]
+            new_home = self.dsm.home_node(first_gid)
+            rec["dst"] = new_home
+            self.transport.send(new_home, M_LOC_FWD_DIFF,
+                                _strip(rec["payload"]),
+                                size_bytes=rec["size"])
+        for gid in sorted(self._inflight_prefetch):
+            if self._inflight_prefetch[gid] == dead:
+                del self._inflight_prefetch[gid]

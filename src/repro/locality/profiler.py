@@ -1,0 +1,69 @@
+"""Sliding-window access profiler feeding the locality policies.
+
+The home of a coherency unit sees every remote access to it: diff
+flushes name the writer, fetch requests name the reader.  A bounded
+per-unit window of those events is enough to recognize the pattern the
+migration policy cares about — a single remote writer repeatedly paying
+diff round-trips to a home that is not using the data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+#: Event kinds recorded in a unit's window.
+FETCH = "fetch"
+DIFF = "diff"
+
+
+class AccessProfiler:
+    """Per-unit sliding windows of remote access events."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._events: Dict[int, Deque[Tuple[str, int]]] = {}
+
+    def _window(self, gid: int) -> Deque[Tuple[str, int]]:
+        win = self._events.get(gid)
+        if win is None:
+            win = deque(maxlen=self.window)
+            self._events[gid] = win
+        return win
+
+    def note_fetch(self, gid: int, node: int) -> None:
+        """A remote node fetched this unit."""
+        self._window(gid).append((FETCH, node))
+
+    def note_diff(self, gid: int, node: int) -> None:
+        """A remote node flushed a diff of this unit."""
+        self._window(gid).append((DIFF, node))
+
+    def should_migrate(self, gid: int, writer: int, threshold: int) -> bool:
+        """True when ``writer`` is the unit's SOLE recent writer: at
+        least ``threshold`` diffs in the window and no diff from anyone
+        else.  Requiring exclusivity (not mere dominance) keeps multi-
+        writer units — where migration just moves the diff traffic
+        around and ping-pongs the home — pinned in place; the units
+        worth moving are the single-remote-writer ones, whose diff
+        round-trips disappear entirely after the move."""
+        win = self._events.get(gid)
+        if not win:
+            return False
+        mine = 0
+        for kind, node in win:
+            if kind != DIFF:
+                continue
+            if node != writer:
+                return False
+            mine += 1
+        return mine >= threshold
+
+    def reset(self, gid: int) -> None:
+        """Forget a unit's history (called after it migrates away)."""
+        self._events.pop(gid, None)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -17,6 +17,17 @@ from typing import Any, Dict
 # Fixed framing overhead per message: type tag, src/dst, length, seqno.
 HEADER_BYTES = 40
 
+# Adaptive-locality subsystem message types (``repro.locality``).  They
+# live here — next to the framing constants — because the aggregate
+# frame changes how sizes compose: an M_LOC_AGG carries several logical
+# sub-frames but pays HEADER_BYTES only once.
+M_LOC_HOME_UPDATE = "loc.home_update"   # lazy gid->home redirect gossip
+M_LOC_FWD_DIFF = "loc.fwd_diff"         # old home forwards a diff entry
+M_LOC_FWD_DIFF_ACK = "loc.fwd_diff_ack"  # new home acks a forwarded diff
+M_LOC_BULK_FETCH = "loc.bulk_fetch"     # prefetcher: batched fetch request
+M_LOC_BULK_REPLY = "loc.bulk_reply"     # prefetcher: batched unit reply
+M_LOC_AGG = "loc.agg"                   # aggregator: coalesced frame
+
 _msg_counter = itertools.count()
 
 

@@ -301,6 +301,25 @@ class Transport:
                 f"duplicate delivery: {msg} (seq {seq} < expected {expected})"
             )
 
+    def deliver_inner(self, outer: Message, frames) -> None:
+        """Dispatch the logical sub-frames of an aggregate message.
+
+        The outer frame already went through sequencing / ARQ / epoch
+        checks, so the inner messages are delivered directly to the
+        registered handlers: no ``__seq__`` is assigned (FIFO order is
+        inherited from the outer frame) and each inner message keeps the
+        explicit size it was billed at by the aggregator.
+        """
+        for msg_type, payload, size in frames:
+            inner = Message(
+                msg_type=msg_type,
+                src=outer.src,
+                dst=outer.dst,
+                payload=dict(payload),
+                size_bytes=max(1, int(size)),
+            )
+            self._dispatch(inner)
+
     def _dispatch(self, msg: Message) -> None:
         handler = self._handlers.get(msg.msg_type)
         if handler is None:

@@ -57,6 +57,29 @@ class RuntimeConfig:
     # (nothing a survivor can name is ever lost; purely-local state dies
     # with the node, whose threads restart from scratch anyway).
     ft_replication: str = "eager"
+    # ----- adaptive locality (src/repro/locality) ----------------------
+    # Observe per-unit access patterns and adapt the protocol: re-home
+    # units to their dominant writer, prefetch invalidated units in bulk
+    # on acquire, and coalesce same-destination flush traffic at release.
+    # All three default off — with every knob off, runs are byte-identical
+    # to a build without the subsystem.
+    locality_migration: bool = False
+    locality_prefetch: bool = False
+    locality_aggregation: bool = False
+    # Sliding-window length (per-unit remote-access events remembered by
+    # the profiler) used by the migration policy.
+    locality_window: int = 8
+    # Remote diffs from a single dominant writer, within the window,
+    # before the unit is re-homed to that writer.
+    locality_migration_threshold: int = 3
+    # Max units batched into one bulk-fetch on acquire.
+    locality_prefetch_depth: int = 8
+
+    @property
+    def locality_enabled(self) -> bool:
+        """True when any adaptive-locality component is switched on."""
+        return (self.locality_migration or self.locality_prefetch
+                or self.locality_aggregation)
 
     def brand_of(self, node_id: int) -> str:
         """JVM brand name for one node (single- or per-node list)."""
@@ -104,3 +127,16 @@ class RuntimeConfig:
                     "ft_heartbeat_ns must be positive and "
                     "ft_suspect_beats >= 1"
                 )
+        if self.locality_enabled:
+            if self.dsm.timestamp_mode != "scalar":
+                raise ValueError(
+                    "locality_* knobs support only the scalar (MTS-HLRC) "
+                    "timestamp mode"
+                )
+            if self.locality_window < 1:
+                raise ValueError("locality_window must be >= 1")
+            if self.locality_migration_threshold < 1:
+                raise ValueError(
+                    "locality_migration_threshold must be >= 1")
+            if self.locality_prefetch_depth < 1:
+                raise ValueError("locality_prefetch_depth must be >= 1")

@@ -60,6 +60,9 @@ class RunReport:
     # Fault-tolerance summary (None unless RuntimeConfig.ft_enabled):
     # failures detected, dead nodes, per-recovery repair counts.
     ft: Optional[Dict[str, Any]] = None
+    # Adaptive-locality summary (None unless a locality_* knob is on):
+    # migrated units, forwarded diffs, prefetch and aggregation counts.
+    locality: Optional[Dict[str, Any]] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -138,6 +141,11 @@ class JavaSplitRuntime:
             from ..ft import FtManager
             self.ft = FtManager(self)
             self.ft.attach()
+        self.locality = None
+        if self.config.locality_enabled:
+            from ..locality import LocalityManager
+            self.locality = LocalityManager(self)
+            self.locality.attach()
 
     # ------------------------------------------------------------------
     def _choose_spawn_node(self) -> int:
@@ -199,6 +207,8 @@ class JavaSplitRuntime:
         self.workers.append(worker)
         if self.ft is not None:
             self.ft.on_worker_added(worker)
+        if self.locality is not None:
+            self.locality.on_worker_added(worker)
         return worker
 
     def schedule_join(self, at_ns: int, brand: Optional[str] = None) -> None:
@@ -259,6 +269,8 @@ class JavaSplitRuntime:
             node_busy_ns={w.node_id: w.node.busy_ns for w in self.workers},
             events=events,
             ft=None if self.ft is None else self.ft.report(),
+            locality=(None if self.locality is None
+                      else self.locality.report()),
         )
 
 

@@ -53,6 +53,12 @@ class DsmTracer:
         tracer._limit = max_events
         for worker in runtime.workers:
             tracer._wrap_worker(worker)
+        if runtime.locality is not None:
+            engine = runtime.engine
+            for agent in runtime.locality.agents.values():
+                agent.event_sink = (
+                    lambda node, kind, detail:
+                    tracer.record(engine.now, node, kind, detail))
         return tracer
 
     def _wrap_worker(self, worker) -> None:
@@ -99,6 +105,12 @@ class DsmTracer:
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind, sorted by kind name — the one-line
+        answer to "what did the protocol (and the locality subsystem's
+        ``locality.*`` events) actually do in this run?"."""
+        return dict(sorted(self.counts().items()))
 
     def format(self, limit: Optional[int] = None,
                kind: Optional[str] = None) -> str:
