@@ -17,12 +17,24 @@ every run it is attached to:
   (requires ``reliable_transport`` so the ARQ layer can mask them).
 * :func:`run_check` — the seeded schedule-exploration runner behind
   ``python -m repro check``.
+* :func:`run_race_check` — the race-detector sweep behind
+  ``python -m repro race`` (positive controls for ``repro.race``; no
+  oracle is attached, because a racy program is outside the
+  data-race-free contract the single-copy oracle assumes).
 """
 
 from .faults import FaultInjector, FaultPlan, FaultStats
 from .monitor import InvariantMonitor, MonitorError, Violation
 from .oracle import SingleCopyOracle, normalize_slots
-from .runner import CheckReport, SeedResult, app_source, run_check
+from .runner import (
+    CheckReport,
+    RaceSeedResult,
+    RaceSweepReport,
+    SeedResult,
+    app_source,
+    run_check,
+    run_race_check,
+)
 
 __all__ = [
     "FaultInjector",
@@ -36,5 +48,8 @@ __all__ = [
     "SingleCopyOracle",
     "CheckReport",
     "SeedResult",
+    "RaceSeedResult",
+    "RaceSweepReport",
     "run_check",
+    "run_race_check",
 ]

@@ -41,6 +41,14 @@ APP_SOURCES: Dict[str, Callable[[], str]] = {
         resolution=8, n_threads=3, n_spheres=16, seed=1234),
 }
 
+#: Benign-race suppressions auto-applied by ``repro check --race``.
+#: tsp reads ``MinTour.best`` outside the lock *by design* (a stale
+#: bound is safe, see apps/tsp.py) — a true race under happens-before,
+#: documented and suppressed rather than hidden from the detector.
+APP_RACE_SUPPRESS: Dict[str, "tuple[str, ...]"] = {
+    "tsp": ("MinTour.best",),
+}
+
 
 @dataclass
 class SeedResult:
@@ -61,12 +69,19 @@ class SeedResult:
     finals_checked: int = 0
     faults: Optional[FaultStats] = None
     ft: Optional[Dict[str, Any]] = None
+    # Race-detector summary when the sweep runs with --race; the three
+    # benchmark apps are well-synchronized, so any unsuppressed report
+    # is a detector false positive (or a real regression) and fails the
+    # seed.
+    race: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         exact = ((self.result_matches and self.console_matches)
                  or not self.result_required)
-        return not self.violations and exact and self.error is None
+        race_clean = self.race is None or self.race["races"] == 0
+        return (not self.violations and exact and race_clean
+                and self.error is None)
 
 
 @dataclass
@@ -78,6 +93,7 @@ class CheckReport:
     nodes: int
     kill: Optional[str] = None
     locality: str = ""
+    race: bool = False
     results: List[SeedResult] = field(default_factory=list)
     reference_result: Any = None
 
@@ -105,12 +121,22 @@ class CheckReport:
             f"check: app={self.app} nodes={self.nodes} "
             f"faults={self.faults or 'none'}"
             + (f" kill={self.kill}" if self.kill else "")
-            + (f" locality={self.locality}" if self.locality else ""),
+            + (f" locality={self.locality}" if self.locality else "")
+            + (" race=on" if self.race else ""),
             f"  seeds run           : {n}",
             f"  installs cross-checked: {installs}",
             f"  final units checked : {finals}",
             f"  faults injected     : {injected}",
         ]
+        if self.race:
+            events = sum(r.race["events_observed"] for r in self.results
+                         if r.race)
+            suppressed = sum(r.race["suppressed"] for r in self.results
+                             if r.race)
+            races = sum(r.race["races"] for r in self.results if r.race)
+            lines.append(f"  race detector       : {races} reports, "
+                         f"{suppressed} suppressed (benign), "
+                         f"{events} access events")
         if self.kill or kills:
             lines.append(f"  nodes killed        : {kills} "
                          f"({recovered} recovered)")
@@ -131,6 +157,12 @@ class CheckReport:
                 if not r.console_matches and r.result_required:
                     lines.append(f"  seed {r.seed}: console diverges "
                                  f"from reference")
+                if r.race is not None and r.race["races"]:
+                    lines.append(
+                        f"  seed {r.seed}: {r.race['races']} unexpected "
+                        f"race report(s): "
+                        + ", ".join(d["variable"]
+                                    for d in r.race["reports"][:3]))
                 for v in r.violations:
                     lines.append(f"  seed {r.seed}: {v}")
         return "\n".join(lines)
@@ -215,6 +247,7 @@ def run_check(
     strict: bool = False,
     kill: Optional[str] = None,
     locality: str = "",
+    race: bool = False,
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -235,6 +268,12 @@ def run_check(
     aggregation, or ``all``) runs every seed with those adaptive-
     locality components switched on, putting the migration handoff,
     bulk-fetch, and aggregation paths under the same oracle.
+
+    ``race`` runs every seed with the data-race detector on.  The
+    benchmark apps are well-synchronized (tsp's deliberately-racy
+    ``MinTour.best`` bound read is auto-suppressed, see
+    :data:`APP_RACE_SUPPRESS`), so any report fails the seed: a zero-
+    report sweep is the detector's no-false-positive guarantee.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
@@ -250,6 +289,9 @@ def run_check(
     if killing and timestamp_mode != "scalar":
         raise ValueError("node kills require the scalar timestamp mode "
                          "(the only mode the ft subsystem supports)")
+    if race and timestamp_mode != "scalar":
+        raise ValueError("--race requires the scalar timestamp mode "
+                         "(the only mode the race detector supports)")
     locality_knobs = parse_locality(locality)
     source = app_source(app)
     classfiles = compile_source(source)
@@ -258,7 +300,7 @@ def run_check(
     rewritten = rewrite_application(classfiles)
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
-                         locality=locality,
+                         locality=locality, race=race,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
@@ -272,6 +314,8 @@ def run_check(
             seed=seed,
             reliable_transport=plan.lossy,
             ft_enabled=killing,
+            race_detect=race,
+            race_suppress=APP_RACE_SUPPRESS.get(app, ()) if race else (),
             **locality_knobs,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,
@@ -290,6 +334,7 @@ def run_check(
             sr.simulated_ns = run.simulated_ns
             sr.messages = run.net.messages if run.net else 0
             sr.ft = run.ft
+            sr.race = run.race
             sr.result_matches = run.result == reference.result
             sr.console_matches = sorted(run.console) == ref_console
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
@@ -306,6 +351,127 @@ def run_check(
         sr.finals_checked = oracle.checked_final
         if injector is not None:
             sr.faults = injector.stats
+        report.results.append(sr)
+        if progress is not None:
+            progress(sr)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Racy-program sweeps (``python -m repro race``)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RaceSeedResult:
+    """Outcome of one seeded detector run over a racy program."""
+
+    seed: int
+    races: int = 0
+    suppressed: int = 0
+    reports: List[Dict[str, Any]] = field(default_factory=list)
+    events: int = 0
+    simulated_ns: int = 0
+    error: Optional[str] = None
+
+    def ok(self, expect: str) -> bool:
+        if self.error is not None:
+            return False
+        return self.races == 0 if expect == "free" else self.races >= 1
+
+
+@dataclass
+class RaceSweepReport:
+    """One ``repro race`` sweep: the detector's verdict over N seeds."""
+
+    name: str
+    expect: str                  # "race" or "free"
+    nodes: int
+    mode: str = "both"
+    results: List[RaceSeedResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok(self.expect) for r in self.results)
+
+    @property
+    def failed_seeds(self) -> List[int]:
+        return [r.seed for r in self.results if not r.ok(self.expect)]
+
+    def summary(self) -> str:
+        n = len(self.results)
+        races = sum(r.races for r in self.results)
+        suppressed = sum(r.suppressed for r in self.results)
+        events = sum(r.events for r in self.results)
+        lines = [
+            f"race: {self.name} nodes={self.nodes} mode={self.mode} "
+            f"expect={self.expect}",
+            f"  seeds run           : {n}",
+            f"  race reports        : {races} "
+            f"({suppressed} suppressed as benign)",
+            f"  access events       : {events}",
+        ]
+        if self.ok:
+            what = ("no races reported" if self.expect == "free"
+                    else "seeded race caught on every seed")
+            lines.append(f"  verdict             : OK ({what})")
+        else:
+            what = ("unexpected race report" if self.expect == "free"
+                    else "missed seeded race")
+            lines.append(f"  verdict             : FAILED "
+                         f"({what}, seeds {self.failed_seeds})")
+            for r in self.results:
+                if r.error:
+                    lines.append(f"  seed {r.seed}: error: {r.error}")
+        return "\n".join(lines)
+
+
+def run_race_check(
+    source: str,
+    name: str = "program",
+    seeds: int = 8,
+    nodes: int = 3,
+    mode: str = "both",
+    expect: str = "race",
+    suppress: "tuple[str, ...]" = (),
+    jitter_ns: int = DEFAULT_JITTER_NS,
+    progress: Optional[Callable[[RaceSeedResult], None]] = None,
+) -> RaceSweepReport:
+    """Sweep ``seeds`` seeded schedules of one program under the race
+    detector alone.
+
+    ``expect="race"`` (the positive-control mode for the deliberately-
+    racy examples) fails any seed with zero reports — a missed seeded
+    race; ``expect="free"`` fails any seed with a report.  Unlike
+    :func:`run_check`, no consistency oracle or invariant monitor is
+    attached: a racy program is outside the data-race-free contract the
+    single-copy oracle assumes, so its heap may legitimately diverge.
+    """
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
+    if expect not in ("race", "free"):
+        raise ValueError(f"expect must be 'race' or 'free', not {expect!r}")
+    rewritten = rewrite_application(compile_source(source))
+    report = RaceSweepReport(name=name, expect=expect, nodes=nodes, mode=mode)
+    for seed in range(seeds):
+        config = RuntimeConfig(
+            num_nodes=nodes,
+            net_jitter_ns=jitter_ns,
+            seed=seed,
+            race_detect=True,
+            race_mode=mode,
+            race_suppress=suppress,
+        )
+        sr = RaceSeedResult(seed=seed)
+        try:
+            run = JavaSplitRuntime(rewritten, config).run()
+            assert run.race is not None
+            sr.races = run.race["races"]
+            sr.suppressed = run.race["suppressed"]
+            sr.reports = run.race["reports"]
+            sr.events = run.race["events_observed"]
+            sr.simulated_ns = run.simulated_ns
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            sr.error = f"{type(exc).__name__}: {exc}"
         report.results.append(sr)
         if progress is not None:
             progress(sr)

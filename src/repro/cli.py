@@ -9,7 +9,11 @@ disasm    show the bytecode of a program, before or after rewriting
 trace     run distributed with full DSM protocol tracing
 check     sweep seeded schedules of a benchmark app under the
           consistency oracle + invariant monitor, optionally with
-          fault injection
+          fault injection (``--race`` adds the data-race detector and
+          fails any seed with an unsuppressed report)
+race      sweep seeded schedules of one program under the race
+          detector alone: expect-race for seeded-racy positive
+          controls, expect-free for programs that must stay clean
 bench     run the built-in apps with the adaptive-locality subsystem
           off/on and report the numbers (``--json`` writes them under
           benchmarks/results/)
@@ -19,10 +23,13 @@ Examples::
     python -m repro run app.mj --nodes 4 --brand ibm
     python -m repro run app.mj --nodes 4 --locality all
     python -m repro disasm app.mj --rewritten
-    python -m repro trace app.mj --nodes 2 --limit 80
+    python -m repro trace app.mj --nodes 2 --limit 80 --json trace.json
     python -m repro check --app series --seeds 25 --faults drop,reorder,dup
     python -m repro check --app tsp --seeds 10 --kill 2@5ms
     python -m repro check --app tsp --kill random --locality migration
+    python -m repro check --app raytracer --seeds 25 --race
+    python -m repro race examples/racy_counter.mj --seeds 8
+    python -m repro race app.mj --expect free --suppress MinTour.best
     python -m repro bench --json
 """
 
@@ -107,6 +114,12 @@ def _report(report, show_traffic: bool = True) -> None:
               f"({loc['prefetch_hits']} hits), "
               f"{loc['agg_subframes']} msgs in {loc['agg_frames']} "
               f"aggregate frames")
+    if report.race is not None:
+        r = report.race
+        print(f"race detector     : {r['races']} reports "
+              f"({r['suppressed']} suppressed), "
+              f"{r['events_observed']} access events, mode={r['mode']}"
+              + (" DEGRADED" if r["degraded"] else ""))
 
 
 def cmd_run(args) -> int:
@@ -170,6 +183,7 @@ def cmd_check(args) -> int:
             strict=args.strict,
             kill=args.kill,
             locality=args.locality,
+            race=args.race,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -219,8 +233,67 @@ def cmd_trace(args) -> int:
     report = runtime.run()
     print(tracer.format())
     print()
+    summary = tracer.summary()
+    print("trace summary     : " + ", ".join(
+        f"{kind}={count}" for kind, count in summary.items()))
+    if args.json:
+        import json
+
+        doc = {
+            "source": args.source,
+            "summary": summary,
+            "truncated": tracer.truncated,
+            "dropped": tracer.dropped,
+            "events": tracer.as_dicts(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {len(tracer.events)} events to {args.json}")
     _report(report)
     return 0
+
+
+def cmd_race(args) -> int:
+    """`repro race`: seeded race-detector sweep over one program."""
+    from .check import run_race_check
+
+    def progress(sr) -> None:
+        mark = "ok" if sr.ok(args.expect) else "FAIL"
+        print(f"  seed {sr.seed:3d}: {mark}  ({sr.races} reports, "
+              f"{sr.suppressed} suppressed, {sr.events} events)")
+
+    try:
+        report = run_race_check(
+            source=_read(args.source),
+            name=args.source,
+            seeds=args.seeds,
+            nodes=args.nodes,
+            mode=args.mode,
+            expect=args.expect,
+            suppress=tuple(args.suppress or ()),
+            progress=progress if args.verbose else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    # Show the (deduplicated) reports of the first seed that has any.
+    for sr in report.results:
+        if sr.reports:
+            print(f"\nreports (seed {sr.seed}):")
+            for d in sr.reports:
+                sites = "\n".join(
+                    f"    {s['kind']:5s} {s['class']}.{s['method']} "
+                    f"pc={s['pc']} line={s['line']}  node={s['node']} "
+                    f"thread={s['thread']} t={s['time_ns'] / 1e6:.3f}ms"
+                    for s in d["sites"])
+                extra = (f"  lockset={d['lockset']}"
+                         if d["lockset"] else "")
+                print(f"  race on {d['variable']} [{d['engine']}]{extra}\n"
+                      f"{sites}")
+            break
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -277,9 +350,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="run every seed with these adaptive-locality "
                             "components on: migration,prefetch,aggregation "
                             "or 'all' (default: off)")
+    p_chk.add_argument("--race", action="store_true",
+                       help="run every seed with the data-race detector "
+                            "on; any unsuppressed report fails the seed")
     p_chk.add_argument("--verbose", action="store_true",
                        help="print one line per seed")
     p_chk.set_defaults(fn=cmd_check)
+
+    p_race = sub.add_parser(
+        "race",
+        help="race-detector sweep: seeded schedules of one program")
+    p_race.add_argument("source", help="MiniJava source file")
+    p_race.add_argument("--seeds", type=int, default=8,
+                        help="number of seeded schedules to explore")
+    p_race.add_argument("--nodes", type=int, default=3)
+    p_race.add_argument("--mode", default="both",
+                        choices=("hb", "lockset", "both"),
+                        help="detection engine(s) to run")
+    p_race.add_argument("--expect", default="race",
+                        choices=("race", "free"),
+                        help="'race': fail seeds with no report (positive "
+                             "control); 'free': fail seeds with a report")
+    p_race.add_argument("--suppress", action="append", metavar="PATTERN",
+                        help="benign-race suppression (Class.field or "
+                             "Class[]; repeatable)")
+    p_race.add_argument("--verbose", action="store_true",
+                        help="print one line per seed")
+    p_race.set_defaults(fn=cmd_race)
 
     p_bench = sub.add_parser(
         "bench",
@@ -301,6 +398,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cluster_args(p_tr)
     p_tr.add_argument("--limit", type=int, default=200,
                       help="max trace events recorded")
+    p_tr.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the events + summary as JSON")
     p_tr.set_defaults(fn=cmd_trace)
 
     args = parser.parse_args(argv)

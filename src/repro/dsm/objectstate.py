@@ -36,7 +36,7 @@ class DSMHeader:
 
     __slots__ = (
         "state", "gid", "version", "twin", "lock_count", "lock_owner",
-        "class_name",
+        "class_name", "race",
     )
 
     def __init__(self, class_name: str) -> None:
@@ -48,6 +48,9 @@ class DSMHeader:
         self.lock_count = 0
         self.lock_owner: Any = None
         self.class_name = class_name
+        # Race-detector state for LOCAL objects (repro.race); None unless
+        # the detector is enabled and the object has been observed.
+        self.race: Any = None
 
     @property
     def is_local(self) -> bool:

@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..jvm.heap import ArrayObj, Obj
 from ..jvm.interpreter import NO_VALUE
 from ..jvm.jvm import JThread, JVM
-from ..net.message import HEADER_BYTES, M_LOC_BULK_REPLY, Message
+from ..net.message import HEADER_BYTES, M_LOC_BULK_REPLY, Message, estimate_size
 from ..net.transport import Transport
 from ..sim import cost_model as cm
 from .diffs import (
@@ -237,6 +237,12 @@ class DsmEngine:
         #                   (a migrated unit's fetch may not target
         #                   home_of(gid)), for failure-recovery reissue
         self.locality: Optional[Any] = None
+        # ------------------------------------------------------------------
+        # Data-race detection (src/repro/race).  Inert unless a RaceAgent
+        # is attached as ``self.race``: the hooks below feed it the
+        # happens-before edges (lock grant/release, spawn, promote) and
+        # interval boundaries; access events come from the interpreter.
+        self.race: Optional[Any] = None
         self._loc_dir = HomeDirectory()
         self._fetch_targets: Dict[Tuple[int, Optional[int]], int] = {}
         self._home_map: Dict[int, int] = {}
@@ -382,6 +388,10 @@ class DsmEngine:
         if hdr.lock_count > 0 and hdr.lock_owner is not None:
             st.holder_tid = hdr.lock_owner.tid
             st.count = hdr.lock_count
+        if self.race is not None:
+            # Migrate header-local detector metadata into the home store
+            # (must see hdr.race before it is cleared).
+            self.race.on_promote(ref, hdr, gid)
         hdr.lock_count = 0
         hdr.lock_owner = None
         self.stats.promotions += 1
@@ -531,6 +541,8 @@ class DsmEngine:
                     hdr.lock_owner = thread
                     hdr.lock_count += 1
                     self.stats.local_acquires += 1
+                    if self.race is not None:
+                        self.race.on_local_acquired(thread, hdr)
                     return True, self.cost_model[cm.LOCAL_LOCK_OP]
             # Second thread contends: the object escapes.
             self.promote(ref)
@@ -542,6 +554,8 @@ class DsmEngine:
             if st.holder_tid is None:
                 st.holder_tid = thread.tid
                 st.count = 1
+                if self.race is not None:
+                    self.race.on_lock_granted(thread.tid, gid)
                 return True, cost
             if st.holder_tid == thread.tid:
                 st.count += 1
@@ -580,6 +594,8 @@ class DsmEngine:
             hdr.lock_count -= 1
             if hdr.lock_count == 0:
                 hdr.lock_owner = None
+                if self.race is not None:
+                    self.race.on_local_released(thread, hdr)
             return self.cost_model[cm.LOCAL_LOCK_OP]
         gid = hdr.gid
         st = self._lock_state(gid)
@@ -593,6 +609,8 @@ class DsmEngine:
         if st.count > 0:
             return cost
         st.holder_tid = None
+        if self.race is not None:
+            self.race.on_lock_released(thread.tid, gid)
         self.end_interval(thread)
         self._service_queue(st)
         return cost
@@ -621,6 +639,8 @@ class DsmEngine:
                         restore_count=saved)
         )
         self._blocked_on[thread.tid] = (gid, saved)
+        if self.race is not None:
+            self.race.on_lock_released(thread.tid, gid)
         # wait() is a release point.
         self.end_interval(thread)
         self._service_queue(st)
@@ -657,6 +677,11 @@ class DsmEngine:
         }
         if self.ft is not None:
             self.ft.on_spawn(gid, tobj.class_name, priority, target)
+        if self.race is not None:
+            # Fork edge: ship the parent's clock to the child.
+            payload["race"] = self.race.on_spawn_ship(thread, gid)
+            if target == self.node_id:
+                self.race.note_spawn_vc(gid, payload["race"])
         if target == self.node_id:
             self._local_spawn(gid, tobj.class_name, priority)
         else:
@@ -693,6 +718,8 @@ class DsmEngine:
                      priority=priority,
                      name=f"{class_name}-{gid & 0xFFFF:x}")
         self.jvm.live_jthreads[id(obj)] = jt
+        if self.race is not None:
+            self.race.on_thread_begin(jt, gid)
         self.jvm.call_function(jt)
         if self.ft is not None:
             self.ft.on_thread_start(gid)
@@ -701,6 +728,8 @@ class DsmEngine:
 
     def _on_spawn(self, msg: Message) -> None:
         p = msg.payload
+        if self.race is not None:
+            self.race.note_spawn_vc(p["gid"], p.get("race"))
         self._local_spawn(p["gid"], p["class_name"], p["priority"])
 
     # ------------------------------------------------------------------
@@ -739,6 +768,10 @@ class DsmEngine:
         tds = self.thread_dsm(thread)
         tds.interval += 1
         self._flush(list(self._dirty), flush_home=True)
+        if self.race is not None:
+            # Ship buffered access events not carried by this interval's
+            # diffs (the agent piggybacked on same-destination M_DIFFs).
+            self.race.on_end_interval(thread)
 
     def _flush(self, gids, flush_home: bool) -> None:
         """Flush pending writes: diffs of the given cached replicas to
@@ -1296,6 +1329,8 @@ class DsmEngine:
                     st.count = req.restore_count
                 st.holder_tid = req.thread_id
                 self._blocked_on.pop(req.thread_id, None)
+                if self.race is not None:
+                    self.race.on_lock_granted(req.thread_id, st.gid)
                 self._thread(req.thread_id).complete(NO_VALUE)
                 return
             if self._ft_token_freeze:
@@ -1347,6 +1382,11 @@ class DsmEngine:
             "delta": [(n.gid, n.version, n.writer) for n in delta],
         }
         size = HEADER_BYTES + token.wire_size() + sum(n.wire_size() for n in delta)
+        if self.race is not None:
+            # HB edge: ship this node's view of the lock's release clock.
+            vc = self.race.lock_vc_wire(token.gid)
+            payload["race"] = vc
+            size += 8 + estimate_size(vc)
         st.token = None
         st.transit = False
         st.pending_grant = None
@@ -1366,6 +1406,10 @@ class DsmEngine:
             LockRequest(n, t, pr, s, rc) for n, t, pr, s, rc in p["waitq"]
         ]
         token.seen_notices = {n: dict(m) for n, m in p["seen"].items()}
+        if self.race is not None:
+            # Install the lock clock carried with the token (absent on a
+            # recovery re-issue: the detector runs degraded after a kill).
+            self.race.install_lock_vc(gid, p.get("race"))
         st.token = token
         st.last_sent_to = None
         # Acquire-side of the sync point: invalidate per the notice delta.
@@ -1398,6 +1442,8 @@ class DsmEngine:
         st.holder_tid = tid
         st.count = restore
         self._blocked_on.pop(tid, None)
+        if self.race is not None:
+            self.race.on_lock_granted(tid, gid)
         self._thread(tid).complete(NO_VALUE)
 
     def _on_owner_update(self, msg: Message) -> None:

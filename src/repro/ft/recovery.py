@@ -224,6 +224,13 @@ class RecoveryOrchestrator:
         for w in live:
             w.dsm.ft_set_token_freeze(False)
 
+        race = getattr(runtime, "race", None)
+        if race is not None:
+            # Lock clocks and buffered access events on the dead node are
+            # gone; analyzing across the recovery would fabricate races.
+            # Wipe all detector metadata and run degraded from here on.
+            race.on_recovery(dead)
+
         manager.recovering.discard(dead)
         record.update({
             "recovered_ns": runtime.engine.now,

@@ -83,6 +83,12 @@ def jstr(value: Any) -> str:
 class Interpreter:
     """Executes bytecode for one JVM instance."""
 
+    # Race-detector access observer (repro.race), set per instance when
+    # the detector is enabled: (thread, ref, slot, is_write, frame,
+    # instr).  Class-level None keeps the disabled fast path a single
+    # attribute test.
+    race_hook = None
+
     def __init__(self, jvm: "JVM") -> None:  # noqa: F821 - circular typing
         self.jvm = jvm
         self.cost_model = jvm.cost_model
@@ -178,6 +184,8 @@ class Interpreter:
             if idx is None:
                 idx = self.jvm.field_index(instr.a, instr.b)
                 instr.cache = idx
+            if self.race_hook is not None and checked:
+                self.race_hook(thread, ref, instr.b, False, frame, instr)
             stack.append(ref.fields[idx])
         elif op is Op.IF_CMP:
             b = stack.pop(); a = stack.pop()
@@ -192,6 +200,8 @@ class Interpreter:
             idx = stack.pop(); ref = stack.pop()
             if ref is None:
                 raise NullPointerError("arrload on null")
+            if self.race_hook is not None and checked:
+                self.race_hook(thread, ref, idx, False, frame, instr)
             stack.append(ref.get(idx))
         elif op is Op.STORE:
             frame.locals[instr.a] = stack.pop()
@@ -224,11 +234,15 @@ class Interpreter:
             if idx is None:
                 idx = self.jvm.field_index(instr.a, instr.b)
                 instr.cache = idx
+            if self.race_hook is not None and checked:
+                self.race_hook(thread, ref, instr.b, True, frame, instr)
             ref.fields[idx] = value
         elif op is Op.ARRSTORE:
             value = stack.pop(); idx = stack.pop(); ref = stack.pop()
             if ref is None:
                 raise NullPointerError("arrstore on null")
+            if self.race_hook is not None and checked:
+                self.race_hook(thread, ref, idx, True, frame, instr)
             ref.set(idx, value)
         elif op is Op.MUL:
             b = stack.pop(); stack[-1] = stack[-1] * b

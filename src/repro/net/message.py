@@ -28,6 +28,11 @@ M_LOC_BULK_FETCH = "loc.bulk_fetch"     # prefetcher: batched fetch request
 M_LOC_BULK_REPLY = "loc.bulk_reply"     # prefetcher: batched unit reply
 M_LOC_AGG = "loc.agg"                   # aggregator: coalesced frame
 
+# Race-detection subsystem (``repro.race``): standalone access-event
+# batch shipped to a unit's home at a release point when no diff to that
+# home could carry it as a piggyback.
+M_RACE_SYNC = "race.sync"
+
 _msg_counter = itertools.count()
 
 

@@ -1,0 +1,99 @@
+"""Deliberately-racy MiniJava programs: positive controls for the
+detector.
+
+The sources also exist as files under ``examples/`` (for the
+``python -m repro race`` CLI); a test asserts the two copies stay in
+sync.  Both programs are *deterministically* racy: the conflicting
+accesses are unordered under every schedule, so the detector must report
+them on every seed.
+"""
+
+from __future__ import annotations
+
+# Two threads increment one unsynchronized shared counter field.  The
+# classic read-modify-write race: both the read and the write of
+# ``Counter.count`` in ``run()`` conflict across threads.
+RACY_COUNTER_SOURCE = """\
+class Counter {
+    int count;
+
+    Counter() {
+        this.count = 0;
+    }
+}
+
+class CounterWorker extends Thread {
+    Counter c;
+    int n;
+
+    CounterWorker(Counter c, int n) {
+        this.c = c;
+        this.n = n;
+    }
+
+    void run() {
+        for (int i = 0; i < n; i++) {
+            c.count = c.count + 1;   // racy read-modify-write
+        }
+    }
+}
+
+class RacyCounter {
+    static int main() {
+        Counter c = new Counter();
+        CounterWorker[] ts = new CounterWorker[2];
+        for (int t = 0; t < 2; t++) {
+            ts[t] = new CounterWorker(c, 25);
+            ts[t].start();
+        }
+        for (int t = 0; t < 2; t++) { ts[t].join(); }
+        Sys.print("count = " + c.count);
+        return c.count;
+    }
+}
+"""
+
+# Two threads write overlapping row ranges of one shared array with no
+# synchronization: elements 6..9 are written by both.
+RACY_ARRAY_SOURCE = """\
+class RowWorker extends Thread {
+    int[] data;
+    int lo;
+    int hi;
+
+    RowWorker(int[] data, int lo, int hi) {
+        this.data = data;
+        this.lo = lo;
+        this.hi = hi;
+    }
+
+    void run() {
+        for (int i = lo; i < hi; i++) {
+            data[i] = data[i] + 1;   // rows [lo, hi) -- ranges overlap
+        }
+    }
+}
+
+class RacyArray {
+    static int main() {
+        int n = 16;
+        int[] data = new int[n];
+        RowWorker[] ts = new RowWorker[2];
+        ts[0] = new RowWorker(data, 0, 10);
+        ts[1] = new RowWorker(data, 6, 16);
+        ts[0].start();
+        ts[1].start();
+        ts[0].join();
+        ts[1].join();
+        int sum = 0;
+        for (int i = 0; i < n; i++) { sum += data[i]; }
+        Sys.print("sum = " + sum);
+        return sum;
+    }
+}
+"""
+
+RACY_SOURCES = {
+    "racy_counter": RACY_COUNTER_SOURCE,
+    "racy_array": RACY_ARRAY_SOURCE,
+}

@@ -74,6 +74,27 @@ class RuntimeConfig:
     locality_migration_threshold: int = 3
     # Max units batched into one bulk-fetch on acquire.
     locality_prefetch_depth: int = 8
+    # ----- data-race detection (src/repro/race) ------------------------
+    # Online distributed detector over the access checks: vector-clock
+    # happens-before with FastTrack-style epoch compression, plus an
+    # Eraser-style lockset engine.  Off by default — with race_detect
+    # False no agent is attached, no payload field is added, and runs
+    # are byte-identical to a build without the subsystem.
+    race_detect: bool = False
+    # "hb", "lockset", or "both" (HB verdicts annotated with the lockset
+    # diagnosis, plus lockset-only findings).
+    race_mode: str = "both"
+    # Benign-race suppression patterns ("Class.field" or "Class[]"), in
+    # the spirit of a ThreadSanitizer suppression file.  Suppressed
+    # findings are counted but not reported.
+    race_suppress: Sequence[str] = ()
+    # Cap on retained race reports (each race is reported once; the
+    # overflow count is surfaced in the summary).
+    race_max_reports: int = 50
+
+    @property
+    def race_enabled(self) -> bool:
+        return self.race_detect
 
     @property
     def locality_enabled(self) -> bool:
@@ -140,3 +161,16 @@ class RuntimeConfig:
                     "locality_migration_threshold must be >= 1")
             if self.locality_prefetch_depth < 1:
                 raise ValueError("locality_prefetch_depth must be >= 1")
+        if self.race_detect:
+            if self.dsm.timestamp_mode != "scalar":
+                raise ValueError(
+                    "race_detect supports only the scalar (MTS-HLRC) "
+                    "timestamp mode"
+                )
+            if self.race_mode not in ("hb", "lockset", "both"):
+                raise ValueError(
+                    f"unknown race_mode {self.race_mode!r} "
+                    "(expected 'hb', 'lockset' or 'both')"
+                )
+            if self.race_max_reports < 1:
+                raise ValueError("race_max_reports must be >= 1")

@@ -63,6 +63,10 @@ class RunReport:
     # Adaptive-locality summary (None unless a locality_* knob is on):
     # migrated units, forwarded diffs, prefetch and aggregation counts.
     locality: Optional[Dict[str, Any]] = None
+    # Race-detector summary (None unless RuntimeConfig.race_detect):
+    # mode, reports (with both access sites each), suppressed count,
+    # event/promotion statistics.
+    race: Optional[Dict[str, Any]] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -146,6 +150,11 @@ class JavaSplitRuntime:
             from ..locality import LocalityManager
             self.locality = LocalityManager(self)
             self.locality.attach()
+        self.race = None
+        if self.config.race_enabled:
+            from ..race import RaceManager
+            self.race = RaceManager(self)
+            self.race.attach()
 
     # ------------------------------------------------------------------
     def _choose_spawn_node(self) -> int:
@@ -209,6 +218,8 @@ class JavaSplitRuntime:
             self.ft.on_worker_added(worker)
         if self.locality is not None:
             self.locality.on_worker_added(worker)
+        if self.race is not None:
+            self.race.on_worker_added(worker)
         return worker
 
     def schedule_join(self, at_ns: int, brand: Optional[str] = None) -> None:
@@ -256,6 +267,10 @@ class JavaSplitRuntime:
             raise DeadlockError(
                 f"simulation quiesced with blocked threads: {blocked}"
             )
+        if self.race is not None:
+            # Analyze events still buffered on the accessor side (a
+            # thread's trailing accesses never reach a release point).
+            self.race.finalize()
         assert self._main_thread is not None
         return RunReport(
             simulated_ns=self.engine.now,
@@ -271,6 +286,7 @@ class JavaSplitRuntime:
             ft=None if self.ft is None else self.ft.report(),
             locality=(None if self.locality is None
                       else self.locality.report()),
+            race=None if self.race is None else self.race.report(),
         )
 
 

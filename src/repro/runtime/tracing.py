@@ -43,6 +43,9 @@ class DsmTracer:
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         self._limit: Optional[int] = None
+        # Events refused once the max-events cap was hit: a truncated
+        # trace must never read as a quiet run.
+        self.dropped = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -53,9 +56,14 @@ class DsmTracer:
         tracer._limit = max_events
         for worker in runtime.workers:
             tracer._wrap_worker(worker)
+        engine = runtime.engine
         if runtime.locality is not None:
-            engine = runtime.engine
             for agent in runtime.locality.agents.values():
+                agent.event_sink = (
+                    lambda node, kind, detail:
+                    tracer.record(engine.now, node, kind, detail))
+        if runtime.race is not None:
+            for agent in runtime.race.agents.values():
                 agent.event_sink = (
                     lambda node, kind, detail:
                     tracer.record(engine.now, node, kind, detail))
@@ -92,8 +100,14 @@ class DsmTracer:
     def record(self, time_ns: int, node: int, kind: str, detail: str) -> None:
         """Append one event (respecting the max-events limit)."""
         if self._limit is not None and len(self.events) >= self._limit:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(time_ns, node, kind, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True when the max-events cap dropped at least one event."""
+        return self.dropped > 0
 
     def events_of_type(self, kind: str) -> List[TraceEvent]:
         """All events of one kind, in order."""
@@ -108,9 +122,23 @@ class DsmTracer:
 
     def summary(self) -> Dict[str, int]:
         """Event counts by kind, sorted by kind name — the one-line
-        answer to "what did the protocol (and the locality subsystem's
-        ``locality.*`` events) actually do in this run?"."""
-        return dict(sorted(self.counts().items()))
+        answer to "what did the protocol (and the ``locality.*`` /
+        ``race.*`` subsystem events) actually do in this run?".  When
+        the max-events cap dropped events, a ``truncated_dropped`` entry
+        carries the drop count so a truncated trace cannot be mistaken
+        for a quiet run."""
+        out = dict(sorted(self.counts().items()))
+        if self.truncated:
+            out["truncated_dropped"] = self.dropped
+        return out
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Events as JSON-ready dicts (``repro trace --json``)."""
+        return [
+            {"time_ns": e.time_ns, "node": e.node, "kind": e.kind,
+             "detail": e.detail}
+            for e in self.events
+        ]
 
     def format(self, limit: Optional[int] = None,
                kind: Optional[str] = None) -> str:
@@ -118,7 +146,12 @@ class DsmTracer:
         events = self.events if kind is None else self.events_of_type(kind)
         if limit is not None:
             events = events[-limit:]
-        return "\n".join(str(e) for e in events)
+        lines = [str(e) for e in events]
+        if self.truncated:
+            lines.append(
+                f"... trace truncated: {self.dropped} later events "
+                f"dropped by the max-events cap")
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,139 @@
+"""LockToken wait/notify edge cases (§3.2 owner-managed queues):
+notify_one ordering under mixed priorities, park_waiter re-park
+semantics, enqueue dedup against parked waiters, and seen_notices
+per-receiver delta propagation across token transfers."""
+
+from repro.dsm.locks import LockRequest, LockToken
+from repro.dsm.write_notices import Notice, NoticeTable
+
+
+def _req(node, tid, priority=5):
+    return LockRequest(node=node, thread_id=tid, priority=priority)
+
+
+# ---------------------------------------------------------------------------
+# notify_one / notify_all ordering
+# ---------------------------------------------------------------------------
+def test_notify_one_is_fifo_regardless_of_priority():
+    # Java's notify wakes an arbitrary waiter; this runtime pins the
+    # choice to the LONGEST-waiting one.  Priority orders the request
+    # queue, not the wait queue: a high-priority thread that parked
+    # later must not starve an earlier low-priority waiter.
+    token = LockToken(gid=0x10)
+    token.park_waiter(_req(0, 1, priority=1))   # parked first, low prio
+    token.park_waiter(_req(1, 2, priority=9))   # parked later, high prio
+    assert token.notify_one() is True
+    # The low-priority early parker got notified...
+    assert [(r.node, r.thread_id) for r in token.waitq] == [(1, 2)]
+    # ...and now sits in the request queue.
+    assert [(r.node, r.thread_id) for r in token.queue] == [(0, 1)]
+
+
+def test_notified_waiters_reenter_queue_by_priority():
+    # Once notified, waiters DO compete by priority again: notify_all
+    # re-enqueues in park order, but the request queue re-sorts, so a
+    # high-priority waiter overtakes both the earlier-notified
+    # low-priority one and previously queued normal requests.
+    token = LockToken(gid=0x11)
+    token.enqueue(_req(2, 7, priority=5))
+    token.park_waiter(_req(0, 1, priority=1))
+    token.park_waiter(_req(1, 2, priority=9))
+    assert token.notify_all() == 2
+    assert token.waitq == []
+    assert [(r.thread_id, r.priority) for r in token.queue] == [
+        (2, 9), (7, 5), (1, 1)]
+    # FIFO within a priority level is preserved via seq.
+    grantee = token.pop_next()
+    assert grantee.thread_id == 2 and grantee.priority == 9
+
+
+def test_notify_one_on_empty_waitq():
+    token = LockToken(gid=0x12)
+    assert token.notify_one() is False
+    assert token.notify_all() == 0
+
+
+# ---------------------------------------------------------------------------
+# park_waiter re-park and enqueue dedup
+# ---------------------------------------------------------------------------
+def test_park_waiter_repark_replaces_entry():
+    # Recovery may re-park a (node, thread) whose original record
+    # survived on the token: the stale entry is replaced, not
+    # duplicated, and the re-parked thread moves to the back.
+    token = LockToken(gid=0x13)
+    token.park_waiter(_req(0, 1))
+    token.park_waiter(_req(1, 2))
+    token.park_waiter(LockRequest(node=0, thread_id=1, priority=8,
+                                  restore_count=3))
+    assert [(r.node, r.thread_id) for r in token.waitq] == [(1, 2), (0, 1)]
+    # The replacement's fields won (restore_count matters on re-grant).
+    assert token.waitq[-1].restore_count == 3
+
+
+def test_enqueue_dedups_against_parked_waiter():
+    # A recovery-re-issued acquire for a thread that is actually parked
+    # in the wait queue must be dropped: granting it would wake a
+    # waiter without a notify.
+    token = LockToken(gid=0x14)
+    token.park_waiter(_req(0, 1))
+    token.enqueue(_req(0, 1))
+    assert token.queue == []
+    token.enqueue(_req(1, 2))
+    token.enqueue(_req(1, 2))
+    assert len(token.queue) == 1
+
+
+def test_park_notify_cycle_preserves_seen_notices():
+    # wait/notify is communication-free at the owner; churning the
+    # queues must not disturb the per-receiver notice snapshots the
+    # token carries.
+    token = LockToken(gid=0x15)
+    token.seen_notices[1] = {0x15: 4}
+    token.seen_notices[2] = {0x15: 2}
+    token.park_waiter(_req(1, 2))
+    token.notify_one()
+    token.pop_next()
+    assert token.seen_notices == {1: {0x15: 4}, 2: {0x15: 2}}
+
+
+# ---------------------------------------------------------------------------
+# seen_notices propagation (the per-receiver delta contract)
+# ---------------------------------------------------------------------------
+def test_seen_notices_delta_is_per_receiver():
+    # The token may carry a notice past node A to node B; A still needs
+    # it on the token's next visit.  delta_since() updates the
+    # receiver's snapshot in place, so consecutive transfers to the
+    # SAME node ship nothing twice while a different node still gets
+    # the full delta.
+    table = NoticeTable()  # bounded (scalar) mode
+    table.add(Notice(gid=0xA, version=3))
+    table.add(Notice(gid=0xB, version=1))
+    token = LockToken(gid=0x16)
+
+    to_b = token.seen_notices.setdefault(2, {})
+    delta_b = table.delta_since(to_b)
+    assert sorted((n.gid, n.version) for n in delta_b) == [(0xA, 3), (0xB, 1)]
+    # Second transfer to B: nothing new.
+    assert table.delta_since(token.seen_notices[2]) == []
+
+    # First transfer to A still carries everything.
+    to_a = token.seen_notices.setdefault(1, {})
+    delta_a = table.delta_since(to_a)
+    assert sorted((n.gid, n.version) for n in delta_a) == [(0xA, 3), (0xB, 1)]
+
+    # A newer version supersedes the snapshot for both receivers.
+    table.add(Notice(gid=0xA, version=7))
+    assert [(n.gid, n.version)
+            for n in table.delta_since(token.seen_notices[2])] == [(0xA, 7)]
+    assert token.seen_notices[2][0xA] == 7
+
+
+def test_wire_size_tracks_queue_and_notice_growth():
+    token = LockToken(gid=0x17)
+    base = token.wire_size()
+    token.enqueue(_req(0, 1))
+    token.park_waiter(_req(1, 2))
+    with_queues = token.wire_size()
+    assert with_queues > base
+    token.seen_notices[1] = {0xA: 1, 0xB: 2}
+    assert token.wire_size() == with_queues + 4 + 12 * 2
