@@ -36,11 +36,21 @@ ABLATION_MODES: Tuple[str, ...] = (
 DEFAULT_APPS: Tuple[str, ...] = ("series", "tsp", "raytracer")
 
 
-def _measure(rewritten, nodes: int, mode: str) -> Dict[str, Any]:
-    """One simulated run; ``mode`` is a locality spec ('' = off)."""
+def _measure(rewritten, nodes: int, mode: str,
+             include_metrics: bool = False) -> Dict[str, Any]:
+    """One simulated run; ``mode`` is a locality spec ('' = off).
+
+    ``include_metrics`` additionally runs with the telemetry metrics
+    registry on and embeds its compact summary.  Off by default so the
+    committed ``BENCH_3.json`` snapshots stay byte-comparable across
+    commits that only touch telemetry (the registry itself never
+    perturbs traffic, so the other numbers are identical either way).
+    """
     spec = "" if mode == "off" else mode
-    config = RuntimeConfig(num_nodes=nodes, **parse_locality(spec))
-    report = JavaSplitRuntime(rewritten, config).run()
+    config = RuntimeConfig(num_nodes=nodes, obs_metrics=include_metrics,
+                           **parse_locality(spec))
+    runtime = JavaSplitRuntime(rewritten, config)
+    report = runtime.run()
     total = report.total_dsm()
     assert report.net is not None
     out: Dict[str, Any] = {
@@ -54,6 +64,8 @@ def _measure(rewritten, nodes: int, mode: str) -> Dict[str, Any]:
     }
     if report.locality is not None:
         out["locality"] = report.locality
+    if include_metrics and runtime.obs is not None:
+        out["metrics"] = runtime.obs.metrics.compact()
     return out
 
 
@@ -65,10 +77,12 @@ def _pct(off: float, on: float) -> Optional[float]:
 
 
 def bench_app(app: str, nodes: int = 3,
-              modes: Iterable[str] = BASE_MODES) -> Dict[str, Any]:
+              modes: Iterable[str] = BASE_MODES,
+              include_metrics: bool = False) -> Dict[str, Any]:
     """Bench one app across the given locality modes."""
     rewritten = rewrite_application(compile_source(app_source(app)))
-    runs = {mode: _measure(rewritten, nodes, mode) for mode in modes}
+    runs = {mode: _measure(rewritten, nodes, mode, include_metrics)
+            for mode in modes}
     off = runs["off"]
     entry: Dict[str, Any] = {"runs": runs}
     entry["result_matches"] = all(
@@ -86,7 +100,8 @@ def bench_app(app: str, nodes: int = 3,
 
 
 def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
-              ablation: bool = False) -> Dict[str, Any]:
+              ablation: bool = False,
+              include_metrics: bool = False) -> Dict[str, Any]:
     """The full bench document (what the JSON files serialize)."""
     modes = ABLATION_MODES if ablation else BASE_MODES
     return {
@@ -94,7 +109,8 @@ def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
         "schema": 1,
         "nodes": nodes,
         "modes": list(modes),
-        "apps": {app: bench_app(app, nodes, modes) for app in apps},
+        "apps": {app: bench_app(app, nodes, modes, include_metrics)
+                 for app in apps},
     }
 
 

@@ -94,6 +94,7 @@ class CheckReport:
     kill: Optional[str] = None
     locality: str = ""
     race: bool = False
+    obs: bool = False
     results: List[SeedResult] = field(default_factory=list)
     reference_result: Any = None
 
@@ -122,7 +123,8 @@ class CheckReport:
             f"faults={self.faults or 'none'}"
             + (f" kill={self.kill}" if self.kill else "")
             + (f" locality={self.locality}" if self.locality else "")
-            + (" race=on" if self.race else ""),
+            + (" race=on" if self.race else "")
+            + (" obs=on" if self.obs else ""),
             f"  seeds run           : {n}",
             f"  installs cross-checked: {installs}",
             f"  final units checked : {finals}",
@@ -248,6 +250,7 @@ def run_check(
     kill: Optional[str] = None,
     locality: str = "",
     race: bool = False,
+    obs: bool = False,
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -274,6 +277,11 @@ def run_check(
     ``MinTour.best`` bound read is auto-suppressed, see
     :data:`APP_RACE_SUPPRESS`), so any report fails the seed: a zero-
     report sweep is the detector's no-false-positive guarantee.
+
+    ``obs`` runs every seed with all three telemetry knobs on (metrics,
+    spans, stall profiling), putting the observability instrumentation
+    itself under the oracle: telemetry must never perturb protocol
+    correctness.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
@@ -300,7 +308,7 @@ def run_check(
     rewritten = rewrite_application(classfiles)
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
-                         locality=locality, race=race,
+                         locality=locality, race=race, obs=obs,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
@@ -316,6 +324,9 @@ def run_check(
             ft_enabled=killing,
             race_detect=race,
             race_suppress=APP_RACE_SUPPRESS.get(app, ()) if race else (),
+            obs_metrics=obs,
+            obs_spans=obs,
+            obs_profile=obs,
             **locality_knobs,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,

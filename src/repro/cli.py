@@ -17,6 +17,12 @@ race      sweep seeded schedules of one program under the race
 bench     run the built-in apps with the adaptive-locality subsystem
           off/on and report the numbers (``--json`` writes them under
           benchmarks/results/)
+profile   run with the full telemetry subsystem on: stall-attribution
+          report on stdout, plus optional Chrome/Perfetto trace-event
+          JSON (``--trace``) and speedscope collapsed stacks
+          (``--speedscope``)
+stats     run with the metrics registry on and print the counters,
+          gauges and latency histograms (``--json`` for the raw dump)
 
 Examples::
 
@@ -28,9 +34,12 @@ Examples::
     python -m repro check --app tsp --seeds 10 --kill 2@5ms
     python -m repro check --app tsp --kill random --locality migration
     python -m repro check --app raytracer --seeds 25 --race
+    python -m repro check --app series --seeds 10 --obs
     python -m repro race examples/racy_counter.mj --seeds 8
     python -m repro race app.mj --expect free --suppress MinTour.best
     python -m repro bench --json
+    python -m repro profile tsp --trace tsp.trace.json --top 5
+    python -m repro stats raytracer --json
 """
 
 from __future__ import annotations
@@ -184,6 +193,7 @@ def cmd_check(args) -> int:
             kill=args.kill,
             locality=args.locality,
             race=args.race,
+            obs=args.obs,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -200,7 +210,8 @@ def cmd_bench(args) -> int:
     from .bench import DEFAULT_APPS, run_bench, write_results
 
     apps = args.apps or list(DEFAULT_APPS)
-    doc = run_bench(apps=apps, nodes=args.nodes, ablation=args.ablation)
+    doc = run_bench(apps=apps, nodes=args.nodes, ablation=args.ablation,
+                    include_metrics=args.metrics)
     if args.json:
         out_dir = Path(args.out) if args.out else None
         paths = write_results(doc, **({} if out_dir is None
@@ -243,13 +254,111 @@ def cmd_trace(args) -> int:
             "source": args.source,
             "summary": summary,
             "truncated": tracer.truncated,
-            "dropped": tracer.dropped,
+            # Always present (0 on a complete trace) so consumers can
+            # tell a truncated trace from a quiet run without probing.
+            "truncated_dropped": tracer.dropped,
             "events": tracer.as_dicts(),
         }
         with open(args.json, "w") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
         print(f"wrote {len(tracer.events)} events to {args.json}")
+    _report(report)
+    return 0
+
+
+def _app_or_source(target: str) -> str:
+    """Resolve a profile/stats target: built-in app name or .mj path."""
+    from .check.runner import APP_SOURCES, app_source
+
+    if target in APP_SOURCES:
+        return app_source(target)
+    return _read(target)
+
+
+def _obs_config(args, metrics: bool, spans: bool,
+                profile: bool) -> "RuntimeConfig":
+    from .check.runner import parse_locality
+
+    return RuntimeConfig(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        obs_metrics=metrics,
+        obs_spans=spans,
+        obs_profile=profile,
+        obs_top_n=getattr(args, "top", 10),
+        **parse_locality(args.locality),
+    )
+
+
+def cmd_profile(args) -> int:
+    """`repro profile`: full-telemetry run + stall-attribution report."""
+    import json
+
+    from .obs.spans import validate_chrome_trace
+
+    rewritten = rewrite_application(compile_source(_app_or_source(args.target)))
+    config = _obs_config(args, metrics=True, spans=True, profile=True)
+    runtime = JavaSplitRuntime(rewritten, config)
+    report = runtime.run()
+    obs = runtime.obs
+    assert obs is not None and obs.profiler is not None \
+        and obs.spans is not None
+    print(obs.profiler.format(args.top))
+    print()
+    if args.trace:
+        doc = obs.spans.to_chrome_trace()
+        errors = validate_chrome_trace(doc)
+        with open(args.trace, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {len(doc['traceEvents'])} trace events to "
+              f"{args.trace}")
+        if errors:
+            print(f"trace-event schema violations ({len(errors)}):",
+                  file=sys.stderr)
+            for err in errors[:10]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+    if args.speedscope:
+        with open(args.speedscope, "w") as fh:
+            fh.write(obs.spans.to_collapsed())
+        print(f"wrote collapsed stacks to {args.speedscope}")
+    _report(report)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """`repro stats`: metrics-registry run; counters + histograms."""
+    import json
+
+    rewritten = rewrite_application(compile_source(_app_or_source(args.target)))
+    config = _obs_config(args, metrics=True, spans=False, profile=False)
+    runtime = JavaSplitRuntime(rewritten, config)
+    report = runtime.run()
+    obs = runtime.obs
+    assert obs is not None and obs.metrics is not None
+    doc = obs.metrics.as_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print("counters:")
+    for name in sorted(doc["counters"]):
+        entry = doc["counters"][name]
+        by_node = ", ".join(f"n{n}={c}"
+                            for n, c in sorted(entry["by_node"].items()))
+        print(f"  {name:24s} {entry['total']:8d}  ({by_node})")
+    if doc["gauges"]:
+        print("gauges:")
+        for name in sorted(doc["gauges"]):
+            print(f"  {name:24s} {doc['gauges'][name]}")
+    if doc["histograms"]:
+        print("histograms:")
+        for name in sorted(doc["histograms"]):
+            h = obs.metrics.histogram(name)
+            print(f"  {name:24s} n={h.count:6d} mean={h.mean:12.1f} "
+                  f"p50={h.quantile(0.5)} p99={h.quantile(0.99)} "
+                  f"max={h.max}")
     _report(report)
     return 0
 
@@ -353,6 +462,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chk.add_argument("--race", action="store_true",
                        help="run every seed with the data-race detector "
                             "on; any unsuppressed report fails the seed")
+    p_chk.add_argument("--obs", action="store_true",
+                       help="run every seed with all telemetry knobs on "
+                            "(metrics, spans, stall profiling) — puts the "
+                            "instrumentation itself under the oracle")
     p_chk.add_argument("--verbose", action="store_true",
                        help="print one line per seed")
     p_chk.set_defaults(fn=cmd_check)
@@ -392,7 +505,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--out", default=None, metavar="DIR",
                          help="output directory for --json "
                               "(default: benchmarks/results)")
+    p_bench.add_argument("--metrics", action="store_true",
+                         help="also run with the telemetry metrics "
+                              "registry on and embed its compact summary")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="telemetry run: stall attribution + causal span traces")
+    p_prof.add_argument("target",
+                        help="built-in app name (series/tsp/raytracer) "
+                             "or a MiniJava source file")
+    p_prof.add_argument("--nodes", type=int, default=3)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--locality", default="", metavar="COMPONENTS",
+                        help="adaptive-locality components to enable "
+                             "during the profiled run")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="entries in the hot-site / hot-unit tables")
+    p_prof.add_argument("--trace", default=None, metavar="FILE",
+                        help="write Chrome/Perfetto trace-event JSON")
+    p_prof.add_argument("--speedscope", default=None, metavar="FILE",
+                        help="write speedscope-compatible collapsed "
+                             "stacks (Brendan Gregg folded format)")
+    p_prof.set_defaults(fn=cmd_profile)
+
+    p_st = sub.add_parser(
+        "stats", help="metrics-registry run: counters + histograms")
+    p_st.add_argument("target",
+                      help="built-in app name (series/tsp/raytracer) "
+                           "or a MiniJava source file")
+    p_st.add_argument("--nodes", type=int, default=3)
+    p_st.add_argument("--seed", type=int, default=0)
+    p_st.add_argument("--locality", default="", metavar="COMPONENTS")
+    p_st.add_argument("--json", action="store_true",
+                      help="print the raw registry dump as JSON")
+    p_st.set_defaults(fn=cmd_stats)
 
     p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")
     _add_cluster_args(p_tr)

@@ -28,6 +28,10 @@ class LockRequest:
     priority: int = 5
     seq: int = 0              # FIFO tiebreak within a priority level
     restore_count: int = 1    # re-entrancy depth to restore on grant
+    # Telemetry: causal span id of the acquire chain (None unless
+    # RuntimeConfig.obs_spans; shipped as a 6th token-tuple element and
+    # billed separately, so wire_size stays the bare-protocol figure).
+    obs_span: Optional[int] = None
 
     def sort_key(self) -> Tuple[int, int]:
         """Ordering key: higher priority first, FIFO within."""

@@ -38,7 +38,8 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..jvm.heap import ArrayObj, Obj
 from ..jvm.interpreter import NO_VALUE
 from ..jvm.jvm import JThread, JVM
-from ..net.message import HEADER_BYTES, M_LOC_BULK_REPLY, Message, estimate_size
+from ..net.message import (HEADER_BYTES, M_LOC_BULK_REPLY, OBS_SPAN_KEY,
+                           Message, estimate_size)
 from ..net.transport import Transport
 from ..sim import cost_model as cm
 from .diffs import (
@@ -243,6 +244,12 @@ class DsmEngine:
         # happens-before edges (lock grant/release, spawn, promote) and
         # interval boundaries; access events come from the interpreter.
         self.race: Optional[Any] = None
+        # ------------------------------------------------------------------
+        # Telemetry (src/repro/obs).  Inert unless an ObsAgent is
+        # attached as ``self.obs``: the hooks below mark transaction
+        # boundaries (fetch/flush/lock spans), thread stalls, and — only
+        # with spans enabled — piggyback span ids on protocol payloads.
+        self.obs: Optional[Any] = None
         self._loc_dir = HomeDirectory()
         self._fetch_targets: Dict[Tuple[int, Optional[int]], int] = {}
         self._home_map: Dict[int, int] = {}
@@ -509,6 +516,8 @@ class DsmEngine:
         gid = hdr.gid
         waiters = self._fetch_waiters.setdefault((gid, region), [])
         waiters.append(thread)
+        if self.obs is not None:
+            self.obs.on_fetch_block(thread, gid, region)
         if len(waiters) > 1:
             return  # request already in flight
         key = gid if region is None else (gid, region)
@@ -522,10 +531,14 @@ class DsmEngine:
             if self.locality.fetch_covered(gid, region):
                 # A prefetch for this unit is already in flight; its bulk
                 # reply will install the data and wake the waiters.
+                if self.obs is not None:
+                    self.obs.on_fetch_start(gid, region, None)
                 return
         self.stats.fetches += 1
         if region is not None:
             self.stats.region_fetches += 1
+        if self.obs is not None:
+            self.obs.on_fetch_start(gid, region, payload)
         self.transport.send(self.home_node(gid), M_FETCH_REQ, payload)
 
     # ==================================================================
@@ -560,29 +573,36 @@ class DsmEngine:
             if st.holder_tid == thread.tid:
                 st.count += 1
                 return True, cost
-            st.token.enqueue(
-                LockRequest(self.node_id, thread.tid, thread.priority)
-            )
+            req = LockRequest(self.node_id, thread.tid, thread.priority)
+            if self.obs is not None:
+                req.obs_span = self.obs.on_lock_block(thread, gid)
+            st.token.enqueue(req)
             self._blocked_on[thread.tid] = (gid, 1)
             return False, cost
         if st.token is not None and st.transit:
             # Token committed to a remote node but still fenced here: the
             # request joins the queue and travels with the token.
-            st.token.enqueue(
-                LockRequest(self.node_id, thread.tid, thread.priority)
-            )
+            req = LockRequest(self.node_id, thread.tid, thread.priority)
+            if self.obs is not None:
+                req.obs_span = self.obs.on_lock_block(thread, gid)
+            st.token.enqueue(req)
             self._blocked_on[thread.tid] = (gid, 1)
             return False, cost
         # No token here: route through the home node.
         self.stats.lock_requests += 1
         self._blocked_on[thread.tid] = (gid, 1)
-        self.transport.send(self.home_node(gid), M_LOCK_REQ, {
+        payload = {
             "gid": gid,
             "node": self.node_id,
             "tid": thread.tid,
             "priority": thread.priority,
             "restore": 1,
-        })
+        }
+        if self.obs is not None:
+            sid = self.obs.on_lock_block(thread, gid)
+            if sid is not None:
+                payload[OBS_SPAN_KEY] = sid
+        self.transport.send(self.home_node(gid), M_LOCK_REQ, payload)
         return False, cost
 
     def release(self, thread: JThread, ref: Any) -> int:
@@ -634,10 +654,11 @@ class DsmEngine:
         saved = st.count
         st.holder_tid = None
         st.count = 0
-        st.token.park_waiter(
-            LockRequest(self.node_id, thread.tid, thread.priority,
-                        restore_count=saved)
-        )
+        req = LockRequest(self.node_id, thread.tid, thread.priority,
+                          restore_count=saved)
+        if self.obs is not None:
+            req.obs_span = self.obs.on_lock_block(thread, gid, kind="wait")
+        st.token.park_waiter(req)
         self._blocked_on[thread.tid] = (gid, saved)
         if self.race is not None:
             self.race.on_lock_released(thread.tid, gid)
@@ -847,6 +868,9 @@ class DsmEngine:
             }
             self.stats.diffs_sent += len(entries)
             size = HEADER_BYTES + sum(14 + len(d) for _, d, _r in entries)
+            if self.obs is not None:
+                size += self.obs.on_flush(home, ack_id, payload,
+                                          len(entries), size - HEADER_BYTES)
             self.stats.diff_bytes += size
             self._pending_diffs[ack_id] = (home, payload, size)
             if self.config.timestamp_mode == VECTOR:
@@ -913,11 +937,17 @@ class DsmEngine:
             if grants:
                 ack_payload["migrate"] = grants
         delay = self.cost_model[cm.PROTO_HANDLER_NS]
+        if self.obs is not None:
+            now = self.engine.now
+            self.obs.on_diff_apply(msg.src, p["ack_id"], len(p["entries"]),
+                                   now, now + delay)
         self.engine.schedule(delay, lambda: self.transport.send(
             msg.src, M_DIFF_ACK, ack_payload
         ))
 
     def _on_diff_ack(self, msg: Message) -> None:
+        if self.obs is not None:
+            self.obs.on_diff_ack(msg.payload["ack_id"])
         self._pending_diffs.pop(msg.payload["ack_id"], None)
         for key, version in msg.payload["versions"]:
             self.notice_table.add(Notice(key, version))
@@ -958,6 +988,8 @@ class DsmEngine:
         ack_id = msg.payload["ack_id"]
         if ack_id not in self._pending_diffs:
             return  # the original home's ack won the race; already settled
+        if self.obs is not None:
+            self.obs.on_diff_ack(ack_id)
         del self._pending_diffs[ack_id]
         for key, version in msg.payload["versions"]:
             self.notice_table.add(Notice(key, version))
@@ -1067,6 +1099,10 @@ class DsmEngine:
             self.cost_model[cm.PROTO_HANDLER_NS]
             + len(data) * self.cost_model[cm.SERIALIZE_PER_BYTE_NS]
         )
+        if self.obs is not None:
+            now = self.engine.now
+            self.obs.on_fetch_serve(requester, gid, region, now, now + delay,
+                                    size)
         self.engine.schedule(delay, lambda: self.transport.send(
             requester, M_FETCH_REPLY, payload, size_bytes=size
         ))
@@ -1077,13 +1113,18 @@ class DsmEngine:
         if self.locality is not None:
             self._fetch_targets.pop((gid, region), None)
         waiters = self._fetch_waiters.pop((gid, region), [])
+        extra: List[JThread] = []
+        if region == 0:
+            # A no-index (length) waiter may also be parked on region 0.
+            extra = self._fetch_waiters.pop((gid, None), [])
+        if self.obs is not None:
+            self.obs.on_fetch_done(gid, region,
+                                   [t.tid for t in waiters + extra],
+                                   msg.size_bytes)
         for thread in waiters:
             thread.wake()
-        if region is not None:
-            # A no-index (length) waiter may also be parked on region 0.
-            if region == 0:
-                for thread in self._fetch_waiters.pop((gid, None), []):
-                    thread.wake()
+        for thread in extra:
+            thread.wake()
 
     def _install_unit(self, p: Dict[str, Any]) -> Tuple[int, Optional[int]]:
         """Install one fetched coherency unit payload into the local
@@ -1275,6 +1316,8 @@ class DsmEngine:
         if owner == self.node_id:
             self._on_lock_fwd(msg)
         else:
+            if self.obs is not None:
+                self.obs.on_lock_route(p, owner)
             self.transport.send(owner, M_LOCK_FWD, dict(p))
 
     def _on_lock_fwd(self, msg: Message) -> None:
@@ -1282,10 +1325,13 @@ class DsmEngine:
         gid = p["gid"]
         st = self._lock_state(gid)
         if st.token is not None:
-            st.token.enqueue(LockRequest(
+            req = LockRequest(
                 p["node"], p["tid"], p["priority"],
                 restore_count=p.get("restore", 1),
-            ))
+            )
+            if self.obs is not None:
+                self.obs.on_lock_enqueue(p, req)
+            st.token.enqueue(req)
             self._service_queue(st)
             return
         # Token has moved on: chase it.
@@ -1305,6 +1351,8 @@ class DsmEngine:
                         f"node {self.node_id} cannot route lock request "
                         f"for gid {gid:#x}"
                     )
+        if self.obs is not None:
+            self.obs.on_lock_route(p, target)
         self.transport.send(target, M_LOCK_FWD, dict(p))
 
     def _service_queue(self, st: NodeLockState) -> None:
@@ -1331,6 +1379,8 @@ class DsmEngine:
                 self._blocked_on.pop(req.thread_id, None)
                 if self.race is not None:
                     self.race.on_lock_granted(req.thread_id, st.gid)
+                if self.obs is not None:
+                    self.obs.on_lock_granted(req.thread_id, st.gid)
                 self._thread(req.thread_id).complete(NO_VALUE)
                 return
             if self._ft_token_freeze:
@@ -1341,6 +1391,10 @@ class DsmEngine:
             st.token.pop_next()
             st.transit = True
             st.pending_grant = req
+            if (self.obs is not None
+                    and self.config.timestamp_mode != VECTOR
+                    and self._outstanding_acks > 0):
+                self.obs.on_fence_enter(st.gid, req)
             self._when_fence_clear(lambda: self._send_token(st, req))
             return
 
@@ -1367,17 +1421,34 @@ class DsmEngine:
             delta = self.notice_table.delta_since_vector(per_receiver)
         else:
             delta = self.notice_table.delta_since(per_receiver)
+        if self.obs is None:
+            queue_wire = [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
+                for r in token.queue
+            ]
+            waitq_wire = [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
+                for r in token.waitq
+            ]
+        else:
+            # 6th element: each queued request's causal span id, so the
+            # acquire chain survives the token migration (billed by
+            # on_token_send only when spans are actually on).
+            queue_wire = [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count,
+                 r.obs_span)
+                for r in token.queue
+            ]
+            waitq_wire = [
+                (r.node, r.thread_id, r.priority, r.seq, r.restore_count,
+                 r.obs_span)
+                for r in token.waitq
+            ]
         payload = {
             "gid": token.gid,
             "grant": (req.node, req.thread_id, req.priority, req.restore_count),
-            "queue": [
-                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
-                for r in token.queue
-            ],
-            "waitq": [
-                (r.node, r.thread_id, r.priority, r.seq, r.restore_count)
-                for r in token.waitq
-            ],
+            "queue": queue_wire,
+            "waitq": waitq_wire,
             "seen": {n: dict(m) for n, m in token.seen_notices.items()},
             "delta": [(n.gid, n.version, n.writer) for n in delta],
         }
@@ -1387,6 +1458,8 @@ class DsmEngine:
             vc = self.race.lock_vc_wire(token.gid)
             payload["race"] = vc
             size += 8 + estimate_size(vc)
+        if self.obs is not None:
+            size += self.obs.on_token_send(token.gid, req, payload)
         st.token = None
         st.transit = False
         st.pending_grant = None
@@ -1398,12 +1471,20 @@ class DsmEngine:
         p = msg.payload
         gid = p["gid"]
         st = self._lock_state(gid)
+        if self.obs is not None:
+            self.obs.on_token_arrive(p, gid)
         token = LockToken(gid)
+        # Queue entries are 5-tuples, or 6-tuples (…, obs_span) when the
+        # sender had telemetry attached; parse both.
         token.queue = [
-            LockRequest(n, t, pr, s, rc) for n, t, pr, s, rc in p["queue"]
+            LockRequest(e[0], e[1], e[2], e[3], e[4],
+                        obs_span=e[5] if len(e) > 5 else None)
+            for e in p["queue"]
         ]
         token.waitq = [
-            LockRequest(n, t, pr, s, rc) for n, t, pr, s, rc in p["waitq"]
+            LockRequest(e[0], e[1], e[2], e[3], e[4],
+                        obs_span=e[5] if len(e) > 5 else None)
+            for e in p["waitq"]
         ]
         token.seen_notices = {n: dict(m) for n, m in p["seen"].items()}
         if self.race is not None:
@@ -1444,6 +1525,8 @@ class DsmEngine:
         self._blocked_on.pop(tid, None)
         if self.race is not None:
             self.race.on_lock_granted(tid, gid)
+        if self.obs is not None:
+            self.obs.on_lock_granted(tid, gid)
         self._thread(tid).complete(NO_VALUE)
 
     def _on_owner_update(self, msg: Message) -> None:

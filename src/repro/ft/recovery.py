@@ -30,7 +30,7 @@ heap and releases every survivor that was blocked on the dead node:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..dsm.locks import LockToken
 from ..dsm.protocol import M_SPAWN, M_TOKEN
@@ -58,6 +58,12 @@ class RecoveryOrchestrator:
     def __init__(self, manager: "FtManager") -> None:
         self.manager = manager
         self.records: List[Dict[str, Any]] = []
+        # Observers (DsmTracer / obs subsystem).  ``event_sink`` gets
+        # (time_ns, kind, detail) lines for the flat event log;
+        # ``on_recovered`` gets each completed recovery record so the
+        # telemetry layer can turn its phases into spans.
+        self.event_sink: Optional[Callable[[int, str, str], None]] = None
+        self.on_recovered: Optional[Callable[[Dict[str, Any]], None]] = None
 
     # ------------------------------------------------------------------
     def begin(self, dead: int) -> None:
@@ -71,6 +77,9 @@ class RecoveryOrchestrator:
             "detected_ns": runtime.engine.now,
             "drain_ticks": 0,
         }
+        if self.event_sink is not None:
+            self.event_sink(runtime.engine.now, "ft.detect",
+                            f"node {dead} declared failed")
         for w in self._live(dead):
             w.dsm.ft_set_token_freeze(True)
         self._drain(dead, record)
@@ -243,3 +252,10 @@ class RecoveryOrchestrator:
             "threads_respawned": respawned,
         })
         self.records.append(record)
+        if self.event_sink is not None:
+            self.event_sink(
+                runtime.engine.now, "ft.recovered",
+                f"node {dead} recovered via buddy {buddy_id}: "
+                f"{len(units)} units, {respawned} threads")
+        if self.on_recovered is not None:
+            self.on_recovered(record)

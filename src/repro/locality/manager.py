@@ -569,6 +569,12 @@ class LocalityAgent:
                 waiters = self.dsm._fetch_waiters.pop((gid, None), [])
                 if waiters:
                     self.dsm.stats.prefetch_hits += 1
+                if self.dsm.obs is not None:
+                    # Close the demand-fetch span/stalls this prefetch
+                    # just satisfied (no-op if nothing was waiting).
+                    self.dsm.obs.on_fetch_done(
+                        gid, None, [t.tid for t in waiters],
+                        len(unit["data"]))
                 for thread in waiters:
                     thread.wake()
             elif self.dsm._fetch_waiters.get((gid, None)):

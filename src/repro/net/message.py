@@ -33,6 +33,12 @@ M_LOC_AGG = "loc.agg"                   # aggregator: coalesced frame
 # home could carry it as a piggyback.
 M_RACE_SYNC = "race.sync"
 
+# Telemetry subsystem (``repro.obs``): payload key carrying the causal
+# span id of the protocol transaction a message belongs to.  Only ever
+# present when ``RuntimeConfig.obs_spans`` is on; locality forwarding
+# preserves it (it is not a transport-owned field, cf. ``_strip``).
+OBS_SPAN_KEY = "__obs_span__"
+
 _msg_counter = itertools.count()
 
 

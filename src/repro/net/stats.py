@@ -65,23 +65,43 @@ class NetStats:
                 b_total += b
         return n_total, b_total
 
-    def ft_overhead(self) -> Dict[str, Tuple[int, int]]:
-        """Fault-tolerance traffic grouped by purpose, for benchmark
-        tables: heartbeat (ping/suspect), replication (buddy mirroring),
-        recovery (rediff/notice/thread re-ship control traffic)."""
-        hb_n, hb_b = self.prefix_totals("ft.ping")
-        sus_n, sus_b = self.prefix_totals("ft.suspect")
-        repl = self.prefix_totals("ft.repl")
-        rec_n, rec_b = 0, 0
-        for prefix in ("ft.rediff", "ft.notices", "ft.thread"):
-            n, b = self.prefix_totals(prefix)
-            rec_n += n
-            rec_b += b
+    def _grouped(self, groups: Dict[str, Tuple[str, ...]]
+                 ) -> Dict[str, Tuple[int, int]]:
+        out: Dict[str, Tuple[int, int]] = {}
+        for name, prefixes in groups.items():
+            n_total, b_total = 0, 0
+            for prefix in prefixes:
+                n, b = self.prefix_totals(prefix)
+                n_total += n
+                b_total += b
+            out[name] = (n_total, b_total)
+        return out
+
+    def subsystem_overhead(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
+        """Opt-in subsystem traffic grouped by purpose, for benchmark
+        tables: the ``ft.*`` (heartbeat / replication / recovery),
+        ``loc.*`` (migration / prefetch / aggregation) and ``race.*``
+        (event sync) message families."""
         return {
-            "heartbeat": (hb_n + sus_n, hb_b + sus_b),
-            "replication": repl,
-            "recovery": (rec_n, rec_b),
+            "ft": self._grouped({
+                "heartbeat": ("ft.ping", "ft.suspect"),
+                "replication": ("ft.repl",),
+                "recovery": ("ft.rediff", "ft.notices", "ft.thread"),
+            }),
+            "locality": self._grouped({
+                "migration": ("loc.home_update", "loc.fwd_diff"),
+                "prefetch": ("loc.bulk_fetch", "loc.bulk_reply"),
+                "aggregation": ("loc.agg",),
+            }),
+            "race": self._grouped({
+                "sync": ("race.sync",),
+            }),
         }
+
+    def ft_overhead(self) -> Dict[str, Tuple[int, int]]:
+        """Fault-tolerance traffic grouped by purpose (the ``ft`` slice
+        of :meth:`subsystem_overhead`, kept for compatibility)."""
+        return self.subsystem_overhead()["ft"]
 
     def summary(self) -> str:
         """Multi-line human-readable totals."""
@@ -91,10 +111,10 @@ class NetStats:
         for mtype in sorted(self.by_type):
             n, b = self.by_type[mtype]
             lines.append(f"  {mtype}: {n} msgs, {b} bytes")
-        ft = self.ft_overhead()
-        if any(n for n, _ in ft.values()):
-            lines.append("  ft overhead:")
-            for group in ("heartbeat", "replication", "recovery"):
-                n, b = ft[group]
+        for subsystem, groups in self.subsystem_overhead().items():
+            if not any(n for n, _ in groups.values()):
+                continue
+            lines.append(f"  {subsystem} overhead:")
+            for group, (n, b) in groups.items():
                 lines.append(f"    {group}: {n} msgs, {b} bytes")
         return "\n".join(lines)

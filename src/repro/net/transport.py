@@ -80,6 +80,11 @@ class Transport:
         # abandoned and the runtime should treat the peer as suspect.
         self.on_peer_unreachable: Optional[Callable[[int], None]] = None
         self._unreachable_reported: set = set()
+        # Telemetry delivery context (``repro.obs``): called with the
+        # message before its handler runs and with None after, so span
+        # parents survive handler nesting (aggregate sub-frames).
+        self.obs_on_deliver: Optional[Callable[[Optional[Message]], None]] \
+            = None
         # Failure-recovery epoch machinery: frames from declared-dead
         # peers are discarded, and (when stamping is enabled) frames
         # carrying an epoch below a peer's floor are late packets from a
@@ -327,7 +332,14 @@ class Transport:
                 f"node {self.node_id}: no handler for message type "
                 f"{msg.msg_type!r}"
             )
-        handler(msg)
+        if self.obs_on_deliver is None:
+            handler(msg)
+            return
+        self.obs_on_deliver(msg)
+        try:
+            handler(msg)
+        finally:
+            self.obs_on_deliver(None)
 
     # ------------------------------------------------------------------
     def quiesced(self) -> bool:

@@ -1,0 +1,38 @@
+"""Telemetry subsystem (`obs`): metrics registry, causal span tracing,
+and stall-attribution profiling for the MTS-HLRC runtime.
+
+Three independent knobs on :class:`~repro.runtime.config.RuntimeConfig`:
+
+``obs_metrics``
+    Per-node counters/gauges/log-bucketed histograms sampled into
+    sim-time-bucketed series (`repro stats --json`).  Traffic-passive.
+``obs_spans``
+    Protocol transactions become causal span trees (span ids piggyback
+    on protocol payloads), exported as Chrome trace-event / Perfetto
+    JSON and speedscope collapsed stacks (`repro profile --trace`).
+    Adds measured wire bytes — the only obs knob with traffic presence.
+``obs_profile``
+    Every thread wait (fetch stall, lock wait, monitor wait) is charged
+    to the blocking bytecode site and coherency unit; top-N hot-site /
+    hot-unit reports (`repro profile`).  Traffic-passive.
+
+All off (the default): byte-identical runs, no obs object constructed.
+"""
+
+from .manager import ObsAgent, ObsManager, current_site
+from .metrics import Histogram, MetricsRegistry
+from .profiler import StallProfiler, site_label
+from .spans import Span, SpanRecorder, validate_chrome_trace
+
+__all__ = [
+    "ObsManager",
+    "ObsAgent",
+    "current_site",
+    "MetricsRegistry",
+    "Histogram",
+    "StallProfiler",
+    "site_label",
+    "Span",
+    "SpanRecorder",
+    "validate_chrome_trace",
+]

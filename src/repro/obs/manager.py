@@ -1,0 +1,405 @@
+"""ObsManager: wires the telemetry subsystem into a runtime.
+
+One manager per :class:`~repro.runtime.javasplit.JavaSplitRuntime`
+(when any ``obs_*`` knob is on).  It owns the shared collectors —
+:class:`~repro.obs.metrics.MetricsRegistry`,
+:class:`~repro.obs.spans.SpanRecorder`,
+:class:`~repro.obs.profiler.StallProfiler` — and attaches one
+:class:`ObsAgent` per worker as ``worker.dsm.obs``, the hook surface
+the protocol calls at every transaction boundary.
+
+Passivity contract: with only ``obs_metrics``/``obs_profile`` on,
+nothing here touches a message payload, adds a byte, or schedules an
+event, so traffic and simulated time are identical to a bare run.
+``obs_spans`` is the one knob with wire presence: it piggybacks span
+ids on protocol payloads (:data:`~repro.net.message.OBS_SPAN_KEY`) so
+causal trees survive forwarding across nodes, and bills those bytes
+explicitly (see :data:`SPAN_KEY_BYTES`) — that cost is what
+EXPERIMENTS.md measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..net.message import OBS_SPAN_KEY, Message
+from .metrics import MetricsRegistry
+from .profiler import StallProfiler, site_label
+from .spans import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.javasplit import JavaSplitRuntime
+    from ..runtime.worker import WorkerNode
+
+# Wire cost of one piggybacked span id: key tag + 64-bit id.  Billed on
+# every stamped payload whose message size is computed explicitly (the
+# auto-estimated payloads pick the key up through estimate_size).
+SPAN_KEY_BYTES = 12
+# Extra wire bytes per queue/waitq entry shipped inside a lock token
+# (the 6th, obs_span tuple element).
+TOKEN_ENTRY_BYTES = 8
+
+
+def current_site(thread: Any) -> Optional[Tuple[str, str, int, int]]:
+    """(class, method, pc, line) of the instruction the thread is
+    blocked on — same idiom the race detector uses for access sites."""
+    frames = getattr(thread, "frames", None)
+    if not frames:
+        return None
+    frame = frames[-1]
+    method = frame.method
+    if not (0 <= frame.pc < len(method.code)):
+        return None
+    instr = method.code[frame.pc]
+    return (method.klass, method.name, frame.pc, instr.line)
+
+
+class ObsManager:
+    """Telemetry subsystem root, attached to one runtime."""
+
+    def __init__(self, runtime: "JavaSplitRuntime") -> None:
+        self.runtime = runtime
+        cfg = runtime.config
+        now = lambda: runtime.engine.now  # noqa: E731 - tiny closure
+        self.metrics: Optional[MetricsRegistry] = None
+        if cfg.obs_metrics:
+            self.metrics = MetricsRegistry(now, cfg.obs_metrics_bucket_ns)
+        self.spans: Optional[SpanRecorder] = None
+        if cfg.obs_spans:
+            self.spans = SpanRecorder(now, cfg.obs_max_spans)
+        self.profiler: Optional[StallProfiler] = None
+        if cfg.obs_profile:
+            self.profiler = StallProfiler(now)
+        self.top_n = cfg.obs_top_n
+        self.agents: Dict[int, ObsAgent] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        for worker in self.runtime.workers:
+            self._attach_worker(worker)
+        ft = self.runtime.ft
+        if ft is not None:
+            ft.orchestrator.on_recovered = self._on_ft_recovered
+
+    def _attach_worker(self, worker: "WorkerNode") -> None:
+        agent = ObsAgent(self, worker)
+        worker.dsm.obs = agent
+        if self.spans is not None:
+            worker.transport.obs_on_deliver = agent.on_deliver
+        self.agents[worker.node_id] = agent
+
+    def on_worker_added(self, worker: "WorkerNode") -> None:
+        self._attach_worker(worker)
+
+    # ------------------------------------------------------------------
+    # FT recovery: the orchestrator runs phases 2-7 synchronously at
+    # one simulated instant, so the record's timestamps bound the whole
+    # transaction: detection -> drain -> repair.
+    # ------------------------------------------------------------------
+    def _on_ft_recovered(self, record: Dict[str, Any]) -> None:
+        master = self.runtime.config.master_node
+        if self.metrics is not None:
+            self.metrics.inc("ft.recoveries", master)
+        if self.spans is None:
+            return
+        start = record.get("detected_ns", 0)
+        end = record.get("recovered_ns", start)
+        root = self.spans.complete(
+            "ft.recovery", master, start, end,
+            dead=record.get("dead"), buddy=record.get("buddy"))
+        for phase in ("units_adopted", "tokens_reissued",
+                      "diffs_redirected", "fetches_reissued",
+                      "lock_requests_reissued", "threads_respawned"):
+            self.spans.complete(f"ft.{phase}", master, end, end, parent=root,
+                                count=record.get(phase, 0))
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """End of run: charge stalls still open (threads parked at
+        exit) so the report accounts for every blocked nanosecond."""
+        if self.profiler is not None:
+            self.profiler.close_all()
+
+    def report(self) -> Dict[str, Any]:
+        """Telemetry summary for RunReport (JSON-serializable)."""
+        out: Dict[str, Any] = {}
+        if self.metrics is not None:
+            out["metrics"] = self.metrics.as_dict()
+        if self.spans is not None:
+            out["spans"] = {"count": len(self.spans),
+                            "dropped": self.spans.dropped}
+        if self.profiler is not None:
+            out["profile"] = self.profiler.report(self.top_n)
+        return out
+
+
+class ObsAgent:
+    """Per-node hook surface (``dsm.obs``).  Every method is a no-op
+    for whichever collectors are off, so the protocol needs exactly one
+    guard: ``if self.obs is not None``."""
+
+    def __init__(self, manager: ObsManager, worker: "WorkerNode") -> None:
+        self.manager = manager
+        self.worker = worker
+        self.node_id = worker.node_id
+        self.dsm = worker.dsm
+        self.metrics = manager.metrics
+        self.spans = manager.spans
+        self.profiler = manager.profiler
+        self._now = lambda: worker.dsm.engine.now
+        # Delivery context: span ids of the messages currently being
+        # dispatched (a stack — aggregated frames dispatch nested).
+        self._ctx: List[Optional[int]] = []
+        # Open transaction spans keyed by what closes them.
+        self._fetch_spans: Dict[Tuple[int, Optional[int]], int] = {}
+        self._flush_spans: Dict[int, int] = {}
+        self._fence_spans: Dict[int, int] = {}
+        self._lock_spans: Dict[int, int] = {}  # tid -> acquire/wait span
+        # Transaction start times for the latency histograms, kept
+        # independently of spans so a metrics-only run still gets
+        # fetch/flush/lock latency distributions.
+        self._fetch_t0: Dict[Tuple[int, Optional[int]], int] = {}
+        self._flush_t0: Dict[int, int] = {}
+        self._lock_t0: Dict[int, int] = {}  # tid -> block time
+
+    # ------------------------------------------------------------------
+    def on_deliver(self, msg: Optional[Message]) -> None:
+        """Transport dispatch context (push on entry, pop on exit)."""
+        if msg is None:
+            if self._ctx:
+                self._ctx.pop()
+            return
+        payload = msg.payload
+        parent = payload.get(OBS_SPAN_KEY) if isinstance(payload, dict) \
+            else None
+        self._ctx.append(parent)
+
+    def _parent(self) -> Optional[int]:
+        return self._ctx[-1] if self._ctx else None
+
+    def _unit(self, gid: int) -> str:
+        obj = self.dsm.cache.get(gid)
+        name = getattr(obj, "class_name", None) or "?"
+        return f"{name}@{gid:#x}"
+
+    def _stall(self, thread: Any, kind: str, gid: int) -> None:
+        if self.profiler is not None:
+            self.profiler.open_stall(thread.tid, kind,
+                                     current_site(thread), self._unit(gid))
+
+    def _unstall(self, tid: int) -> None:
+        if self.profiler is not None:
+            self.profiler.close_stall(tid)
+
+    # ------------------------------------------------------------------
+    # Remote fetch round-trip
+    # ------------------------------------------------------------------
+    def on_fetch_block(self, thread: Any, gid: int,
+                       region: Optional[int]) -> None:
+        """A thread faulted on a unit and is about to block."""
+        self._stall(thread, "fetch", gid)
+
+    def on_fetch_start(self, gid: int, region: Optional[int],
+                       payload: Optional[Dict[str, Any]]) -> None:
+        """First waiter: the fetch request actually goes out (payload
+        is None when a locality prefetch already covers it)."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.fetch.req", self.node_id)
+            self._fetch_t0[(gid, region)] = self._now()
+        if self.spans is None:
+            return
+        sid = self.spans.open("dsm.fetch", self.node_id,
+                              gid=gid, region=region, unit=self._unit(gid))
+        self._fetch_spans[(gid, region)] = sid
+        if payload is not None and sid:
+            payload[OBS_SPAN_KEY] = sid
+
+    def on_fetch_serve(self, requester: int, gid: int, region: Optional[int],
+                       start_ns: int, end_ns: int, nbytes: int) -> None:
+        """Home side: serialization + reply send (reply lands later)."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.fetch.served", self.node_id)
+        if self.spans is not None:
+            self.spans.complete("dsm.fetch.serve", self.node_id,
+                                start_ns, end_ns, parent=self._parent(),
+                                to=requester, bytes=nbytes)
+
+    def on_fetch_done(self, gid: int, region: Optional[int],
+                      waiter_tids: List[int], nbytes: int) -> None:
+        """Requester side: unit installed, waiters about to wake."""
+        if self.spans is not None:
+            sid = self._fetch_spans.pop((gid, region), None)
+            if sid is not None:
+                self.spans.close(sid, bytes=nbytes)
+        if self.metrics is not None:
+            t0 = self._fetch_t0.pop((gid, region), None)
+            if t0 is not None:
+                self.metrics.observe("dsm.fetch.latency_ns",
+                                     self.node_id, self._now() - t0)
+            self.metrics.observe("dsm.fetch.bytes", self.node_id, nbytes)
+        for tid in waiter_tids:
+            self._unstall(tid)
+
+    # ------------------------------------------------------------------
+    # Diff flush -> fenced ack
+    # ------------------------------------------------------------------
+    def on_flush(self, home: int, ack_id: int,
+                 payload: Dict[str, Any], n_entries: int,
+                 diff_bytes: int) -> int:
+        """A diff message is about to go out.  Returns the extra wire
+        bytes obs adds (span-id piggyback), 0 when spans are off."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.diff.sent", self.node_id)
+            self.metrics.observe("dsm.diff.bytes", self.node_id, diff_bytes)
+            self._flush_t0[ack_id] = self._now()
+        if self.spans is None:
+            return 0
+        sid = self.spans.open("dsm.flush", self.node_id, home=home,
+                              ack_id=ack_id, entries=n_entries)
+        if not sid:
+            return 0
+        self._flush_spans[ack_id] = sid
+        payload[OBS_SPAN_KEY] = sid
+        return SPAN_KEY_BYTES
+
+    def on_diff_apply(self, src: int, ack_id: int, n_entries: int,
+                      start_ns: int, end_ns: int) -> None:
+        """Home side: entries applied, ack scheduled for end_ns."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.diff.applied", self.node_id)
+        if self.spans is not None:
+            self.spans.complete("dsm.diff.apply", self.node_id,
+                                start_ns, end_ns, parent=self._parent(),
+                                src=src, entries=n_entries)
+
+    def on_diff_ack(self, ack_id: int) -> None:
+        """Writer side: the fenced ack came back."""
+        if self.metrics is not None:
+            t0 = self._flush_t0.pop(ack_id, None)
+            if t0 is not None:
+                self.metrics.observe("dsm.flush.rtt_ns", self.node_id,
+                                     self._now() - t0)
+        if self.spans is not None:
+            sid = self._flush_spans.pop(ack_id, None)
+            if sid is not None:
+                self.spans.close(sid)
+
+    # ------------------------------------------------------------------
+    # Lock acquire end-to-end (manager forwarding, token transit)
+    # ------------------------------------------------------------------
+    def on_lock_block(self, thread: Any, gid: int,
+                      kind: str = "lock") -> Optional[int]:
+        """A thread blocks for a lock token (or parks in dsm_wait).
+        Returns the root span id for payload/request stamping."""
+        self._stall(thread, kind, gid)
+        if self.metrics is not None:
+            self.metrics.inc(f"dsm.{kind}.block", self.node_id)
+            self._lock_t0[thread.tid] = self._now()
+        if self.spans is None:
+            return None
+        name = "dsm.lock.acquire" if kind == "lock" else "dsm.lock.wait"
+        sid = self.spans.open(name, self.node_id, gid=gid,
+                              tid=thread.tid, unit=self._unit(gid))
+        if sid:
+            self._lock_spans[thread.tid] = sid
+        return sid or None
+
+    def on_lock_route(self, payload: Dict[str, Any], target: int) -> None:
+        """Manager/chase node forwards a lock request one more hop."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.lock.fwd", self.node_id)
+        if self.spans is None:
+            return
+        incoming = payload.get(OBS_SPAN_KEY)
+        self._close_hop(incoming)
+        hop = self.spans.open("dsm.lock.hop", self.node_id,
+                              parent=incoming, to=target)
+        if hop:
+            payload[OBS_SPAN_KEY] = hop
+
+    def _close_hop(self, span_id: Optional[int]) -> None:
+        if span_id is None:
+            return
+        span = self.spans.spans.get(span_id)
+        if span is not None and span.name == "dsm.lock.hop":
+            self.spans.close(span_id)
+
+    def on_lock_enqueue(self, payload: Dict[str, Any], req: Any) -> None:
+        """The request reached the token holder and parked in its
+        queue; remember the causal chain on the request itself so the
+        eventual token grant can parent to it."""
+        if self.spans is None:
+            return
+        incoming = payload.get(OBS_SPAN_KEY)
+        self._close_hop(incoming)
+        req.obs_span = incoming
+
+    def on_fence_enter(self, gid: int, req: Any) -> None:
+        """Token grant is gated on the release fence (§3.1): open a
+        fence span so the wait shows up in the acquire tree."""
+        if self.spans is None:
+            return
+        sid = self.spans.open("dsm.fence", self.node_id, gid=gid,
+                              parent=getattr(req, "obs_span", None))
+        if sid:
+            self._fence_spans[gid] = sid
+
+    def on_token_send(self, gid: int, req: Any,
+                      payload: Dict[str, Any]) -> int:
+        """Token is leaving for the grantee.  Returns extra wire bytes
+        (span key + per-entry obs_span slots), 0 when spans are off."""
+        if self.metrics is not None:
+            self.metrics.inc("dsm.token.sent", self.node_id)
+        if self.spans is None:
+            return 0
+        fence = self._fence_spans.pop(gid, None)
+        if fence is not None:
+            self.spans.close(fence)
+        sid = self.spans.open("dsm.token", self.node_id, gid=gid,
+                              parent=getattr(req, "obs_span", None),
+                              to=req.node)
+        if not sid:
+            return 0
+        payload[OBS_SPAN_KEY] = sid
+        return SPAN_KEY_BYTES + TOKEN_ENTRY_BYTES * (
+            len(payload.get("queue", ())) + len(payload.get("waitq", ())))
+
+    def on_token_arrive(self, payload: Dict[str, Any], gid: int) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("dsm.token.recv", self.node_id)
+        if self.spans is None:
+            return
+        sid = payload.get(OBS_SPAN_KEY)
+        if sid is None:
+            return
+        self.spans.close(sid)
+        if self.metrics is not None:
+            hops = sum(1 for name in self.spans.ancestry(sid)
+                       if name == "dsm.lock.hop")
+            self.metrics.observe("dsm.lock.hops", self.node_id, hops)
+
+    def on_lock_granted(self, tid: int, gid: int) -> None:
+        """The blocked thread owns the lock (always runs on its own
+        node, whether the grant was local or arrived by token)."""
+        self._unstall(tid)
+        if self.metrics is not None:
+            t0 = self._lock_t0.pop(tid, None)
+            if t0 is not None:
+                self.metrics.observe("dsm.lock.wait_ns", self.node_id,
+                                     self._now() - t0)
+        if self.spans is not None:
+            sid = self._lock_spans.pop(tid, None)
+            if sid is not None:
+                self.spans.close(sid)
+
+    # ------------------------------------------------------------------
+    def format_profile(self) -> str:
+        if self.profiler is None:
+            return "profiler off"
+        return self.profiler.format(self.manager.top_n)
+
+
+__all__ = ["ObsManager", "ObsAgent", "current_site", "site_label",
+           "SPAN_KEY_BYTES", "TOKEN_ENTRY_BYTES"]

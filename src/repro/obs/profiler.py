@@ -1,0 +1,128 @@
+"""Stall-attribution profiler.
+
+Whenever a JVM thread blocks on the protocol (fetch miss, lock
+acquire, monitor wait, barrier), the DSM opens a *stall* charged to the
+bytecode site that blocked (class/method/pc/line) and the coherency
+unit involved; when the thread resumes, the elapsed simulated time is
+added to that (kind, site, unit) bucket. The reports answer "where did
+the simulated time go?" — top-N hot bytecode sites and hot units.
+
+Attribution is first-blocker-wins: re-executed access checks (the
+interpreter re-runs the faulting instruction after a miss) hit
+``open_stall`` again for the same tid and are ignored until the stall
+closes, so one logical wait is charged exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# (class, method, pc, line) — the idiom the race detector also uses.
+Site = Tuple[str, str, int, int]
+
+
+def site_label(site: Optional[Site]) -> str:
+    if site is None:
+        return "<unknown>"
+    klass, method, pc, line = site
+    return f"{klass}.{method}:{line}(pc={pc})"
+
+
+class StallProfiler:
+    def __init__(self, now: Callable[[], int]) -> None:
+        self._now = now
+        # tid -> (start_ns, kind, site, unit)
+        self._open: Dict[int, Tuple[int, str, Optional[Site], str]] = {}
+        # (kind, site, unit) -> [total_ns, count]
+        self._charges: Dict[Tuple[str, Optional[Site], str], List[int]] = {}
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    def open_stall(self, tid: int, kind: str, site: Optional[Site],
+                   unit: str) -> None:
+        if tid in self._open:
+            return
+        self._open[tid] = (self._now(), kind, site, unit)
+
+    def close_stall(self, tid: int) -> int:
+        entry = self._open.pop(tid, None)
+        if entry is None:
+            return 0
+        start_ns, kind, site, unit = entry
+        elapsed = self._now() - start_ns
+        bucket = self._charges.setdefault((kind, site, unit), [0, 0])
+        bucket[0] += elapsed
+        bucket[1] += 1
+        self.stalls += 1
+        return elapsed
+
+    def close_all(self) -> None:
+        """Charge anything still open (threads parked at exit)."""
+        for tid in list(self._open):
+            self.close_stall(tid)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_stall_ns(self) -> int:
+        return sum(v[0] for v in self._charges.values())
+
+    def by_kind(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for (kind, _site, _unit), (ns, count) in self._charges.items():
+            entry = out.setdefault(kind, {"stall_ns": 0, "stalls": 0})
+            entry["stall_ns"] += ns
+            entry["stalls"] += count
+        return out
+
+    def _top(self, key_of: Callable[[Tuple[str, Optional[Site], str]], Any],
+             n: int) -> List[Tuple[Any, int, int]]:
+        agg: Dict[Any, List[int]] = {}
+        for full_key, (ns, count) in self._charges.items():
+            bucket = agg.setdefault(key_of(full_key), [0, 0])
+            bucket[0] += ns
+            bucket[1] += count
+        ranked = sorted(agg.items(), key=lambda kv: (-kv[1][0], repr(kv[0])))
+        return [(key, ns, count) for key, (ns, count) in ranked[:n]]
+
+    def top_sites(self, n: int = 10) -> List[Tuple[Optional[Site], int, int]]:
+        """[(site, stall_ns, stalls)] sorted by time, heaviest first."""
+        return self._top(lambda key: key[1], n)
+
+    def top_units(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """[(unit_label, stall_ns, stalls)] sorted by time."""
+        return self._top(lambda key: key[2], n)
+
+    # ------------------------------------------------------------------
+    def report(self, top_n: int = 10) -> Dict[str, Any]:
+        return {
+            "total_stall_ns": self.total_stall_ns,
+            "stalls": self.stalls,
+            "by_kind": self.by_kind(),
+            "hot_sites": [
+                {"site": site_label(site), "class": site[0] if site else None,
+                 "method": site[1] if site else None,
+                 "pc": site[2] if site else None,
+                 "line": site[3] if site else None,
+                 "stall_ns": ns, "stalls": count}
+                for site, ns, count in self.top_sites(top_n)
+            ],
+            "hot_units": [
+                {"unit": unit, "stall_ns": ns, "stalls": count}
+                for unit, ns, count in self.top_units(top_n)
+            ],
+        }
+
+    def format(self, top_n: int = 10) -> str:
+        lines = [f"total stall time: {self.total_stall_ns / 1e6:.3f} ms "
+                 f"across {self.stalls} stalls"]
+        for kind, entry in sorted(self.by_kind().items()):
+            lines.append(f"  {kind:<10} {entry['stall_ns'] / 1e6:>10.3f} ms"
+                         f"  ({entry['stalls']} stalls)")
+        lines.append("hot units:")
+        for unit, ns, count in self.top_units(top_n):
+            lines.append(f"  {ns / 1e6:>10.3f} ms  {count:>6}  {unit}")
+        lines.append("hot sites:")
+        for site, ns, count in self.top_sites(top_n):
+            lines.append(f"  {ns / 1e6:>10.3f} ms  {count:>6}  "
+                         f"{site_label(site)}")
+        return "\n".join(lines)

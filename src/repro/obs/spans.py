@@ -1,0 +1,256 @@
+"""Causal span tracing: spans, recorder, and trace exporters.
+
+A *span* is one timed piece of a protocol transaction (a fetch
+round-trip, one forwarding hop of a lock request, a recovery phase...).
+Spans carry a ``parent_id`` so the hops of a transaction chain into a
+tree rooted at the transaction that started it; the root's id doubles
+as the Chrome trace-event async ``id``, which is what makes Perfetto
+nest the whole tree on one track.
+
+Span ids are plain integers from a deterministic counter, so traces of
+the same seeded run are identical byte-for-byte. Ids travel between
+nodes piggybacked on existing protocol payloads (see
+:data:`repro.net.message.OBS_SPAN_KEY`); this module knows nothing
+about the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    span_id: int
+    name: str
+    node: int
+    start_ns: int
+    parent_id: Optional[int] = None
+    end_ns: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """Collects spans with a deterministic id sequence and a hard cap.
+
+    Once ``max_spans`` spans have been opened, further opens are
+    counted in :attr:`dropped` and return id 0 (a sentinel no span ever
+    gets; closing or parenting on it is a silent no-op), so a hot run
+    degrades to truncated output instead of unbounded memory.
+    """
+
+    def __init__(self, now: Callable[[], int],
+                 max_spans: int = 200_000) -> None:
+        self._now = now
+        self._next_id = 1
+        self.max_spans = max_spans
+        self.spans: Dict[int, Span] = {}
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+    def open(self, name: str, node: int, parent: Optional[int] = None,
+             **attrs: Any) -> int:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return 0
+        span_id = self._next_id
+        self._next_id += 1
+        self.spans[span_id] = Span(span_id, name, node, self._now(),
+                                   parent_id=parent or None, attrs=attrs)
+        return span_id
+
+    def close(self, span_id: int, **attrs: Any) -> Optional[Span]:
+        span = self.spans.get(span_id)
+        if span is None or span.end_ns is not None:
+            return None
+        span.end_ns = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def complete(self, name: str, node: int, start_ns: int, end_ns: int,
+                 parent: Optional[int] = None, **attrs: Any) -> int:
+        """Record a span whose interval is already known (e.g. a handler
+        that schedules its reply ``delay`` in the future)."""
+        span_id = self.open(name, node, parent=parent, **attrs)
+        if span_id:
+            span = self.spans[span_id]
+            span.start_ns = start_ns
+            span.end_ns = end_ns
+        return span_id
+
+    def instant(self, name: str, node: int, parent: Optional[int] = None,
+                **attrs: Any) -> int:
+        t = self._now()
+        return self.complete(name, node, t, t, parent=parent, **attrs)
+
+    # ------------------------------------------------------------------
+    def root_of(self, span_id: int) -> int:
+        """Walk parents to the root id (cycle-safe)."""
+        seen = set()
+        while True:
+            span = self.spans.get(span_id)
+            if span is None or span.parent_id is None or span_id in seen:
+                return span_id
+            seen.add(span_id)
+            span_id = span.parent_id
+
+    def depth_of(self, span_id: int) -> int:
+        """Number of ancestors above this span (root -> 0)."""
+        depth = 0
+        seen = set()
+        while True:
+            span = self.spans.get(span_id)
+            if span is None or span.parent_id is None or span_id in seen:
+                return depth
+            seen.add(span_id)
+            span_id = span.parent_id
+            depth += 1
+
+    def ancestry(self, span_id: int) -> List[str]:
+        """Span names from root down to (and including) this span."""
+        names: List[str] = []
+        seen = set()
+        while span_id and span_id not in seen:
+            span = self.spans.get(span_id)
+            if span is None:
+                break
+            seen.add(span_id)
+            names.append(span.name)
+            span_id = span.parent_id or 0
+        return list(reversed(names))
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [self.spans[k].as_dict() for k in sorted(self.spans)]
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event / Perfetto export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Async-nestable trace-event JSON (load in Perfetto or
+        chrome://tracing). All spans of one transaction share the root
+        span id as their async ``id``, so the viewer nests them; the
+        recording node is exposed as the tid so hops across nodes stay
+        on visibly distinct rows inside the nest."""
+        events: List[Dict[str, Any]] = []
+        for key in sorted(self.spans):
+            span = self.spans[key]
+            end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+            root = self.root_of(span.span_id)
+            args = {"node": span.node, "span_id": span.span_id,
+                    "parent_id": span.parent_id}
+            args.update(span.attrs)
+            base = {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "id": root,
+                "pid": 0,
+                "tid": span.node,
+            }
+            if end_ns == span.start_ns:
+                events.append({**base, "ph": "n",
+                               "ts": span.start_ns / 1000.0, "args": args})
+                continue
+            events.append({**base, "ph": "b",
+                           "ts": span.start_ns / 1000.0, "args": args})
+            events.append({**base, "ph": "e", "ts": end_ns / 1000.0,
+                           "args": {}})
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated-ns",
+                          "dropped_spans": self.dropped},
+        }
+
+    # ------------------------------------------------------------------
+    # Speedscope collapsed-stack export
+    # ------------------------------------------------------------------
+    def to_collapsed(self) -> str:
+        """Brendan-Gregg collapsed stacks (speedscope/flamegraph.pl
+        input): one ``root;child;leaf weight`` line per span, weighted
+        by self time (duration minus closed children)."""
+        child_time: Dict[int, int] = {}
+        for span in self.spans.values():
+            if span.parent_id and span.duration_ns is not None:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0) + span.duration_ns)
+        weights: Dict[str, int] = {}
+        for key in sorted(self.spans):
+            span = self.spans[key]
+            dur = span.duration_ns
+            if dur is None:
+                continue
+            self_ns = max(0, dur - child_time.get(span.span_id, 0))
+            if self_ns == 0:
+                continue
+            names = self.ancestry(span.span_id)
+            names[-1] = f"{names[-1]}@n{span.node}"
+            stack = ";".join(names)
+            weights[stack] = weights.get(stack, 0) + self_ns
+        return "".join(f"{stack} {w}\n"
+                       for stack, w in sorted(weights.items()))
+
+
+# ---------------------------------------------------------------------------
+# Trace-event validation (CI smoke; no jsonschema dependency available)
+# ---------------------------------------------------------------------------
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Check a document against the trace-event format rules we rely
+    on. Returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    open_async: Dict[Any, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        for req in ("name", "ph", "ts", "pid", "tid"):
+            if req not in ev:
+                errors.append(f"event {i}: missing required key {req!r}")
+        if not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"event {i}: ts is not a number")
+        if ph not in ("b", "e", "n", "B", "E", "X", "i", "M", "C"):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+        if ph in ("b", "e", "n"):
+            if "id" not in ev:
+                errors.append(f"event {i}: async event missing id")
+                continue
+            key = (ev.get("name"), ev.get("id"))
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            elif ph == "e":
+                if open_async.get(key, 0) <= 0:
+                    errors.append(
+                        f"event {i}: 'e' with no matching 'b' for {key}")
+                else:
+                    open_async[key] -= 1
+    for key, n in sorted(open_async.items(), key=repr):
+        if n:
+            errors.append(f"unclosed async span(s): {key} x{n}")
+    return errors

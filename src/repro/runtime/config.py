@@ -91,6 +91,28 @@ class RuntimeConfig:
     # Cap on retained race reports (each race is reported once; the
     # overflow count is surfaced in the summary).
     race_max_reports: int = 50
+    # ----- telemetry (src/repro/obs) -----------------------------------
+    # Metrics registry: per-node counters/gauges/histograms sampled into
+    # sim-time-bucketed series.  Traffic-passive.
+    obs_metrics: bool = False
+    # Causal span tracing: protocol transactions become span trees whose
+    # ids piggyback on protocol payloads (the one obs knob that adds
+    # wire bytes), exportable as Perfetto JSON / speedscope stacks.
+    obs_spans: bool = False
+    # Stall-attribution profiler: every thread wait charged to the
+    # blocking bytecode site and coherency unit.  Traffic-passive.
+    obs_profile: bool = False
+    # Time-series bucket width for the metrics registry.
+    obs_metrics_bucket_ns: int = 1_000_000  # 1 ms
+    # Span cap: once reached, further spans are counted as dropped.
+    obs_max_spans: int = 200_000
+    # Rows in the hot-site / hot-unit profile reports.
+    obs_top_n: int = 10
+
+    @property
+    def obs_enabled(self) -> bool:
+        """True when any telemetry collector is switched on."""
+        return self.obs_metrics or self.obs_spans or self.obs_profile
 
     @property
     def race_enabled(self) -> bool:
@@ -174,3 +196,10 @@ class RuntimeConfig:
                 )
             if self.race_max_reports < 1:
                 raise ValueError("race_max_reports must be >= 1")
+        if self.obs_enabled:
+            if self.obs_metrics_bucket_ns < 1:
+                raise ValueError("obs_metrics_bucket_ns must be >= 1")
+            if self.obs_max_spans < 1:
+                raise ValueError("obs_max_spans must be >= 1")
+            if self.obs_top_n < 1:
+                raise ValueError("obs_top_n must be >= 1")

@@ -67,6 +67,9 @@ class RunReport:
     # mode, reports (with both access sites each), suppressed count,
     # event/promotion statistics.
     race: Optional[Dict[str, Any]] = None
+    # Telemetry summary (None unless an obs_* knob is on): metrics
+    # export, span counts, stall-attribution profile.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -155,6 +158,13 @@ class JavaSplitRuntime:
             from ..race import RaceManager
             self.race = RaceManager(self)
             self.race.attach()
+        # Telemetry last: it observes the other subsystems (ft recovery
+        # spans need runtime.ft to exist before attach).
+        self.obs = None
+        if self.config.obs_enabled:
+            from ..obs import ObsManager
+            self.obs = ObsManager(self)
+            self.obs.attach()
 
     # ------------------------------------------------------------------
     def _choose_spawn_node(self) -> int:
@@ -220,6 +230,8 @@ class JavaSplitRuntime:
             self.locality.on_worker_added(worker)
         if self.race is not None:
             self.race.on_worker_added(worker)
+        if self.obs is not None:
+            self.obs.on_worker_added(worker)
         return worker
 
     def schedule_join(self, at_ns: int, brand: Optional[str] = None) -> None:
@@ -271,6 +283,8 @@ class JavaSplitRuntime:
             # Analyze events still buffered on the accessor side (a
             # thread's trailing accesses never reach a release point).
             self.race.finalize()
+        if self.obs is not None:
+            self.obs.finalize()
         assert self._main_thread is not None
         return RunReport(
             simulated_ns=self.engine.now,
@@ -287,6 +301,7 @@ class JavaSplitRuntime:
             locality=(None if self.locality is None
                       else self.locality.report()),
             race=None if self.race is None else self.race.report(),
+            obs=None if self.obs is None else self.obs.report(),
         )
 
 

@@ -51,9 +51,20 @@ class DsmTracer:
     @classmethod
     def attach(cls, runtime: "JavaSplitRuntime",
                max_events: Optional[int] = None) -> "DsmTracer":
-        """Wrap every worker of a runtime; returns the tracer."""
+        """Wrap every worker of a runtime; returns the tracer.
+
+        Idempotent per runtime: a second attach returns the tracer
+        already in place (updating its event cap if one is given)
+        instead of re-wrapping ``transport.send``/``promote`` — a
+        double wrap would double-record every event."""
+        existing = getattr(runtime, "_dsm_tracer", None)
+        if existing is not None:
+            if max_events is not None:
+                existing._limit = max_events
+            return existing
         tracer = cls()
         tracer._limit = max_events
+        runtime._dsm_tracer = tracer
         for worker in runtime.workers:
             tracer._wrap_worker(worker)
         engine = runtime.engine
@@ -67,6 +78,13 @@ class DsmTracer:
                 agent.event_sink = (
                     lambda node, kind, detail:
                     tracer.record(engine.now, node, kind, detail))
+        if runtime.ft is not None:
+            # Recovery milestones land in the same flat event log the
+            # locality/race agents already feed.
+            master = runtime.config.master_node
+            runtime.ft.orchestrator.event_sink = (
+                lambda time_ns, kind, detail:
+                tracer.record(time_ns, master, kind, detail))
         return tracer
 
     def _wrap_worker(self, worker) -> None:
