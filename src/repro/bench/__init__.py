@@ -23,7 +23,8 @@ from .micro import (
     measure_acquire_cost,
     measure_comm_latency,
 )
-from .jsonbench import DEFAULT_APPS, bench_app, run_bench, write_results
+from .jsonbench import (DEFAULT_APPS, bench_app, run_backend_bench,
+                        run_bench, write_results)
 from .tables import emit, format_figure, format_table1, format_table2, format_table3
 
 __all__ = [
@@ -32,7 +33,8 @@ __all__ = [
     "AccessLatencyRow", "AcquireCostRow", "MESSAGE_SIZES",
     "access_micro_source", "measure_access_latency", "measure_acquire_cost",
     "measure_comm_latency",
-    "DEFAULT_APPS", "bench_app", "run_bench", "write_results",
+    "DEFAULT_APPS", "bench_app", "run_bench", "run_backend_bench",
+    "write_results",
     "emit", "format_figure", "format_table1", "format_table2",
     "format_table3",
 ]

@@ -37,7 +37,8 @@ DEFAULT_APPS: Tuple[str, ...] = ("series", "tsp", "raytracer")
 
 
 def _measure(rewritten, nodes: int, mode: str,
-             include_metrics: bool = False) -> Dict[str, Any]:
+             include_metrics: bool = False,
+             backend: str = "sim") -> Dict[str, Any]:
     """One simulated run; ``mode`` is a locality spec ('' = off).
 
     ``include_metrics`` additionally runs with the telemetry metrics
@@ -45,9 +46,15 @@ def _measure(rewritten, nodes: int, mode: str,
     committed ``BENCH_3.json`` snapshots stay byte-comparable across
     commits that only touch telemetry (the registry itself never
     perturbs traffic, so the other numbers are identical either way).
+
+    ``backend="proc"`` runs on the multiprocess transport; the entry
+    then additionally carries wall-clock and wire-plane numbers (those
+    are inherently non-deterministic, which is why they only appear on
+    the proc backend — sim entries stay byte-comparable).
     """
     spec = "" if mode == "off" else mode
     config = RuntimeConfig(num_nodes=nodes, obs_metrics=include_metrics,
+                           transport_backend=backend,
                            **parse_locality(spec))
     runtime = JavaSplitRuntime(rewritten, config)
     report = runtime.run()
@@ -62,6 +69,16 @@ def _measure(rewritten, nodes: int, mode: str,
         "token_transfers": total.token_transfers,
         "result": repr(report.result),
     }
+    if backend != "sim":
+        out["backend"] = backend
+        out["wall_ms"] = round(report.wall_seconds * 1e3, 3)
+        if report.proc is not None:
+            out["wire"] = {
+                "frames": report.proc["wire_frames"],
+                "bytes": report.proc["wire_bytes"],
+                "delivered": report.proc["wire_delivered"],
+                "fallback": report.proc["wire_fallback"],
+            }
     if report.locality is not None:
         out["locality"] = report.locality
     if include_metrics and runtime.obs is not None:
@@ -78,10 +95,12 @@ def _pct(off: float, on: float) -> Optional[float]:
 
 def bench_app(app: str, nodes: int = 3,
               modes: Iterable[str] = BASE_MODES,
-              include_metrics: bool = False) -> Dict[str, Any]:
+              include_metrics: bool = False,
+              backend: str = "sim") -> Dict[str, Any]:
     """Bench one app across the given locality modes."""
     rewritten = rewrite_application(compile_source(app_source(app)))
-    runs = {mode: _measure(rewritten, nodes, mode, include_metrics)
+    runs = {mode: _measure(rewritten, nodes, mode, include_metrics,
+                           backend=backend)
             for mode in modes}
     off = runs["off"]
     entry: Dict[str, Any] = {"runs": runs}
@@ -101,17 +120,49 @@ def bench_app(app: str, nodes: int = 3,
 
 def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
               ablation: bool = False,
-              include_metrics: bool = False) -> Dict[str, Any]:
+              include_metrics: bool = False,
+              backend: str = "sim") -> Dict[str, Any]:
     """The full bench document (what the JSON files serialize)."""
     modes = ABLATION_MODES if ablation else BASE_MODES
-    return {
+    doc: Dict[str, Any] = {
         "bench": "locality",
         "schema": 1,
         "nodes": nodes,
         "modes": list(modes),
-        "apps": {app: bench_app(app, nodes, modes, include_metrics)
-                 for app in apps},
     }
+    if backend != "sim":
+        doc["backend"] = backend
+    doc["apps"] = {app: bench_app(app, nodes, modes, include_metrics,
+                                  backend=backend)
+                   for app in apps}
+    return doc
+
+
+def run_backend_bench(apps: Iterable[str] = DEFAULT_APPS,
+                      nodes: int = 3) -> Dict[str, Any]:
+    """Sim-vs-proc comparison: every app once per backend, identical
+    configs.  The document shows the differential guarantee (identical
+    simulated time / message counts / results) next to what only the
+    proc backend can measure — wall-clock and real bytes-on-wire.
+    """
+    out: Dict[str, Any] = {
+        "bench": "backends",
+        "schema": 1,
+        "nodes": nodes,
+        "apps": {},
+    }
+    for app in apps:
+        rewritten = rewrite_application(compile_source(app_source(app)))
+        sim = _measure(rewritten, nodes, "off")
+        proc = _measure(rewritten, nodes, "off", backend="proc")
+        deterministic = ("simulated_ms", "messages", "bytes", "fetches",
+                         "diffs_sent", "token_transfers", "result")
+        out["apps"][app] = {
+            "sim": sim,
+            "proc": proc,
+            "identical": all(sim[k] == proc[k] for k in deterministic),
+        }
+    return out
 
 
 def write_results(doc: Dict[str, Any],

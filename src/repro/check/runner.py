@@ -95,6 +95,7 @@ class CheckReport:
     locality: str = ""
     race: bool = False
     obs: bool = False
+    backend: str = "sim"
     results: List[SeedResult] = field(default_factory=list)
     reference_result: Any = None
 
@@ -124,7 +125,8 @@ class CheckReport:
             + (f" kill={self.kill}" if self.kill else "")
             + (f" locality={self.locality}" if self.locality else "")
             + (" race=on" if self.race else "")
-            + (" obs=on" if self.obs else ""),
+            + (" obs=on" if self.obs else "")
+            + (f" backend={self.backend}" if self.backend != "sim" else ""),
             f"  seeds run           : {n}",
             f"  installs cross-checked: {installs}",
             f"  final units checked : {finals}",
@@ -251,6 +253,7 @@ def run_check(
     locality: str = "",
     race: bool = False,
     obs: bool = False,
+    backend: str = "sim",
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -282,6 +285,12 @@ def run_check(
     spans, stall profiling), putting the observability instrumentation
     itself under the oracle: telemetry must never perturb protocol
     correctness.
+
+    ``backend`` selects the transport backend for every seeded run:
+    ``"sim"`` (default) or ``"proc"`` (one OS process per node, every
+    frame over real sockets; ``--kill`` then SIGKILLs the worker
+    process).  The oracle and reference comparison are unchanged — a
+    passing proc sweep certifies the wire plane end to end.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1 (a 0-seed sweep proves nothing)")
@@ -309,6 +318,7 @@ def run_check(
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
                          locality=locality, race=race, obs=obs,
+                         backend=backend,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
@@ -327,6 +337,7 @@ def run_check(
             obs_metrics=obs,
             obs_spans=obs,
             obs_profile=obs,
+            transport_backend=backend,
             **locality_knobs,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,

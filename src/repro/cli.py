@@ -28,6 +28,10 @@ Examples::
 
     python -m repro run app.mj --nodes 4 --brand ibm
     python -m repro run app.mj --nodes 4 --locality all
+    python -m repro run app.mj --nodes 4 --backend proc
+    python -m repro check --app series --seeds 5 --backend proc
+    python -m repro check --app series --seeds 3 --kill 1@5ms --backend proc
+    python -m repro bench --compare-backends --json
     python -m repro disasm app.mj --rewritten
     python -m repro trace app.mj --nodes 2 --limit 80 --json trace.json
     python -m repro check --app series --seeds 25 --faults drop,reorder,dup
@@ -61,6 +65,34 @@ def _read(path: str) -> str:
         return fh.read()
 
 
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    """Transport-backend flags, shared by run/trace/check/bench."""
+    p.add_argument("--backend", default="sim", choices=("sim", "proc"),
+                   help="transport backend: 'sim' (in-process simulated "
+                        "network, deterministic reference) or 'proc' (one "
+                        "OS process per node, every frame over real "
+                        "sockets; same schedule, genuine process kills)")
+    p.add_argument("--socket", default="unix", choices=("unix", "tcp"),
+                   dest="socket_kind",
+                   help="socket family for --backend proc "
+                        "(default: unix-domain)")
+
+
+def _add_locality_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--locality", default="", metavar="COMPONENTS",
+                   help="adaptive-locality components to enable: "
+                        "comma-separated migration,prefetch,aggregation "
+                        "or 'all' (default: off)")
+
+
+def _add_coherency_args(p: argparse.ArgumentParser) -> None:
+    """DSM coherency-shape flags, shared by run/trace/check."""
+    p.add_argument("--region-elems", type=int, default=None,
+                   help="array-region coherency units (§4.3 extension)")
+    p.add_argument("--vector-timestamps", action="store_true",
+                   help="use the HLRC vector-timestamp baseline mode")
+
+
 def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("source", help="MiniJava source file")
     p.add_argument("--nodes", type=int, default=2, help="worker nodes")
@@ -73,14 +105,17 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    choices=("least-loaded", "round-robin", "random"))
     p.add_argument("--optimize-checks", action="store_true",
                    help="enable redundant access-check elimination (§6.2)")
-    p.add_argument("--region-elems", type=int, default=None,
-                   help="array-region coherency units (§4.3 extension)")
-    p.add_argument("--vector-timestamps", action="store_true",
-                   help="use the HLRC vector-timestamp baseline mode")
-    p.add_argument("--locality", default="", metavar="COMPONENTS",
-                   help="adaptive-locality components to enable: "
-                        "comma-separated migration,prefetch,aggregation "
-                        "or 'all' (default: off)")
+    _add_coherency_args(p)
+    _add_locality_arg(p)
+    _add_backend_args(p)
+
+
+def _backend_kwargs(args) -> dict:
+    """RuntimeConfig kwargs carried by the shared backend flags."""
+    return {
+        "transport_backend": getattr(args, "backend", "sim"),
+        "proc_socket_kind": getattr(args, "socket_kind", "unix"),
+    }
 
 
 def _config(args) -> RuntimeConfig:
@@ -97,6 +132,7 @@ def _config(args) -> RuntimeConfig:
             array_region_elems=args.region_elems,
         ),
         **parse_locality(args.locality),
+        **_backend_kwargs(args),
     )
 
 
@@ -105,6 +141,14 @@ def _report(report, show_traffic: bool = True) -> None:
     for line in report.console:
         print(f"console           : {line}")
     print(f"simulated time    : {report.simulated_seconds * 1e3:.3f} ms")
+    if report.backend != "sim":
+        print(f"backend           : {report.backend} "
+              f"(wall clock {report.wall_seconds * 1e3:.1f} ms)")
+        if report.proc is not None:
+            print(f"wire              : {report.proc['wire_frames']} frames, "
+                  f"{report.proc['wire_bytes']} bytes on wire, "
+                  f"{report.proc['wire_delivered']} delivered, "
+                  f"{report.proc['wire_fallback']} fallback")
     print(f"threads executed  : {report.threads_run}")
     if report.placements:
         print(f"thread placements : {dict(sorted(report.placements.items()))}")
@@ -194,6 +238,7 @@ def cmd_check(args) -> int:
             locality=args.locality,
             race=args.race,
             obs=args.obs,
+            backend=args.backend,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -205,13 +250,33 @@ def cmd_check(args) -> int:
 
 def cmd_bench(args) -> int:
     """`repro bench`: locality off/on numbers for the built-in apps."""
+    import json
     from pathlib import Path
 
-    from .bench import DEFAULT_APPS, run_bench, write_results
+    from .bench import (DEFAULT_APPS, run_backend_bench, run_bench,
+                        write_results)
 
     apps = args.apps or list(DEFAULT_APPS)
+    if args.compare_backends:
+        doc = run_backend_bench(apps=apps, nodes=args.nodes)
+        if args.json:
+            out_dir = Path(args.out) if args.out else Path(
+                "benchmarks/results")
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / "bench_backends.json"
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {path}")
+        for app, entry in doc["apps"].items():
+            sim, proc = entry["sim"], entry["proc"]
+            print(f"{app:10s} sim: {sim['simulated_ms']:8.3f} ms "
+                  f"{sim['messages']:5d} msgs | "
+                  f"proc: {proc['simulated_ms']:8.3f} ms simulated, "
+                  f"{proc['wall_ms']:8.1f} ms wall, "
+                  f"{proc['wire']['bytes']:7d} B on wire"
+                  + ("" if entry["identical"] else "  DIVERGES"))
+        return 0 if all(e["identical"] for e in doc["apps"].values()) else 1
     doc = run_bench(apps=apps, nodes=args.nodes, ablation=args.ablation,
-                    include_metrics=args.metrics)
+                    include_metrics=args.metrics, backend=args.backend)
     if args.json:
         out_dir = Path(args.out) if args.out else None
         paths = write_results(doc, **({} if out_dir is None
@@ -222,8 +287,10 @@ def cmd_bench(args) -> int:
         off = entry["runs"]["off"]
         on = entry["runs"].get("all", off)
         delta = entry.get("delta_all_vs_off", {})
+        wall = (f" {off['wall_ms']:7.1f} ms wall |"
+                if "wall_ms" in off else "")
         print(f"{app:10s} off: {off['messages']:5d} msgs "
-              f"{off['bytes']:7d} B {off['simulated_ms']:8.3f} ms | "
+              f"{off['bytes']:7d} B {off['simulated_ms']:8.3f} ms |{wall} "
               f"all: {on['messages']:5d} msgs {on['bytes']:7d} B "
               f"{on['simulated_ms']:8.3f} ms | "
               f"fetches {off['fetches']} -> {on['fetches']} "
@@ -405,8 +472,9 @@ def cmd_race(args) -> int:
     return 0 if report.ok else 1
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Argument parsing + dispatch; returns a process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (separate from dispatch so
+    tests can exercise flag wiring without running anything)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JavaSplit reproduction: distributed execution of "
@@ -450,15 +518,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "enabled (e.g. 2@5ms, or 'random' for a "
                             "seed-derived node and time)")
     p_chk.add_argument("--nodes", type=int, default=3)
-    p_chk.add_argument("--region-elems", type=int, default=None)
-    p_chk.add_argument("--vector-timestamps", action="store_true")
+    _add_coherency_args(p_chk)
+    _add_locality_arg(p_chk)
+    _add_backend_args(p_chk)
     p_chk.add_argument("--strict", action="store_true",
                        help="raise on the first violation instead of "
                             "collecting")
-    p_chk.add_argument("--locality", default="", metavar="COMPONENTS",
-                       help="run every seed with these adaptive-locality "
-                            "components on: migration,prefetch,aggregation "
-                            "or 'all' (default: off)")
     p_chk.add_argument("--race", action="store_true",
                        help="run every seed with the data-race detector "
                             "on; any unsuppressed report fails the seed")
@@ -508,6 +573,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--metrics", action="store_true",
                          help="also run with the telemetry metrics "
                               "registry on and embed its compact summary")
+    _add_backend_args(p_bench)
+    p_bench.add_argument("--compare-backends", action="store_true",
+                         help="run every app on both backends and report "
+                              "simulated vs wall-clock time side by side "
+                              "(--json writes bench_backends.json)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser(
@@ -550,7 +620,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="also write the events + summary as JSON")
     p_tr.set_defaults(fn=cmd_trace)
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Argument parsing + dispatch; returns a process exit code."""
+    args = build_parser().parse_args(argv)
     return args.fn(args)
 
 

@@ -40,6 +40,10 @@ from ..jvm.interpreter import NO_VALUE
 from ..jvm.jvm import JThread, JVM
 from ..net.message import (HEADER_BYTES, M_LOC_BULK_REPLY, OBS_SPAN_KEY,
                            Message, estimate_size)
+from ..net.message import (  # canonical registry lives with the codec
+    M_CONSOLE, M_DIFF, M_DIFF_ACK, M_FETCH_REPLY, M_FETCH_REQ,
+    M_FT_REDIFF, M_FT_REDIFF_ACK, M_LOCK_FWD, M_LOCK_REQ, M_OWNER_UPDATE,
+    M_SPAWN, M_TOKEN)
 from ..net.transport import Transport
 from ..sim import cost_model as cm
 from .diffs import (
@@ -57,24 +61,6 @@ from .locks import LockRequest, LockToken, NodeLockState
 from .objectstate import DSMHeader, ObjState, attach_header
 from .serialization import ClassSpec, deserialize_any, serialize_any
 from .write_notices import MODE_BOUNDED, Notice, NoticeTable
-
-# Message types
-M_FETCH_REQ = "dsm.fetch_req"
-M_FETCH_REPLY = "dsm.fetch_reply"
-M_DIFF = "dsm.diff"
-M_DIFF_ACK = "dsm.diff_ack"
-M_LOCK_REQ = "dsm.lock_req"
-M_LOCK_FWD = "dsm.lock_fwd"
-M_TOKEN = "dsm.token"
-M_OWNER_UPDATE = "dsm.owner_update"
-M_SPAWN = "dsm.spawn"
-M_CONSOLE = "dsm.console"
-# Fault-tolerance: a pending diff redirected to the buddy of a dead
-# home, and its ack.  Distinct from M_DIFF/M_DIFF_ACK so that external
-# observers (the invariant monitor's independent ledger) can tell a
-# recovery resend from a first send.
-M_FT_REDIFF = "ft.rediff"
-M_FT_REDIFF_ACK = "ft.rediff_ack"
 
 SCALAR = "scalar"
 VECTOR = "vector"

@@ -36,14 +36,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.worker import WorkerNode
     from .manager import FtManager
 
-#: Heartbeat ping, worker -> coordinator (master node).
-M_FT_PING = "ft.ping"
-#: Transport-level suspicion report, any node -> coordinator.
-M_FT_SUSPECT = "ft.suspect"
-#: Replication frame, home -> buddy (batch of serialized units).
-M_FT_REPL = "ft.repl"
-#: Recovery: adoptive home broadcasts write notices at store versions.
-M_FT_NOTICES = "ft.notices"
+# Message types (canonical registry: ``repro.net.message``).
+# M_FT_PING: heartbeat ping, worker -> coordinator (master node).
+# M_FT_SUSPECT: transport-level suspicion report, any node -> coordinator.
+# M_FT_REPL: replication frame, home -> buddy (serialized unit batch).
+# M_FT_NOTICES: recovery, adoptive home broadcasts write notices.
+from ..net.message import (M_FT_NOTICES, M_FT_PING,  # noqa: F401
+                           M_FT_REPL, M_FT_SUSPECT)
 
 
 def buddy_of(node_id: int, num_nodes: int, dead: Sequence[int] = ()) -> int:

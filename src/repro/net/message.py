@@ -17,6 +17,37 @@ from typing import Any, Dict
 # Fixed framing overhead per message: type tag, src/dst, length, seqno.
 HEADER_BYTES = 40
 
+# ---------------------------------------------------------------------------
+# Canonical message-type registry.  Every frame that can cross the wire
+# has its type named here so the wire codec (``net/wire.py``) and its
+# round-trip tests can enumerate the full protocol surface.  Subsystem
+# modules re-export the constants they own.
+# ---------------------------------------------------------------------------
+
+# Core MTS-HLRC coherence protocol (``repro.dsm.protocol``).
+M_FETCH_REQ = "dsm.fetch_req"
+M_FETCH_REPLY = "dsm.fetch_reply"
+M_DIFF = "dsm.diff"
+M_DIFF_ACK = "dsm.diff_ack"
+M_LOCK_REQ = "dsm.lock_req"
+M_LOCK_FWD = "dsm.lock_fwd"
+M_TOKEN = "dsm.token"
+M_OWNER_UPDATE = "dsm.owner_update"
+M_SPAWN = "dsm.spawn"
+M_CONSOLE = "dsm.console"
+
+# Transport-level cumulative ack (ARQ reliable mode; never seq-numbered).
+M_TRANSPORT_ACK = "transport.ack"
+
+# Fault-tolerance subsystem (``repro.ft``): heartbeats, buddy
+# replication, and the recovery-time diff redirect + notice burst.
+M_FT_PING = "ft.ping"
+M_FT_SUSPECT = "ft.suspect"
+M_FT_REPL = "ft.repl"
+M_FT_NOTICES = "ft.notices"
+M_FT_REDIFF = "ft.rediff"
+M_FT_REDIFF_ACK = "ft.rediff_ack"
+
 # Adaptive-locality subsystem message types (``repro.locality``).  They
 # live here — next to the framing constants — because the aggregate
 # frame changes how sizes compose: an M_LOC_AGG carries several logical
@@ -38,6 +69,20 @@ M_RACE_SYNC = "race.sync"
 # present when ``RuntimeConfig.obs_spans`` is on; locality forwarding
 # preserves it (it is not a transport-owned field, cf. ``_strip``).
 OBS_SPAN_KEY = "__obs_span__"
+
+#: Every message type that can appear on the wire, for exhaustive
+#: codec round-trip coverage (``tests/test_wire.py`` fails if a type is
+#: added to the protocol without being registered here).
+ALL_MESSAGE_TYPES = (
+    M_FETCH_REQ, M_FETCH_REPLY, M_DIFF, M_DIFF_ACK, M_LOCK_REQ,
+    M_LOCK_FWD, M_TOKEN, M_OWNER_UPDATE, M_SPAWN, M_CONSOLE,
+    M_TRANSPORT_ACK,
+    M_FT_PING, M_FT_SUSPECT, M_FT_REPL, M_FT_NOTICES, M_FT_REDIFF,
+    M_FT_REDIFF_ACK,
+    M_LOC_HOME_UPDATE, M_LOC_FWD_DIFF, M_LOC_FWD_DIFF_ACK,
+    M_LOC_BULK_FETCH, M_LOC_BULK_REPLY, M_LOC_AGG,
+    M_RACE_SYNC,
+)
 
 _msg_counter = itertools.count()
 

@@ -1,0 +1,684 @@
+"""Real-parallel multiprocess transport plane.
+
+The ``proc`` backend runs one OS process per simulated node and pushes
+every protocol frame through real sockets (Unix-domain by default, TCP
+optional), while the *control plane* — the event schedule, the JVM
+interpreters, the DSM protocol — stays in the master process exactly as
+the ``sim`` backend runs it.  The division of labour:
+
+- **Master** (this process): owns the :class:`~repro.sim.engine.SimEngine`
+  and all protocol logic.  Every frame accepted by the network is encoded
+  with the versioned wire codec (``repro.net.wire``) and relayed to the
+  *source* node's worker process.
+- **Worker** (one per node, :func:`worker_main`): a selector-based event
+  loop that owns that node's listening socket.  It forwards relayed
+  frames to the destination node's worker over a real peer-to-peer
+  socket; frames arriving on its listening socket are handed back to the
+  master over its control connection.
+- At delivery time the master waits for the physical copy, verifies it
+  is byte-identical to what was sent, and dispatches the *decoded*
+  message — so every payload a handler sees on this backend has survived
+  a real encode → socket → decode round trip.
+
+Delivery *decisions* (ordering, latency, drops on detach) are made purely
+from simulator state, which is what makes the backend differentially
+testable: with identical configs, ``sim`` and ``proc`` produce identical
+schedules, identical per-type message counts, and identical final heaps.
+What ``proc`` adds is genuine process-level failure semantics —
+``detach`` SIGKILLs the worker process, so the fault injector's
+``--kill NODE@TIME`` exercises recovery against real process death, and
+an externally killed worker is detected (control-socket EOF / waitpid)
+and surfaced to the runtime via ``on_proc_death``.
+
+If a relay becomes impossible because one endpoint's process is dead,
+the master decodes its own encoded copy instead (counted as
+``wire_fallback``) so delivery semantics never diverge from ``sim``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import selectors
+import shutil
+import signal
+import socket
+import tempfile
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim.engine import SimEngine
+from .message import Message
+from .simnet import SimNetwork
+from .wire import (FrameDecoder, WireError, decode_frame, encode_frame,
+                   frame_with_prefix, peek_msg_id)
+
+# Control-plane frame types (master <-> worker only; never simulated).
+CTRL_HELLO = "proc.hello"
+CTRL_PEERS = "proc.peers"
+CTRL_RELAY = "proc.relay"
+CTRL_ARRIVED = "proc.arrived"
+CTRL_SHUTDOWN = "proc.shutdown"
+CTRL_STATS = "proc.stats"
+
+#: Master's node id on the control plane (never a simulated node).
+MASTER_ID = -1
+
+_RECV_CHUNK = 1 << 16
+
+
+def _ctrl_msg(msg_type: str, src: int, payload: Dict[str, Any]) -> Message:
+    """A control-plane frame.  ``msg_id=0`` is passed explicitly so the
+    master's construction of control frames never advances the global
+    message counter — keeping its evolution identical to the sim backend.
+    """
+    return Message(msg_type, src, MASTER_ID, payload, size_bytes=1, msg_id=0)
+
+
+def _listen_socket(kind: str, path: Optional[str]) -> socket.socket:
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+    sock.listen(64)
+    return sock
+
+
+def _dial(kind: str, addr: Any, timeout_s: float = 10.0) -> socket.socket:
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        target: Any = addr
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        target = (addr[0], int(addr[1]))
+    sock.settimeout(timeout_s)
+    try:
+        sock.connect(target)
+    except OSError:
+        sock.close()
+        raise
+    sock.settimeout(None)
+    return sock
+
+
+def _flush(sock: socket.socket, buf: bytearray) -> bool:
+    """Write as much of ``buf`` as the socket accepts.  Returns False if
+    the connection is gone (buffer is discarded)."""
+    while buf:
+        try:
+            sent = sock.send(bytes(buf[:262144]))
+        except (BlockingIOError, InterruptedError):
+            return True
+        except OSError:
+            buf.clear()
+            return False
+        del buf[:sent]
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+class _Peer:
+    """One data-plane connection inside a worker (accepted or dialed)."""
+
+    __slots__ = ("sock", "outbuf", "decoder")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.outbuf = bytearray()
+        self.decoder = FrameDecoder()
+
+
+def worker_main(node_id: int, kind: str, ctrl_addr: Any,
+                data_addr: Optional[str]) -> None:
+    """Entry point of one node's worker process.
+
+    Connects back to the master's control listener, binds this node's
+    data listener, then loops: relay requests from the master go out to
+    peer sockets, frames arriving from peers go back to the master.
+    Runs until a ``proc.shutdown`` frame or control-socket EOF.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        ctrl = _dial(kind, ctrl_addr)
+    except OSError:
+        return
+    listener = _listen_socket(kind, data_addr)
+    my_addr: Any = data_addr if kind == "unix" else listener.getsockname()
+
+    sel = selectors.DefaultSelector()
+    ctrl.setblocking(False)
+    listener.setblocking(False)
+    ctrl_out = bytearray()
+    ctrl_dec = FrameDecoder()
+    peers_addr: Dict[int, Any] = {}
+    conns: Dict[socket.socket, _Peer] = {}
+    dialed: Dict[int, socket.socket] = {}
+    stats = {"node": node_id, "frames_relayed": 0, "frames_received": 0,
+             "bytes_out": 0, "bytes_in": 0, "relay_failures": 0}
+    running = True
+
+    def interest(sock: socket.socket, outbuf: bytearray) -> None:
+        events = selectors.EVENT_READ
+        if outbuf:
+            events |= selectors.EVENT_WRITE
+        try:
+            sel.modify(sock, events)
+        except KeyError:
+            sel.register(sock, events)
+
+    def ctrl_send(msg_type: str, payload: Dict[str, Any]) -> None:
+        frame = encode_frame(_ctrl_msg(msg_type, node_id, payload))
+        ctrl_out.extend(frame_with_prefix(frame))
+        interest(ctrl, ctrl_out)
+
+    def drop_peer(sock: socket.socket) -> None:
+        conns.pop(sock, None)
+        for nid, s in list(dialed.items()):
+            if s is sock:
+                del dialed[nid]
+        try:
+            sel.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        sock.close()
+
+    def relay(dst: int, frame: bytes) -> None:
+        sock = dialed.get(dst)
+        if sock is None:
+            addr = peers_addr.get(dst)
+            if addr is None:
+                stats["relay_failures"] += 1
+                return
+            try:
+                sock = _dial(kind, addr)
+            except OSError:
+                stats["relay_failures"] += 1
+                return
+            sock.setblocking(False)
+            dialed[dst] = sock
+            conns[sock] = _Peer(sock)
+            sel.register(sock, selectors.EVENT_READ)
+        peer = conns[sock]
+        peer.outbuf.extend(frame_with_prefix(frame))
+        stats["frames_relayed"] += 1
+        stats["bytes_out"] += len(frame) + 4
+        if not _flush(sock, peer.outbuf):
+            stats["relay_failures"] += 1
+            drop_peer(sock)
+            return
+        interest(sock, peer.outbuf)
+
+    def on_ctrl_frame(raw: bytes) -> None:
+        nonlocal running
+        msg = decode_frame(raw)
+        if msg.msg_type == CTRL_RELAY:
+            relay(msg.payload["dst"], msg.payload["frame"])
+        elif msg.msg_type == CTRL_PEERS:
+            peers_addr.update(msg.payload["peers"])
+        elif msg.msg_type == CTRL_SHUTDOWN:
+            running = False
+
+    sel.register(ctrl, selectors.EVENT_READ)
+    sel.register(listener, selectors.EVENT_READ)
+    ctrl_send(CTRL_HELLO,
+              {"node": node_id, "addr": my_addr, "pid": os.getpid()})
+
+    try:
+        while running:
+            for key, events in sel.select(timeout=1.0):
+                sock = key.fileobj
+                if sock is listener:
+                    try:
+                        accepted, _ = listener.accept()
+                    except OSError:
+                        continue
+                    accepted.setblocking(False)
+                    conns[accepted] = _Peer(accepted)
+                    sel.register(accepted, selectors.EVENT_READ)
+                    continue
+                if sock is ctrl:
+                    if events & selectors.EVENT_WRITE:
+                        if not _flush(ctrl, ctrl_out):
+                            running = False
+                            break
+                        interest(ctrl, ctrl_out)
+                    if events & selectors.EVENT_READ:
+                        try:
+                            data = ctrl.recv(_RECV_CHUNK)
+                        except (BlockingIOError, InterruptedError):
+                            continue
+                        except OSError:
+                            data = b""
+                        if not data:
+                            running = False  # master is gone
+                            break
+                        for raw in ctrl_dec.feed(data):
+                            on_ctrl_frame(raw)
+                    continue
+                peer = conns.get(sock)
+                if peer is None:
+                    continue
+                if events & selectors.EVENT_WRITE:
+                    if not _flush(sock, peer.outbuf):
+                        drop_peer(sock)
+                        continue
+                    interest(sock, peer.outbuf)
+                if events & selectors.EVENT_READ:
+                    try:
+                        data = sock.recv(_RECV_CHUNK)
+                    except (BlockingIOError, InterruptedError):
+                        continue
+                    except OSError:
+                        data = b""
+                    if not data:
+                        drop_peer(sock)
+                        continue
+                    for raw in peer.decoder.feed(data):
+                        stats["frames_received"] += 1
+                        stats["bytes_in"] += len(raw) + 4
+                        ctrl_send(CTRL_ARRIVED, {"frame": raw})
+    except Exception:  # pragma: no cover - master detects death via EOF
+        running = False
+
+    # Graceful drain: push pending peer frames and the stats reply out
+    # before exiting, bounded so a wedged peer cannot hang shutdown.
+    ctrl_send(CTRL_STATS, stats)
+    deadline = time.monotonic() + 5.0
+    pending: List[Tuple[socket.socket, bytearray]] = (
+        [(ctrl, ctrl_out)] + [(p.sock, p.outbuf) for p in conns.values()])
+    while time.monotonic() < deadline and any(b for _, b in pending):
+        for sock, buf in pending:
+            if buf:
+                _flush(sock, buf)
+        if any(b for _, b in pending):
+            time.sleep(0.005)
+    for sock in list(conns):
+        sock.close()
+    listener.close()
+    ctrl.close()
+    sel.close()
+    if kind == "unix" and data_addr:
+        try:
+            os.unlink(data_addr)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Master side
+# ---------------------------------------------------------------------------
+
+class ProcNetwork(SimNetwork):
+    """The simulated network with a real multiprocess wire plane.
+
+    Subclasses :class:`SimNetwork` and overrides only its three
+    physical-plane hooks, so timing, ordering, accounting, and the jitter
+    RNG stream are untouched — a run on this backend follows the exact
+    event schedule of the sim backend while every frame crosses a real
+    socket between worker processes.
+    """
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        jitter_ns: int = 0,
+        seed: int = 0,
+        socket_kind: str = "unix",
+        wait_timeout_s: float = 30.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(engine, jitter_ns=jitter_ns, seed=seed)
+        if socket_kind not in ("unix", "tcp"):
+            raise ValueError(f"unknown socket kind {socket_kind!r}")
+        self.socket_kind = socket_kind
+        self.wait_timeout_s = wait_timeout_s
+        self.start_method = start_method
+        # Runtime hook: called (from an engine event) when a worker
+        # process is found dead without the simulator having detached it
+        # — i.e. genuine external process death (SIGKILL from outside).
+        self.on_proc_death: Optional[Callable[[int], None]] = None
+        self._started = False
+        self._stopped = False
+        self._tmpdir: Optional[str] = None
+        self._listener: Optional[socket.socket] = None
+        self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._ctrl: Dict[int, Optional[socket.socket]] = {}
+        self._decoders: Dict[int, FrameDecoder] = {}
+        self._dead_procs: set = set()
+        self._worker_stats: Dict[int, Dict[str, Any]] = {}
+        # msg_id -> [encoded frame, outstanding deliveries, relays afloat]
+        self._sent: Dict[int, List[Any]] = {}
+        # msg_id -> FIFO of physically arrived copies (bytes)
+        self._arrived: Dict[int, Deque[bytes]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Fork one worker per attached node and complete the handshake.
+
+        Idempotent; called lazily on the first outbound frame if the
+        runtime has not called it explicitly.  All workers are forked
+        *before* any control connection is accepted, so no worker
+        inherits another's accepted-connection descriptor (which would
+        defeat EOF-based death detection).
+        """
+        if self._started:
+            return
+        if self._stopped:
+            raise RuntimeError("ProcNetwork already stopped")
+        self._started = True
+        nodes = self.node_ids
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-proc-")
+        if self.socket_kind == "unix":
+            ctrl_addr: Any = os.path.join(self._tmpdir, "ctrl.sock")
+        else:
+            ctrl_addr = None
+        self._listener = _listen_socket(self.socket_kind, ctrl_addr)
+        if self.socket_kind == "tcp":
+            ctrl_addr = self._listener.getsockname()
+        ctx = self._mp_context()
+        for node in nodes:
+            data_addr = (os.path.join(self._tmpdir, f"n{node}.sock")
+                         if self.socket_kind == "unix" else None)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(node, self.socket_kind, ctrl_addr, data_addr),
+                daemon=True,
+                name=f"repro-node-{node}",
+            )
+            proc.start()
+            self._procs[node] = proc
+        self._handshake(nodes)
+
+    def _mp_context(self):
+        method = self.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _handshake(self, nodes: List[int]) -> None:
+        addrs: Dict[int, Any] = {}
+        self._listener.settimeout(self.wait_timeout_s)
+        for _ in nodes:
+            try:
+                conn, _ = self._listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise WireError("worker handshake timed out") from exc
+            conn.settimeout(self.wait_timeout_s)
+            decoder = FrameDecoder()
+            hello: Optional[Message] = None
+            while hello is None:
+                data = conn.recv(_RECV_CHUNK)
+                if not data:
+                    raise WireError("worker died during handshake")
+                for raw in decoder.feed(data):
+                    msg = decode_frame(raw)
+                    if msg.msg_type == CTRL_HELLO:
+                        hello = msg
+                        break
+            node = hello.payload["node"]
+            self._ctrl[node] = conn
+            self._decoders[node] = decoder
+            addrs[node] = hello.payload["addr"]
+        unknown = set(addrs) - set(nodes)
+        if unknown or set(addrs) != set(nodes):
+            raise WireError(f"handshake mismatch: got {sorted(addrs)}, "
+                            f"expected {nodes}")
+        for node in nodes:
+            self._ctrl_send(node, CTRL_PEERS, {"peers": addrs})
+
+    def stop(self) -> Dict[str, Any]:
+        """Gracefully shut down all workers and collect their counters.
+
+        Live workers get a ``proc.shutdown`` frame and a bounded window
+        to drain and reply with their stats; stragglers are killed.
+        Returns the wire-plane summary for the run report.  Idempotent.
+        """
+        if self._started and not self._stopped:
+            for node in list(self._ctrl):
+                self._ctrl_send(node, CTRL_SHUTDOWN, {})
+            deadline = time.monotonic() + min(10.0, self.wait_timeout_s)
+            want = [n for n, c in self._ctrl.items() if c is not None]
+            while (time.monotonic() < deadline
+                   and any(n not in self._worker_stats for n in want)):
+                self._pump(0.05)
+                want = [n for n in want if self._ctrl.get(n) is not None]
+            for node, proc in self._procs.items():
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    try:
+                        os.kill(proc.pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+                    proc.join(timeout=2.0)
+            for conn in self._ctrl.values():
+                if conn is not None:
+                    conn.close()
+            self._ctrl.clear()
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            if self._tmpdir is not None:
+                shutil.rmtree(self._tmpdir, ignore_errors=True)
+                self._tmpdir = None
+        self._stopped = True
+        return self.summary()
+
+    def summary(self) -> Dict[str, Any]:
+        """Wire-plane summary: master counters plus per-worker stats."""
+        return {
+            "backend": "proc",
+            "socket_kind": self.socket_kind,
+            "wire_frames": self.stats.wire_frames,
+            "wire_bytes": self.stats.wire_bytes,
+            "wire_delivered": self.stats.wire_delivered,
+            "wire_fallback": self.stats.wire_fallback,
+            "workers": {n: self._worker_stats.get(n)
+                        for n in sorted(self._procs)},
+        }
+
+    @property
+    def proc_pids(self) -> Dict[int, int]:
+        """Worker process ids by node (for tests and diagnostics)."""
+        return {n: p.pid for n, p in self._procs.items()}
+
+    def proc_alive(self, node_id: int) -> bool:
+        """True while the node's worker process is running."""
+        proc = self._procs.get(node_id)
+        return proc is not None and proc.is_alive()
+
+    # ------------------------------------------------------------------
+    # Detach = genuine process death
+    # ------------------------------------------------------------------
+    def detach(self, node_id: int) -> None:
+        """Detach the endpoint *and* SIGKILL its worker process, so the
+        fault injector's ``detach:NODE@TIME`` (the ``--kill`` flag) maps
+        to real process death on this backend."""
+        self._dead_procs.add(node_id)  # before close: no death callback
+        proc = self._procs.get(node_id)
+        if proc is not None and proc.is_alive():
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            proc.join(timeout=5.0)
+        super().detach(node_id)
+        self._close_ctrl(node_id)
+
+    # ------------------------------------------------------------------
+    # Physical-plane hooks (called by SimNetwork.send / _deliver)
+    # ------------------------------------------------------------------
+    def _outbound(self, msg: Message) -> None:
+        if not self._started:
+            self.start()
+        self._pump(0)
+        entry = self._sent.get(msg.msg_id)
+        if entry is None:
+            # Encode once per msg_id: retransmissions of the same frame
+            # (ARQ, injected duplicates) relay the original bytes.
+            entry = self._sent[msg.msg_id] = [encode_frame(msg), 0, 0]
+        entry[1] += 1
+        frame = entry[0]
+        self.stats.wire_frames += 1
+        self.stats.wire_bytes += len(frame) + 4
+        if msg.src == msg.dst:
+            return  # loopback: no physical hop, decode-proved at delivery
+        if self._proc_ok(msg.src) and self._proc_ok(msg.dst):
+            if self._ctrl_send(msg.src, CTRL_RELAY,
+                               {"dst": msg.dst, "frame": frame}):
+                entry[2] += 1
+        # A dead endpoint means no relay: delivery falls back to the
+        # master's copy so the schedule never diverges from sim.
+
+    def _resolve(self, msg: Message) -> Message:
+        entry = self._sent.get(msg.msg_id)
+        if entry is None:  # not ours (never outbound); deliver as-is
+            return msg
+        frame = entry[0]
+        data: Optional[bytes] = None
+        queue = self._arrived.get(msg.msg_id)
+        if queue:
+            data = queue.popleft()
+        elif entry[2] > 0:
+            data = self._await_frame(msg)
+        if data is None:
+            if msg.src != msg.dst:
+                self.stats.wire_fallback += 1
+            data = frame
+        else:
+            entry[2] -= 1
+            self.stats.wire_delivered += 1
+            if data != frame:
+                raise WireError(
+                    f"wire corruption: frame {msg.msg_id} arrived "
+                    f"{len(data)}B, sent {len(frame)}B")
+        decoded = decode_frame(data)
+        self._consume(msg.msg_id, entry)
+        return decoded
+
+    def _discard(self, msg: Message) -> None:
+        entry = self._sent.get(msg.msg_id)
+        if entry is None:
+            return
+        queue = self._arrived.get(msg.msg_id)
+        if queue:
+            queue.popleft()
+            entry[2] -= 1
+        self._consume(msg.msg_id, entry)
+
+    def _consume(self, msg_id: int, entry: List[Any]) -> None:
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._sent[msg_id]
+            self._arrived.pop(msg_id, None)
+
+    def _await_frame(self, msg: Message) -> Optional[bytes]:
+        """Block until the physical copy of ``msg`` lands, an endpoint
+        process dies (→ fallback), or the wait deadline expires."""
+        deadline = time.monotonic() + self.wait_timeout_s
+        queue = self._arrived.setdefault(msg.msg_id, deque())
+        while True:
+            if queue:
+                return queue.popleft()
+            if not (self._proc_ok(msg.src) and self._proc_ok(msg.dst)):
+                self._pump(0)  # drain anything racing the death notice
+                return queue.popleft() if queue else None
+            if time.monotonic() > deadline:
+                raise WireError(
+                    f"timed out after {self.wait_timeout_s}s waiting for "
+                    f"physical copy of {msg}")
+            self._pump(0.05)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _proc_ok(self, node_id: int) -> bool:
+        return (node_id not in self._dead_procs
+                and self._ctrl.get(node_id) is not None)
+
+    def _ctrl_send(self, node_id: int, msg_type: str,
+                   payload: Dict[str, Any]) -> bool:
+        conn = self._ctrl.get(node_id)
+        if conn is None:
+            return False
+        frame = encode_frame(_ctrl_msg(msg_type, MASTER_ID, payload))
+        try:
+            conn.sendall(frame_with_prefix(frame))
+            return True
+        except OSError:
+            self._note_dead(node_id)
+            return False
+
+    def _pump(self, timeout: float) -> None:
+        """Drain worker control sockets and poll process liveness."""
+        if not self._started:
+            return
+        import select as _select
+        while True:
+            by_sock = {conn: node for node, conn in self._ctrl.items()
+                       if conn is not None}
+            if not by_sock:
+                break
+            try:
+                readable, _, _ = _select.select(list(by_sock), [], [],
+                                                timeout)
+            except OSError:
+                break
+            for conn in readable:
+                node = by_sock[conn]
+                try:
+                    data = conn.recv(_RECV_CHUNK)
+                except OSError:
+                    data = b""
+                if not data:
+                    self._note_dead(node)
+                    continue
+                for raw in self._decoders[node].feed(data):
+                    self._on_ctrl_frame(node, decode_frame(raw))
+            if not readable:
+                break
+            timeout = 0  # keep draining what is already queued
+        for node, proc in self._procs.items():
+            if node not in self._dead_procs and not proc.is_alive():
+                self._note_dead(node)
+
+    def _on_ctrl_frame(self, node: int, msg: Message) -> None:
+        if msg.msg_type == CTRL_ARRIVED:
+            raw = msg.payload["frame"]
+            msg_id = peek_msg_id(raw)
+            if msg_id in self._sent:
+                self._arrived.setdefault(msg_id, deque()).append(raw)
+            # else: a copy whose deliveries were all discarded — expired.
+        elif msg.msg_type == CTRL_STATS:
+            self._worker_stats[node] = dict(msg.payload)
+
+    def _close_ctrl(self, node_id: int) -> None:
+        conn = self._ctrl.get(node_id)
+        if conn is not None:
+            conn.close()
+            self._ctrl[node_id] = None
+
+    def _note_dead(self, node_id: int) -> None:
+        """A worker process died under us (EOF / waitpid): close its
+        control lane and, if the simulator still considers the node
+        alive, surface genuine external death to the runtime."""
+        if node_id in self._dead_procs:
+            return
+        self._dead_procs.add(node_id)
+        self._close_ctrl(node_id)
+        if self.on_proc_death is not None and self.is_attached(node_id):
+            self.engine.schedule(
+                0, lambda: self._fire_death(node_id))
+
+    def _fire_death(self, node_id: int) -> None:
+        if self.on_proc_death is not None and self.is_attached(node_id):
+            self.on_proc_death(node_id)

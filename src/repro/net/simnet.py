@@ -109,6 +109,7 @@ class SimNetwork:
             delay = self.latency_ns(msg.src, msg.dst, msg.size_bytes)
             if self._jitter_ns:
                 delay += int(self._rng.integers(0, self._jitter_ns))
+        self._outbound(msg)
         self.engine.schedule(delay, lambda: self._deliver(msg))
 
     def _deliver(self, msg: Message) -> None:
@@ -121,6 +122,29 @@ class SimNetwork:
         if handler is None:
             # Endpoint detached while the message was in flight: drop it,
             # but keep the accounting consistent (the wire carried it).
+            self._discard(msg)
             self.stats.dropped += 1
             return
-        handler(msg)
+        handler(self._resolve(msg))
+
+    # ------------------------------------------------------------------
+    # Physical-plane hooks.  The simulated network delivers the very
+    # object that was sent; a real transport plane (``repro.net.procnet``)
+    # overrides these to push every accepted frame onto actual sockets at
+    # send time and to substitute the wire-decoded copy at delivery time.
+    # All three are no-ops here, keeping sim behaviour byte-identical.
+    # ------------------------------------------------------------------
+    def _outbound(self, msg: Message) -> None:
+        """Called once per accepted frame, after accounting."""
+
+    def _resolve(self, msg: Message) -> Message:
+        """Map an in-flight frame to the instance to deliver."""
+        return msg
+
+    def _discard(self, msg: Message) -> None:
+        """Called instead of :meth:`_resolve` for dropped frames."""
+
+    def stop(self) -> Optional[dict]:
+        """Shut down the physical plane, returning its summary.  The
+        simulated network has none; the proc backend overrides this."""
+        return None

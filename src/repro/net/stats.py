@@ -22,6 +22,14 @@ class NetStats:
     dropped: int = 0
     by_type: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     by_link: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+    # Physical wire plane (``proc`` backend only; all zero under sim).
+    # ``wire_bytes`` counts real encoded bytes-on-wire (frame + length
+    # prefix), so subsystem overhead stays meaningful against genuine
+    # serialization cost rather than the estimate in ``size_bytes``.
+    wire_frames: int = 0      # frames encoded by the master
+    wire_bytes: int = 0       # encoded bytes (incl. 4B length prefix)
+    wire_delivered: int = 0   # copies that physically crossed sockets
+    wire_fallback: int = 0    # deliveries decoded from the master copy
 
     def record(self, msg: Message) -> None:
         """Account one sent message (totals, per type, per link)."""
@@ -39,6 +47,10 @@ class NetStats:
         self.messages = 0
         self.bytes = 0
         self.dropped = 0
+        self.wire_frames = 0
+        self.wire_bytes = 0
+        self.wire_delivered = 0
+        self.wire_fallback = 0
         self.by_type.clear()
         self.by_link.clear()
 
@@ -48,6 +60,10 @@ class NetStats:
         self.messages += other.messages
         self.bytes += other.bytes
         self.dropped += other.dropped
+        self.wire_frames += other.wire_frames
+        self.wire_bytes += other.wire_bytes
+        self.wire_delivered += other.wire_delivered
+        self.wire_fallback += other.wire_fallback
         for mtype, (n, b) in other.by_type.items():
             cn, cb = self.by_type.get(mtype, (0, 0))
             self.by_type[mtype] = (cn + n, cb + b)
@@ -108,6 +124,11 @@ class NetStats:
         lines = [f"total: {self.messages} msgs, {self.bytes} bytes"]
         if self.dropped:
             lines[0] += f" ({self.dropped} dropped in flight)"
+        if self.wire_frames:
+            lines.append(
+                f"  wire: {self.wire_frames} frames, {self.wire_bytes} "
+                f"bytes on wire, {self.wire_delivered} delivered, "
+                f"{self.wire_fallback} fallback")
         for mtype in sorted(self.by_type):
             n, b = self.by_type[mtype]
             lines.append(f"  {mtype}: {n} msgs, {b} bytes")

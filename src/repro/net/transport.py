@@ -28,13 +28,13 @@ from typing import Any, Callable, Dict, Optional
 
 from ..sim.cost_model import CostModel
 from ..sim.engine import NS_PER_MS, EventHandle, SimEngine
-from .message import Message
+from .message import M_TRANSPORT_ACK, Message
 from .simnet import SimNetwork
 
 Handler = Callable[[Message], None]
 
 #: Control frame type for cumulative acks (never seq-numbered).
-ACK_TYPE = "transport.ack"
+ACK_TYPE = M_TRANSPORT_ACK
 #: Retransmission timeout.  Must exceed the worst one-way latency plus
 #: any injected jitter/delay, or spurious (harmless but noisy)
 #: retransmissions occur.

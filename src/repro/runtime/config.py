@@ -40,6 +40,23 @@ class RuntimeConfig:
     # Cost calibration: "app" (default; §6.2 application-level slowdowns)
     # or "micro" (Table 1/2 repeated-access microbenchmark numbers).
     cost_profile: str = "app"
+    # ----- transport backend (src/repro/net) ---------------------------
+    # "sim" (default): in-process simulated network — deterministic, the
+    # oracle/differential reference.  "proc": one OS process per node
+    # with every frame relayed over real sockets (see net/procnet.py);
+    # same schedule and message counts, but payloads genuinely cross a
+    # wire-format encode/decode and node kills map to SIGKILL of the
+    # worker process.
+    transport_backend: str = "sim"
+    # Socket family for the proc backend: "unix" (default) or "tcp"
+    # (127.0.0.1, ephemeral ports).
+    proc_socket_kind: str = "unix"
+    # Master-side deadline waiting for a physical frame copy before the
+    # run is declared wedged (WireError).
+    proc_wait_timeout_s: float = 30.0
+    # multiprocessing start method for workers; None picks "fork" when
+    # available, else "spawn".
+    proc_start_method: Optional[str] = None
     # ----- fault tolerance (src/repro/ft) ------------------------------
     # Survive the loss of a single (non-master) worker: heartbeat failure
     # detection, buddy replication of home state, and node-failure
@@ -145,6 +162,23 @@ class RuntimeConfig:
             raise ValueError("master_node out of range")
         for i in range(self.num_nodes):
             self.brand_of(i)  # raises on mismatch
+        if self.transport_backend not in ("sim", "proc"):
+            raise ValueError(
+                f"unknown transport_backend {self.transport_backend!r} "
+                "(expected 'sim' or 'proc')"
+            )
+        if self.proc_socket_kind not in ("unix", "tcp"):
+            raise ValueError(
+                f"unknown proc_socket_kind {self.proc_socket_kind!r} "
+                "(expected 'unix' or 'tcp')"
+            )
+        if self.proc_wait_timeout_s <= 0:
+            raise ValueError("proc_wait_timeout_s must be positive")
+        if self.proc_start_method not in (None, "fork", "spawn",
+                                          "forkserver"):
+            raise ValueError(
+                f"unknown proc_start_method {self.proc_start_method!r}"
+            )
         if self.ft_enabled:
             if self.num_nodes < 2:
                 raise ValueError(

@@ -19,6 +19,7 @@ the paper's speedup numbers).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -70,6 +71,12 @@ class RunReport:
     # Telemetry summary (None unless an obs_* knob is on): metrics
     # export, span counts, stall-attribution profile.
     obs: Optional[Dict[str, Any]] = None
+    # Which transport backend carried the run, its wall-clock duration,
+    # and (proc backend only) the wire-plane summary: frame/byte counts
+    # and per-worker relay statistics.
+    backend: str = "sim"
+    wall_seconds: float = 0.0
+    proc: Optional[Dict[str, Any]] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -97,11 +104,23 @@ class JavaSplitRuntime:
         self.config = config or RuntimeConfig()
         self.config.validate()
         self.engine = SimEngine()
-        self.network = SimNetwork(
-            self.engine,
-            jitter_ns=self.config.net_jitter_ns,
-            seed=self.config.seed,
-        )
+        if self.config.transport_backend == "proc":
+            from ..net.procnet import ProcNetwork
+            self.network: SimNetwork = ProcNetwork(
+                self.engine,
+                jitter_ns=self.config.net_jitter_ns,
+                seed=self.config.seed,
+                socket_kind=self.config.proc_socket_kind,
+                wait_timeout_s=self.config.proc_wait_timeout_s,
+                start_method=self.config.proc_start_method,
+            )
+            self.network.on_proc_death = self._proc_node_died
+        else:
+            self.network = SimNetwork(
+                self.engine,
+                jitter_ns=self.config.net_jitter_ns,
+                seed=self.config.seed,
+            )
         self.console: List[str] = []
         self.registry = ClassRegistry(rewritten.classfiles)
         self.scheduler = PlacementTracker(
@@ -190,6 +209,15 @@ class JavaSplitRuntime:
         if pending > 0:
             self._pending_spawns[node_id] = pending - 1
 
+    def _proc_node_died(self, node_id: int) -> None:
+        """A worker OS process died externally (proc backend): fail-stop
+        the node, exactly like the fault injector's ``detach`` — the
+        heartbeat detector and recovery then take over."""
+        if not self.network.is_attached(node_id):
+            return
+        self.network.detach(node_id)
+        self.workers[node_id].node.halt()
+
     def worker(self, node_id: int) -> WorkerNode:
         """The WorkerNode with the given id."""
         return self.workers[node_id]
@@ -262,9 +290,16 @@ class JavaSplitRuntime:
         """Execute main to completion and return the report."""
         if self._main_thread is None:
             self.start_main(args)
-        events = self.engine.run_until_idle(
-            max_events=max_events or self.config.max_events
-        )
+        wall_start = time.perf_counter()
+        try:
+            events = self.engine.run_until_idle(
+                max_events=max_events or self.config.max_events
+            )
+        finally:
+            wall_seconds = time.perf_counter() - wall_start
+            # Tear down the physical plane (proc backend) even on
+            # failure, so no worker processes outlive the run.
+            proc_summary = self.network.stop()
         for w in self.workers:
             if not w.dead:
                 w.jvm.check_no_failures()
@@ -302,6 +337,9 @@ class JavaSplitRuntime:
                       else self.locality.report()),
             race=None if self.race is None else self.race.report(),
             obs=None if self.obs is None else self.obs.report(),
+            backend=self.config.transport_backend,
+            wall_seconds=wall_seconds,
+            proc=proc_summary,
         )
 
 

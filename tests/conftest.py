@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
 from typing import Any, List, Optional
 
 import pytest
@@ -39,3 +42,47 @@ def run_main(
 @pytest.fixture
 def jvm_env():
     return make_jvm()
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess-backend guard rails (tests/test_procnet.py)
+# ---------------------------------------------------------------------------
+
+#: Hard wall-clock ceiling for one proc-backend test.  A wedged worker
+#: or a lost frame must fail the test, not hang the suite (CI runs
+#: without pytest-timeout locally, so the alarm is the backstop).
+PROC_TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture
+def proc_guard():
+    """Timeout + orphan-reaper for tests that fork worker processes.
+
+    Arms a SIGALRM that raises inside the test if it exceeds the
+    ceiling, and at teardown reaps any worker processes the test leaked
+    before *failing* the test — leaked children would poison every
+    later fork-based test in the session.
+    """
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on hang
+        raise TimeoutError(
+            f"proc-backend test exceeded {PROC_TEST_TIMEOUT_S}s "
+            "(wedged worker or lost frame?)")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(PROC_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+        leaked = multiprocessing.active_children()
+        for child in leaked:  # reap so later tests start clean
+            try:
+                os.kill(child.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            child.join(timeout=5)
+    assert not leaked, (
+        f"test leaked worker processes: "
+        f"{[(c.name, c.pid) for c in leaked]}")

@@ -1,0 +1,268 @@
+"""Wire-format codec tests: exhaustive round-trips over every protocol
+message type, property-based payload fuzzing, frame-size limits, and
+hostile-input rejection (truncation, corruption, bad versions)."""
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.net.message import (ALL_MESSAGE_TYPES, M_DIFF, M_FT_REPL,
+                               M_LOC_AGG, M_LOCK_REQ, M_RACE_SYNC, M_TOKEN,
+                               OBS_SPAN_KEY, Message)
+from repro.net.wire import (MAX_FRAME_BYTES, FrameDecoder, WireError,
+                            decode_frame, encode_frame, frame_with_prefix,
+                            peek_msg_id, peek_route)
+
+
+def roundtrip(msg: Message) -> Message:
+    decoded = decode_frame(encode_frame(msg))
+    assert decoded.msg_type == msg.msg_type
+    assert decoded.src == msg.src
+    assert decoded.dst == msg.dst
+    assert decoded.msg_id == msg.msg_id
+    assert decoded.size_bytes == msg.size_bytes
+    assert decoded.payload == msg.payload
+    return decoded
+
+
+# ---------------------------------------------------------------------------
+# Representative payloads per message type.  Shapes mirror what the
+# protocol actually sends (see dsm/protocol.py, ft/, locality/, race/):
+# flattened lock tokens, (key, bytes, region) diff entries, nested
+# version maps, replication unit dicts, aggregate sub-frame lists.
+# ---------------------------------------------------------------------------
+_PAYLOADS = {
+    "dsm.fetch_req": {"gid": 17, "region": None, "__seq__": 0},
+    "dsm.fetch_reply": {"gid": 17, "data": b"\x00\x01obj", "version": 3,
+                        "applied": {1: 2, 0: 1}, "__seq__": 1},
+    "dsm.diff": {"entries": [(17, b"diffbytes", None), ((18, 0), b"r", 0)],
+                 "ack_id": 5, "writer": 2, "interval": 7, "__seq__": 2},
+    "dsm.diff_ack": {"ack_id": 5, "__seq__": 0},
+    "dsm.lock_req": {"gid": 3, "node": 1, "thread_id": 4, "priority": 5,
+                     "seq": 9, "restore_count": 0, "__seq__": 3},
+    "dsm.lock_fwd": {"gid": 3, "queue_wire": [(1, 4, 5, 9, 0, None)],
+                     "__seq__": 4},
+    "dsm.token": {"gid": 3, "queue_wire": [(1, 4, 5, 9, 0, None)],
+                  "waitq_wire": [], "seen": {0: {3: 1}}, "__seq__": 5},
+    "dsm.owner_update": {"gid": 3, "owner": 2, "__seq__": 6},
+    "dsm.spawn": {"gid": 21, "class_name": "Worker", "priority": 5,
+                  "__seq__": 7},
+    "dsm.console": {"text": "tour=1234", "__seq__": 8},
+    "transport.ack": {"next": 12},
+    "ft.ping": {"beat": 40, "__seq__": 9, "__epoch__": 0},
+    "ft.suspect": {"peer": 2, "__seq__": 10},
+    "ft.repl": {"origin": 1, "units": [
+        {"gid": 17, "region": None, "version": 3, "data": b"unit",
+         "cls": "Worker"}], "__seq__": 11},
+    "ft.notices": {"notices": [(17, 3), ((18, 0), 1)], "__seq__": 12},
+    "ft.rediff": {"entries": [(17, b"diff", None)], "ack_id": 6,
+                  "__seq__": 13},
+    "ft.rediff_ack": {"ack_id": 6, "__seq__": 14},
+    "loc.home_update": {"gid": 17, "home": 2, "epoch": 1, "__seq__": 15},
+    "loc.fwd_diff": {"gid": 17, "fwd_id": 8, "entries": [(17, b"d", None)],
+                     "requester": 1, "__seq__": 16},
+    "loc.fwd_diff_ack": {"fwd_id": 8, "versions": [(17, 4)], "__seq__": 17},
+    "loc.bulk_fetch": {"gids": [17, 18, 19], "__seq__": 18},
+    "loc.bulk_reply": {"units": [(17, b"u", None, 3)], "__seq__": 19},
+    "loc.agg": {"frames": [("dsm.diff", {"entries": [], "ack_id": 1}, 44),
+                           ("dsm.diff_ack", {"ack_id": 2}, 40)],
+                "__seq__": 20},
+    "race.sync": {"race_ev": [(1, 4, (17, None), 0, 2, 100, 7)],
+                  "__seq__": 21},
+}
+
+
+def test_every_message_type_has_a_payload_case():
+    """New protocol types must be added to both the registry and this
+    suite — a type on the wire without round-trip coverage is a bug."""
+    assert set(_PAYLOADS) == set(ALL_MESSAGE_TYPES)
+
+
+@pytest.mark.parametrize("msg_type", ALL_MESSAGE_TYPES)
+def test_roundtrip_every_message_type(msg_type):
+    msg = Message(msg_type, src=1, dst=2, payload=dict(_PAYLOADS[msg_type]))
+    roundtrip(msg)
+
+
+@pytest.mark.parametrize("msg_type", [M_DIFF, M_TOKEN, M_LOCK_REQ,
+                                      M_RACE_SYNC, M_FT_REPL, M_LOC_AGG])
+def test_roundtrip_with_piggyback_keys(msg_type):
+    """The cross-subsystem piggyback keys (telemetry span ids, race
+    vector clocks, epoch stamps) must survive the wire verbatim."""
+    payload = dict(_PAYLOADS[msg_type])
+    payload[OBS_SPAN_KEY] = 9_001
+    payload["race"] = (3, {0: 5, 2: 9})
+    payload["__epoch__"] = 2
+    msg = Message(msg_type, src=0, dst=2, payload=payload)
+    decoded = roundtrip(msg)
+    assert decoded.payload[OBS_SPAN_KEY] == 9_001
+    assert decoded.payload["race"] == (3, {0: 5, 2: 9})
+
+
+def test_roundtrip_preserves_container_kinds_and_dict_order():
+    msg = Message("dsm.diff", 0, 1, {
+        "tuple": (1, 2), "list": [1, 2], "set": {1, 2},
+        "frozen": frozenset({3}), "z": 1, "a": 2,
+    })
+    decoded = roundtrip(msg)
+    assert type(decoded.payload["tuple"]) is tuple
+    assert type(decoded.payload["list"]) is list
+    assert type(decoded.payload["set"]) is set
+    assert type(decoded.payload["frozen"]) is frozenset
+    # The protocol iterates payload dicts; insertion order is semantics.
+    assert list(decoded.payload) == list(msg.payload)
+
+
+def test_roundtrip_int_extremes_and_bignums():
+    msg = Message("dsm.console", 0, 1, {
+        "i64min": -(1 << 63), "i64max": (1 << 63) - 1,
+        "big": 1 << 200, "negbig": -(1 << 200), "zero": 0,
+    })
+    roundtrip(msg)
+
+
+def test_peek_route_and_msg_id_without_decoding():
+    msg = Message("dsm.fetch_req", 3, 7, {"gid": 1})
+    frame = encode_frame(msg)
+    assert peek_route(frame) == (3, 7)
+    assert peek_msg_id(frame) == msg.msg_id
+    # Negative node ids (the master's control-plane id) must survive.
+    ctrl = Message("proc.hello", -1, 2, {}, size_bytes=1, msg_id=0)
+    assert peek_route(encode_frame(ctrl)) == (-1, 2)
+
+
+# ---------------------------------------------------------------------------
+# Property-based payload fuzzing
+# ---------------------------------------------------------------------------
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 80), max_value=1 << 80),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=64),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                      st.text(max_size=10),
+                      st.tuples(st.integers(min_value=0, max_value=99),
+                                st.integers(min_value=0, max_value=99))),
+            children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(payload=st.dictionaries(st.text(max_size=12), _values, max_size=6),
+       msg_type=st.sampled_from(ALL_MESSAGE_TYPES),
+       src=st.integers(min_value=-1, max_value=63),
+       dst=st.integers(min_value=-1, max_value=63))
+def test_roundtrip_fuzzed_payloads(payload, msg_type, src, dst):
+    msg = Message(msg_type, src, dst, payload, size_bytes=1)
+    decoded = decode_frame(encode_frame(msg))
+    assert decoded.payload == payload
+    assert (decoded.msg_type, decoded.src, decoded.dst) == \
+        (msg_type, src, dst)
+
+
+@given(data=st.binary(max_size=300))
+def test_arbitrary_bytes_never_crash_the_decoder(data):
+    """Hostile input either decodes or raises WireError — nothing else."""
+    try:
+        decode_frame(data)
+    except WireError:
+        pass
+
+
+@given(cut=st.integers(min_value=0, max_value=200))
+def test_truncated_frames_rejected(cut):
+    msg = Message("dsm.diff", 1, 2, dict(_PAYLOADS["dsm.diff"]))
+    frame = encode_frame(msg)
+    if cut >= len(frame):
+        return
+    with pytest.raises(WireError):
+        decode_frame(frame[:cut])
+
+
+def test_trailing_garbage_rejected():
+    frame = encode_frame(Message("dsm.diff_ack", 1, 2, {"ack_id": 1}))
+    with pytest.raises(WireError, match="trailing"):
+        decode_frame(frame + b"\x00")
+
+
+def test_bad_magic_and_version_rejected():
+    frame = bytearray(encode_frame(Message("dsm.diff_ack", 1, 2, {})))
+    bad_magic = b"XX" + bytes(frame[2:])
+    with pytest.raises(WireError, match="magic"):
+        decode_frame(bad_magic)
+    bad_version = bytes(frame[:2]) + b"\x63" + bytes(frame[3:])
+    with pytest.raises(WireError, match="version"):
+        decode_frame(bad_version)
+
+
+def test_unencodable_payload_raises():
+    class Opaque:
+        pass
+
+    with pytest.raises(WireError, match="cannot encode"):
+        encode_frame(Message("dsm.diff", 0, 1, {"x": Opaque()},
+                             size_bytes=1))
+
+
+# ---------------------------------------------------------------------------
+# Size limits
+# ---------------------------------------------------------------------------
+def test_max_size_frame_roundtrips():
+    """A frame just under the cap encodes, decodes, and reassembles."""
+    blob = b"\xab" * (MAX_FRAME_BYTES - 4096)
+    msg = Message("dsm.fetch_reply", 0, 1, {"data": blob}, size_bytes=1)
+    frame = encode_frame(msg)
+    assert len(frame) <= MAX_FRAME_BYTES
+    assert decode_frame(frame).payload["data"] == blob
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(frame_with_prefix(frame)))
+    assert len(frames) == 1 and frames[0] == frame
+
+
+def test_oversize_frame_rejected_at_encode():
+    blob = b"\xab" * (MAX_FRAME_BYTES + 1)
+    with pytest.raises(WireError, match="too large"):
+        encode_frame(Message("dsm.fetch_reply", 0, 1, {"data": blob},
+                             size_bytes=1))
+
+
+def test_oversize_length_prefix_rejected_by_decoder():
+    decoder = FrameDecoder()
+    poison = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(WireError, match="exceeds cap"):
+        list(decoder.feed(poison))
+
+
+# ---------------------------------------------------------------------------
+# Stream reassembly
+# ---------------------------------------------------------------------------
+@given(chunk=st.integers(min_value=1, max_value=64))
+def test_decoder_reassembles_any_chunking(chunk):
+    msgs = [Message(t, 0, 1, dict(_PAYLOADS[t]))
+            for t in ("dsm.fetch_req", "dsm.diff", "ft.repl")]
+    stream = b"".join(frame_with_prefix(encode_frame(m)) for m in msgs)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i:i + chunk]))
+    assert decoder.pending_bytes == 0
+    assert [decode_frame(f).msg_type for f in out] == \
+        [m.msg_type for m in msgs]
