@@ -17,7 +17,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..check.runner import app_source, parse_locality
+from ..check.runner import app_source, parse_locality, parse_policy
 from ..lang import compile_source
 from ..rewriter import rewrite_application
 from ..runtime import JavaSplitRuntime, RuntimeConfig
@@ -26,10 +26,16 @@ from ..runtime import JavaSplitRuntime, RuntimeConfig
 RESULTS_DIR = Path("benchmarks/results")
 
 #: Locality modes measured by default (off vs everything on) and the
-#: extra single-component modes an ablation run adds.
+#: extra single-component modes an ablation run adds.  ``policy-*``
+#: modes run with the coherence-policy subsystem instead of the
+#: locality subsystem (``policy-all`` = all three policies at once).
 BASE_MODES: Tuple[str, ...] = ("off", "all")
+POLICY_MODES: Tuple[str, ...] = (
+    "off", "policy-update", "policy-migratory", "policy-broadcast",
+    "policy-all")
 ABLATION_MODES: Tuple[str, ...] = (
-    "off", "migration", "prefetch", "aggregation", "all")
+    "off", "migration", "prefetch", "aggregation", "all",
+    "policy-update", "policy-migratory", "policy-broadcast", "policy-all")
 
 #: Apps benched by default (the ``repro check``-scale instances, so a
 #: full bench stays CI-cheap).
@@ -39,7 +45,8 @@ DEFAULT_APPS: Tuple[str, ...] = ("series", "tsp", "raytracer")
 def _measure(rewritten, nodes: int, mode: str,
              include_metrics: bool = False,
              backend: str = "sim") -> Dict[str, Any]:
-    """One simulated run; ``mode`` is a locality spec ('' = off).
+    """One simulated run; ``mode`` is a locality spec ('' = off) or a
+    ``policy-<spec>`` coherence-policy spec.
 
     ``include_metrics`` additionally runs with the telemetry metrics
     registry on and embeds its compact summary.  Off by default so the
@@ -52,10 +59,12 @@ def _measure(rewritten, nodes: int, mode: str,
     are inherently non-deterministic, which is why they only appear on
     the proc backend — sim entries stay byte-comparable).
     """
-    spec = "" if mode == "off" else mode
+    if mode.startswith("policy-"):
+        knobs = parse_policy(mode[len("policy-"):])
+    else:
+        knobs = parse_locality("" if mode == "off" else mode)
     config = RuntimeConfig(num_nodes=nodes, obs_metrics=include_metrics,
-                           transport_backend=backend,
-                           **parse_locality(spec))
+                           transport_backend=backend, **knobs)
     runtime = JavaSplitRuntime(rewritten, config)
     report = runtime.run()
     total = report.total_dsm()
@@ -81,6 +90,8 @@ def _measure(rewritten, nodes: int, mode: str,
             }
     if report.locality is not None:
         out["locality"] = report.locality
+    if report.policy is not None:
+        out["policy"] = report.policy
     if include_metrics and runtime.obs is not None:
         out["metrics"] = runtime.obs.metrics.compact()
     return out
@@ -135,6 +146,65 @@ def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
     doc["apps"] = {app: bench_app(app, nodes, modes, include_metrics,
                                   backend=backend)
                    for app in apps}
+    return doc
+
+
+#: Node count for the dedicated policy bench.  Wider than the default
+#: because push/broadcast policies pay per *extra reader*: with only two
+#: worker peers the per-write push cost roughly cancels the saved
+#: fetches, and the policies look artificially neutral.
+POLICY_BENCH_NODES = 5
+
+
+def _policy_sources() -> Dict[str, str]:
+    """App instances for the dedicated policy bench.  tsp is sized up
+    (9 cities / 4 threads vs the check-scale 7 / 3) so the global bound
+    improves several times *after* the workers hold replicas — the
+    check-scale instance converges so fast that a read-mostly broadcast
+    has nothing left to short-circuit."""
+    from ..apps import tsp
+
+    return {
+        "series": app_source("series"),
+        "tsp": tsp.make_source(n_cities=9, n_threads=4, seed=42),
+        "raytracer": app_source("raytracer"),
+    }
+
+
+def run_policy_bench(nodes: int = POLICY_BENCH_NODES) -> Dict[str, Any]:
+    """Per-policy ablation document (what ``BENCH_7.json`` snapshots):
+    every app across off / each coherence policy alone / all three."""
+    doc: Dict[str, Any] = {
+        "bench": "policy",
+        "schema": 1,
+        "nodes": nodes,
+        "modes": list(POLICY_MODES),
+        "app_instances": {
+            "series": "check-scale",
+            "tsp": "n_cities=9 n_threads=4 seed=42",
+            "raytracer": "check-scale",
+        },
+        "apps": {},
+    }
+    for app, src in _policy_sources().items():
+        rewritten = rewrite_application(compile_source(src))
+        runs = {mode: _measure(rewritten, nodes, mode)
+                for mode in POLICY_MODES}
+        off = runs["off"]
+        entry: Dict[str, Any] = {"runs": runs}
+        entry["result_matches"] = all(
+            r["result"] == off["result"] for r in runs.values())
+        entry["delta_vs_off"] = {
+            mode: {
+                "messages": runs[mode]["messages"] - off["messages"],
+                "bytes": runs[mode]["bytes"] - off["bytes"],
+                "messages_pct": _pct(off["messages"],
+                                     runs[mode]["messages"]),
+                "bytes_pct": _pct(off["bytes"], runs[mode]["bytes"]),
+            }
+            for mode in POLICY_MODES if mode != "off"
+        }
+        doc["apps"][app] = entry
     return doc
 
 

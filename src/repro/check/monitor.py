@@ -49,7 +49,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 from ..dsm.objectstate import ObjState
 from ..dsm.directory import home_of
 from ..dsm.protocol import M_DIFF, M_FT_REDIFF, SCALAR, DsmEngine
-from ..net.message import M_LOC_FWD_DIFF, Message
+from ..net.message import M_LOC_FWD_DIFF, M_POL_BCAST, M_POL_PUSH, Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.javasplit import JavaSplitRuntime
@@ -405,6 +405,32 @@ class InvariantMonitor:
                             f"below required {required}")
 
         self._replace_handler(dsm, M_FETCH_REPLY, checked_on_fetch_reply)
+
+        # --- policy: a push/broadcast install never moves a replica
+        # backwards and never touches a master -------------------------
+        def checked_on_pol_push(msg: Message, _inner=None):
+            gid = msg.payload["gid"]
+            obj = dsm.cache.get(gid)
+            was_home = (obj is not None and obj.header is not None
+                        and obj.header.state == ObjState.HOME)
+            before = self._version_of(dsm, gid, None)
+            _inner(msg)
+            after = self._version_of(dsm, gid, None)
+            if before is not None and after is not None and after < before:
+                self.report(node, "version-monotonic",
+                            f"push moved replica gid {gid:#x} backwards "
+                            f"{before} -> {after}")
+            if was_home and after != before:
+                self.report(node, "single-home",
+                            f"push overwrote the master of gid {gid:#x}")
+
+        for mtype in (M_POL_PUSH, M_POL_BCAST):
+            pol_inner = dsm.transport._handlers.get(mtype)
+            if pol_inner is not None:
+                self._replace_handler(
+                    dsm, mtype,
+                    lambda msg, _inner=pol_inner:
+                    checked_on_pol_push(msg, _inner=_inner))
 
         # --- bounded notice storage ----------------------------------
         table = dsm.notice_table

@@ -38,7 +38,8 @@ from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 from ..dsm.objectstate import ObjState
 from ..dsm.protocol import M_DIFF, M_FETCH_REPLY, DsmEngine
 from ..jvm.heap import ArrayObj, Obj
-from ..net.message import M_LOC_BULK_REPLY, M_LOC_FWD_DIFF, Message
+from ..net.message import (M_LOC_BULK_REPLY, M_LOC_FWD_DIFF, M_POL_BCAST,
+                           M_POL_PUSH, Message)
 from .monitor import Violation
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -268,6 +269,49 @@ class SingleCopyOracle:
 
             dsm.transport._handlers[M_LOC_BULK_REPLY] = \
                 checking_on_bulk_reply
+
+        # --- policy: a push/broadcast publishes its version at the
+        # home and must install golden state at the receiver ------------
+        if dsm.policy is not None:
+            publish_unit = dsm.policy.publish_unit
+
+            def recording_publish_unit(gid, _inner=publish_unit):
+                unit = _inner(gid)
+                if unit is not None:
+                    obj = dsm.cache.get(gid)
+                    self._record(gid, unit["version"], normalize_slots(
+                        self._unit_slots(dsm, obj, None)))
+                return unit
+
+            dsm.policy.publish_unit = recording_publish_unit
+
+            def checking_on_pol_push(msg: Message, _inner=None):
+                # The agent's install counters disambiguate a guarded
+                # skip (stale push, dirty replica, fetch in flight)
+                # from an actual install.
+                before = (dsm.stats.pol_push_installs
+                          + dsm.stats.pol_bcast_installs)
+                _inner(msg)
+                after = (dsm.stats.pol_push_installs
+                         + dsm.stats.pol_bcast_installs)
+                if after == before:
+                    return  # push rejected by the install guards
+                gid = msg.payload["gid"]
+                obj = dsm.cache.get(gid)
+                if obj is None:  # pragma: no cover - just installed
+                    return
+                self._tainted.discard((node, gid))
+                got = normalize_slots(self._unit_slots(dsm, obj, None))
+                self._check(node, gid, msg.payload["version"], got,
+                            "push install")
+                self.checked_installs += 1
+
+            for mtype in (M_POL_PUSH, M_POL_BCAST):
+                inner = dsm.transport._handlers.get(mtype)
+                if inner is not None:
+                    dsm.transport._handlers[mtype] = (
+                        lambda msg, _inner=inner:
+                        checking_on_pol_push(msg, _inner=_inner))
 
         # --- cache: a flushed local write taints the replica ----------
         transport_send = dsm.transport.send

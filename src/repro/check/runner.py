@@ -93,6 +93,7 @@ class CheckReport:
     nodes: int
     kill: Optional[str] = None
     locality: str = ""
+    policy: str = ""
     race: bool = False
     obs: bool = False
     backend: str = "sim"
@@ -124,6 +125,7 @@ class CheckReport:
             f"faults={self.faults or 'none'}"
             + (f" kill={self.kill}" if self.kill else "")
             + (f" locality={self.locality}" if self.locality else "")
+            + (f" policy={self.policy}" if self.policy else "")
             + (" race=on" if self.race else "")
             + (" obs=on" if self.obs else "")
             + (f" backend={self.backend}" if self.backend != "sim" else ""),
@@ -200,6 +202,33 @@ def parse_locality(spec: str) -> Dict[str, bool]:
     return {f"locality_{c}": v for c, v in knobs.items()}
 
 
+#: Component names accepted by a ``--policy`` spec.
+POLICY_COMPONENTS = ("update", "migratory", "broadcast")
+
+
+def parse_policy(spec: str) -> Dict[str, bool]:
+    """Resolve a ``--policy`` spec to RuntimeConfig knob values.
+
+    The spec is a comma-separated subset of update/migratory/broadcast;
+    ``all`` switches on every policy; ``""`` leaves the subsystem off
+    entirely (no agent attached)."""
+    knobs = {c: False for c in POLICY_COMPONENTS}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "all":
+            for c in POLICY_COMPONENTS:
+                knobs[c] = True
+        elif part in knobs:
+            knobs[part] = True
+        else:
+            raise ValueError(
+                f"unknown coherence policy {part!r} (choose from "
+                f"{', '.join(POLICY_COMPONENTS)} or 'all')")
+    return {f"policy_{c}": v for c, v in knobs.items()}
+
+
 def app_source(app: str) -> str:
     """MiniJava source of one named benchmark at checking scale."""
     try:
@@ -251,6 +280,7 @@ def run_check(
     strict: bool = False,
     kill: Optional[str] = None,
     locality: str = "",
+    policy: str = "",
     race: bool = False,
     obs: bool = False,
     backend: str = "sim",
@@ -274,6 +304,12 @@ def run_check(
     aggregation, or ``all``) runs every seed with those adaptive-
     locality components switched on, putting the migration handoff,
     bulk-fetch, and aggregation paths under the same oracle.
+
+    ``policy`` (comma-separated subset of update/migratory/broadcast,
+    or ``all``) runs every seed with those adaptive coherence policies
+    switched on, putting the classifier, the write-update push and
+    read-mostly broadcast installs, and the migratory ownership
+    handoffs under the same oracle and monitor.
 
     ``race`` runs every seed with the data-race detector on.  The
     benchmark apps are well-synchronized (tsp's deliberately-racy
@@ -310,6 +346,7 @@ def run_check(
         raise ValueError("--race requires the scalar timestamp mode "
                          "(the only mode the race detector supports)")
     locality_knobs = parse_locality(locality)
+    policy_knobs = parse_policy(policy)
     source = app_source(app)
     classfiles = compile_source(source)
     reference = run_original(classfiles=classfiles)
@@ -317,8 +354,8 @@ def run_check(
     rewritten = rewrite_application(classfiles)
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
-                         locality=locality, race=race, obs=obs,
-                         backend=backend,
+                         locality=locality, policy=policy, race=race,
+                         obs=obs, backend=backend,
                          reference_result=reference.result)
     for seed in range(seeds):
         plan = FaultPlan.from_spec(faults, seed=seed, rate=fault_rate) \
@@ -339,6 +376,7 @@ def run_check(
             obs_profile=obs,
             transport_backend=backend,
             **locality_knobs,
+            **policy_knobs,
             dsm=DsmConfig(
                 timestamp_mode=timestamp_mode,
                 array_region_elems=region_elems,

@@ -37,6 +37,7 @@ Examples::
     python -m repro check --app series --seeds 25 --faults drop,reorder,dup
     python -m repro check --app tsp --seeds 10 --kill 2@5ms
     python -m repro check --app tsp --kill random --locality migration
+    python -m repro check --app series --seeds 25 --policy update
     python -m repro check --app raytracer --seeds 25 --race
     python -m repro check --app series --seeds 10 --obs
     python -m repro race examples/racy_counter.mj --seeds 8
@@ -85,6 +86,13 @@ def _add_locality_arg(p: argparse.ArgumentParser) -> None:
                         "or 'all' (default: off)")
 
 
+def _add_policy_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--policy", default="", metavar="POLICIES",
+                   help="adaptive coherence policies to enable: "
+                        "comma-separated update,migratory,broadcast "
+                        "or 'all' (default: off — plain invalidate)")
+
+
 def _add_coherency_args(p: argparse.ArgumentParser) -> None:
     """DSM coherency-shape flags, shared by run/trace/check."""
     p.add_argument("--region-elems", type=int, default=None,
@@ -107,6 +115,7 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    help="enable redundant access-check elimination (§6.2)")
     _add_coherency_args(p)
     _add_locality_arg(p)
+    _add_policy_arg(p)
     _add_backend_args(p)
 
 
@@ -119,7 +128,7 @@ def _backend_kwargs(args) -> dict:
 
 
 def _config(args) -> RuntimeConfig:
-    from .check.runner import parse_locality
+    from .check.runner import parse_locality, parse_policy
 
     return RuntimeConfig(
         num_nodes=args.nodes,
@@ -132,6 +141,7 @@ def _config(args) -> RuntimeConfig:
             array_region_elems=args.region_elems,
         ),
         **parse_locality(args.locality),
+        **parse_policy(getattr(args, "policy", "")),
         **_backend_kwargs(args),
     )
 
@@ -167,6 +177,17 @@ def _report(report, show_traffic: bool = True) -> None:
               f"({loc['prefetch_hits']} hits), "
               f"{loc['agg_subframes']} msgs in {loc['agg_frames']} "
               f"aggregate frames")
+    if report.policy is not None:
+        pol = report.policy
+        by = ", ".join(f"{name}={n}"
+                       for name, n in sorted(pol["by_policy"].items()))
+        print(f"policy            : {pol['active_units']} units adapted "
+              f"({by or 'none'}), "
+              f"{pol['promotions']} promotions, "
+              f"{pol['pushes']} pushes ({pol['push_installs']} installed), "
+              f"{pol['broadcasts']} broadcasts "
+              f"({pol['broadcast_installs']} installed), "
+              f"{pol['grants']} ownership grants")
     if report.race is not None:
         r = report.race
         print(f"race detector     : {r['races']} reports "
@@ -236,6 +257,7 @@ def cmd_check(args) -> int:
             strict=args.strict,
             kill=args.kill,
             locality=args.locality,
+            policy=args.policy,
             race=args.race,
             obs=args.obs,
             backend=args.backend,
@@ -254,11 +276,36 @@ def cmd_bench(args) -> int:
     from pathlib import Path
 
     from .bench import (DEFAULT_APPS, run_backend_bench, run_bench,
-                        write_results)
+                        run_policy_bench, write_results)
 
     apps = args.apps or list(DEFAULT_APPS)
+    nodes = args.nodes if args.nodes is not None else 3
+    if args.policy_bench:
+        # The policy bench defaults to its own wider cluster; an
+        # explicit --nodes still overrides it.
+        doc = run_policy_bench(
+            nodes=args.nodes) if args.nodes is not None \
+            else run_policy_bench()
+        if args.json:
+            out_dir = Path(args.out) if args.out else Path(
+                "benchmarks/results")
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / "bench_policy.json"
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {path}")
+        for app, entry in doc["apps"].items():
+            off = entry["runs"]["off"]
+            for mode, delta in entry["delta_vs_off"].items():
+                print(f"{app:10s} {mode:18s} "
+                      f"{delta['messages']:+5d} msgs "
+                      f"({delta['messages_pct']}%), "
+                      f"{delta['bytes']:+7d} B ({delta['bytes_pct']}%)"
+                      + ("" if entry["result_matches"]
+                         else "  RESULT DIVERGES"))
+        return 0 if all(e["result_matches"]
+                        for e in doc["apps"].values()) else 1
     if args.compare_backends:
-        doc = run_backend_bench(apps=apps, nodes=args.nodes)
+        doc = run_backend_bench(apps=apps, nodes=nodes)
         if args.json:
             out_dir = Path(args.out) if args.out else Path(
                 "benchmarks/results")
@@ -275,7 +322,7 @@ def cmd_bench(args) -> int:
                   f"{proc['wire']['bytes']:7d} B on wire"
                   + ("" if entry["identical"] else "  DIVERGES"))
         return 0 if all(e["identical"] for e in doc["apps"].values()) else 1
-    doc = run_bench(apps=apps, nodes=args.nodes, ablation=args.ablation,
+    doc = run_bench(apps=apps, nodes=nodes, ablation=args.ablation,
                     include_metrics=args.metrics, backend=args.backend)
     if args.json:
         out_dir = Path(args.out) if args.out else None
@@ -520,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--nodes", type=int, default=3)
     _add_coherency_args(p_chk)
     _add_locality_arg(p_chk)
+    _add_policy_arg(p_chk)
     _add_backend_args(p_chk)
     p_chk.add_argument("--strict", action="store_true",
                        help="raise on the first violation instead of "
@@ -562,9 +610,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--app", action="append", dest="apps",
                          choices=("series", "tsp", "raytracer"),
                          help="app to bench (repeatable; default: all)")
-    p_bench.add_argument("--nodes", type=int, default=3)
+    p_bench.add_argument("--nodes", type=int, default=None,
+                         help="cluster size (default: 3; the dedicated "
+                              "--policy-bench defaults to 5)")
     p_bench.add_argument("--ablation", action="store_true",
-                         help="also bench each locality component alone")
+                         help="also bench each locality component and "
+                              "each coherence policy alone")
+    p_bench.add_argument("--policy-bench", action="store_true",
+                         help="dedicated per-policy ablation on a wider "
+                              "cluster (what BENCH_7.json snapshots; "
+                              "--json writes bench_policy.json)")
     p_bench.add_argument("--json", action="store_true",
                          help="write JSON files under --out")
     p_bench.add_argument("--out", default=None, metavar="DIR",

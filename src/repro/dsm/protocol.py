@@ -134,6 +134,15 @@ class DsmStats:
     prefetch_hits: int = 0      # demand fetches satisfied by a prefetch
     agg_frames: int = 0         # aggregate frames sent
     agg_subframes: int = 0      # logical messages carried inside them
+    # ----- adaptive coherence policies (src/repro/policy) -------------
+    pol_promotions: int = 0     # units promoted to a policy (home side)
+    pol_demotions: int = 0      # units demoted back to invalidate
+    pol_pushes: int = 0         # write-update unit copies pushed
+    pol_push_installs: int = 0  # pushed copies installed by a reader
+    pol_bcasts: int = 0         # read-mostly broadcast copies sent
+    pol_bcast_installs: int = 0  # broadcast copies installed
+    pol_grants: int = 0         # migratory ownership grants sent
+    pol_grant_installs: int = 0  # migratory grants installed
 
 
 @dataclass
@@ -230,6 +239,14 @@ class DsmEngine:
         # happens-before edges (lock grant/release, spawn, promote) and
         # interval boundaries; access events come from the interpreter.
         self.race: Optional[Any] = None
+        # ------------------------------------------------------------------
+        # Adaptive coherence policies (src/repro/policy).  Inert unless
+        # a PolicyAgent is attached as ``self.policy``: the hooks below
+        # feed its sharing-pattern classifier (fetch serves, diff
+        # applies, home advances) and carry its per-unit protocol
+        # actions (update pushes, read-mostly broadcasts, migratory
+        # grants riding diff acks and lock tokens).
+        self.policy: Optional[Any] = None
         # ------------------------------------------------------------------
         # Telemetry (src/repro/obs).  Inert unless an ObsAgent is
         # attached as ``self.obs``: the hooks below mark transaction
@@ -842,6 +859,10 @@ class DsmEngine:
                     self.notice_table.add(Notice(key, version))
             if advanced and self.ft is not None:
                 self.ft.on_home_advance(advanced)
+            if advanced and self.policy is not None:
+                # Promoted units the home itself wrote: push fresh
+                # copies (write-update) or broadcast (read-mostly).
+                self.policy.on_home_advance(advanced)
         for home, entries in by_home.items():
             ack_id = self._next_ack_id
             self._next_ack_id += 1
@@ -922,6 +943,13 @@ class DsmEngine:
             grants = self.locality.consider_migration(msg)
             if grants:
                 ack_payload["migrate"] = grants
+        if self.policy is not None:
+            # Classifier feed + write-time policy actions; migratory
+            # bootstrap grants ride the same fenced M_DIFF_ACK field as
+            # locality migration grants (install_grants applies both).
+            pol_grants = self.policy.on_diff_applied(msg)
+            if pol_grants:
+                ack_payload.setdefault("migrate", []).extend(pol_grants)
         delay = self.cost_model[cm.PROTO_HANDLER_NS]
         if self.obs is not None:
             now = self.engine.now
@@ -1033,7 +1061,10 @@ class DsmEngine:
                 return
         # A forwarded request names the original requester; a direct one
         # is answered to its sender.
-        self._serve_fetch(msg.payload.get("requester", msg.src), obj, region)
+        requester = msg.payload.get("requester", msg.src)
+        if self.policy is not None:
+            self.policy.on_fetch_served(requester, gid, region, obj)
+        self._serve_fetch(requester, obj, region)
 
     def _retry_deferred_fetches(self, key: Any) -> None:
         queue = self._deferred_fetch.get(key)
@@ -1446,6 +1477,11 @@ class DsmEngine:
             size += 8 + estimate_size(vc)
         if self.obs is not None:
             size += self.obs.on_token_send(token.gid, req, payload)
+        if self.policy is not None:
+            # Migratory policy: the unit's master may travel with the
+            # token (``pol_grant`` field); the grant's bytes are billed
+            # onto the token frame.
+            size += self.policy.on_token_send(token.gid, req, payload)
         st.token = None
         st.transit = False
         st.pending_grant = None
@@ -1479,6 +1515,11 @@ class DsmEngine:
             self.race.install_lock_vc(gid, p.get("race"))
         st.token = token
         st.last_sent_to = None
+        if self.policy is not None:
+            # Install a token-borne migratory master FIRST: the fresh
+            # master makes the delta's own notice for the unit a no-op
+            # and the owner update below resolves locally.
+            self.policy.on_token_arrive(p)
         # Acquire-side of the sync point: invalidate per the notice delta.
         notices = [Notice(g, v, w) for g, v, w in p["delta"]]
         self._apply_notices(notices)

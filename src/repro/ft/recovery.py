@@ -233,6 +233,14 @@ class RecoveryOrchestrator:
         for w in live:
             w.dsm.ft_set_token_freeze(False)
 
+        policy = getattr(runtime, "policy", None)
+        if policy is not None:
+            # Every classification was built partly from the dead node's
+            # accesses and a promoted unit's reader set may name it:
+            # wipe all policy state back to plain invalidation (degraded
+            # mode) and re-learn from live traffic.
+            policy.on_recovery(dead)
+
         race = getattr(runtime, "race", None)
         if race is not None:
             # Lock clocks and buffered access events on the dead node are

@@ -10,11 +10,17 @@ diff round-trips to a home that is not using the data.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 #: Event kinds recorded in a unit's window.
 FETCH = "fetch"
 DIFF = "diff"
+
+#: Sharing patterns recognized by :meth:`AccessProfiler.classify`.
+READ_MOSTLY = "read_mostly"
+PRODUCER_CONSUMER = "producer_consumer"
+MIGRATORY = "migratory"
+MULTI_WRITER = "multi_writer"
 
 
 class AccessProfiler:
@@ -60,6 +66,60 @@ class AccessProfiler:
                 return False
             mine += 1
         return mine >= threshold
+
+    def classify(self, gid: int, threshold: int) -> Optional[str]:
+        """Sharing pattern of a unit's current window, or None.
+
+        The same home-side signal the migration policy reads is enough
+        to tell the textbook sharing patterns apart:
+
+        ``read_mostly``
+            Fetched by several distinct readers at least ``threshold``
+            times, with at most one write in the window.
+        ``producer_consumer``
+            Exactly one writer producing at least ``threshold`` diffs
+            while at least one *other* node keeps re-fetching the unit.
+        ``migratory``
+            Two or more writers taking strict turns — no node diffs
+            twice in a row — and nobody reads without also writing
+            (access travels with the lock, the token-piggyback case).
+        ``multi_writer``
+            Two or more concurrent writers in any other interleaving:
+            the pattern invalidation-based multiple-writer HLRC is
+            already the right protocol for.
+
+        Classification is raw per-window detection; hysteresis and
+        promotion/demotion live in the policy manager, which calls this
+        every time the window advances."""
+        win = self._events.get(gid)
+        if not win:
+            return None
+        writers = set()
+        readers = set()
+        diffs = fetches = 0
+        alternating = True
+        last_writer: Optional[int] = None
+        for kind, node in win:
+            if kind == DIFF:
+                diffs += 1
+                writers.add(node)
+                if node == last_writer:
+                    alternating = False
+                last_writer = node
+            else:
+                fetches += 1
+                readers.add(node)
+        if diffs <= 1 and fetches >= threshold and len(readers) >= 2:
+            return READ_MOSTLY
+        if diffs < threshold:
+            return None
+        if len(writers) == 1 and readers - writers:
+            return PRODUCER_CONSUMER
+        if len(writers) >= 2:
+            if alternating and readers <= writers:
+                return MIGRATORY
+            return MULTI_WRITER
+        return None
 
     def reset(self, gid: int) -> None:
         """Forget a unit's history (called after it migrates away)."""

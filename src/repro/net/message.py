@@ -59,6 +59,16 @@ M_LOC_BULK_FETCH = "loc.bulk_fetch"     # prefetcher: batched fetch request
 M_LOC_BULK_REPLY = "loc.bulk_reply"     # prefetcher: batched unit reply
 M_LOC_AGG = "loc.agg"                   # aggregator: coalesced frame
 
+# Adaptive coherence policies (``repro.policy``): per-unit protocol
+# switching driven by the locality profiler's sharing-pattern
+# classifier.  The push carries a fresh full copy of one unit from its
+# home to a stable reader (write-update policy); the broadcast is the
+# same copy fanned out to every live node (read-mostly policy).  The
+# migratory policy adds no type of its own — its ownership grant rides
+# the existing lock token (``pol_grant`` payload field on M_TOKEN).
+M_POL_PUSH = "pol.push"
+M_POL_BCAST = "pol.bcast"
+
 # Race-detection subsystem (``repro.race``): standalone access-event
 # batch shipped to a unit's home at a release point when no diff to that
 # home could carry it as a piggyback.
@@ -81,6 +91,7 @@ ALL_MESSAGE_TYPES = (
     M_FT_REDIFF_ACK,
     M_LOC_HOME_UPDATE, M_LOC_FWD_DIFF, M_LOC_FWD_DIFF_ACK,
     M_LOC_BULK_FETCH, M_LOC_BULK_REPLY, M_LOC_AGG,
+    M_POL_PUSH, M_POL_BCAST,
     M_RACE_SYNC,
 )
 

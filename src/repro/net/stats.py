@@ -96,7 +96,8 @@ class NetStats:
     def subsystem_overhead(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
         """Opt-in subsystem traffic grouped by purpose, for benchmark
         tables: the ``ft.*`` (heartbeat / replication / recovery),
-        ``loc.*`` (migration / prefetch / aggregation) and ``race.*``
+        ``loc.*`` (migration / prefetch / aggregation), ``pol.*``
+        (write-update pushes / read-mostly broadcasts) and ``race.*``
         (event sync) message families."""
         return {
             "ft": self._grouped({
@@ -108,6 +109,10 @@ class NetStats:
                 "migration": ("loc.home_update", "loc.fwd_diff"),
                 "prefetch": ("loc.bulk_fetch", "loc.bulk_reply"),
                 "aggregation": ("loc.agg",),
+            }),
+            "policy": self._grouped({
+                "push": ("pol.push",),
+                "broadcast": ("pol.bcast",),
             }),
             "race": self._grouped({
                 "sync": ("race.sync",),

@@ -1,0 +1,40 @@
+"""Adaptive per-unit coherence policies (the ``policy_*`` knobs).
+
+The MTS-HLRC protocol treats every coherency unit the same way:
+invalidate on acquire, fetch on demand, merge diffs at the home.  That
+is the right default for arbitrary sharing, but the classic sharing
+patterns each have a cheaper protocol:
+
+write-update
+    A producer-consumer unit (one writer, stable readers) is pushed
+    eagerly from its home to the reader set on every write, so the
+    readers' invalidations become no-ops and their re-fetches vanish.
+migratory single-writer
+    A lock-protected unit whose writers take strict turns travels WITH
+    the lock token: the holder masters the unit locally, so its writes
+    take the home fast path (no twin, no diff, no fetch).
+read-mostly broadcast
+    A unit read everywhere and written rarely is broadcast to every
+    live node on the rare write; reads stay free everywhere.
+
+:class:`PolicyManager` classifies each unit's pattern online (from the
+same home-side fetch/diff signal the locality profiler reads) and
+switches the protocol per unit at runtime, falling back to plain
+invalidation the moment a pattern breaks.
+"""
+
+from .manager import (
+    POLICY_BROADCAST,
+    POLICY_MIGRATORY,
+    POLICY_UPDATE,
+    PolicyAgent,
+    PolicyManager,
+)
+
+__all__ = [
+    "POLICY_BROADCAST",
+    "POLICY_MIGRATORY",
+    "POLICY_UPDATE",
+    "PolicyAgent",
+    "PolicyManager",
+]

@@ -91,6 +91,37 @@ class RuntimeConfig:
     locality_migration_threshold: int = 3
     # Max units batched into one bulk-fetch on acquire.
     locality_prefetch_depth: int = 8
+    # ----- adaptive coherence policies (src/repro/policy) --------------
+    # Classify each coherency unit's sharing pattern online (from the
+    # same home-side fetch/diff signal the locality profiler sees) and
+    # switch its coherence protocol per unit at runtime.  Each policy is
+    # an independent knob; all default off — with every knob off no
+    # agent is attached and runs are byte-identical to a build without
+    # the subsystem.
+    #
+    # write-update: the home of a producer-consumer unit pushes fresh
+    # copies eagerly to its stable reader set, so the readers' write
+    # notices become no-ops instead of forcing re-fetches.
+    policy_update: bool = False
+    # migratory single-writer: ownership of a lock-protected unit
+    # travels with the lock token, so the current holder writes its own
+    # master (no twin, no diff, no fetch — the §4.4 fast path applies).
+    policy_migratory: bool = False
+    # read-mostly broadcast: a version-stamped full copy of a unit that
+    # is read everywhere and written rarely is broadcast on the rare
+    # write; reads stay free everywhere.
+    policy_broadcast: bool = False
+    # Sliding-window length for the policy classifier (events per unit).
+    policy_window: int = 12
+    # Events of the defining kind within the window before a pattern is
+    # recognized (diffs for producer-consumer/migratory, fetches for
+    # read-mostly).  2 promotes early enough to pay off on check-scale
+    # app instances; raise it on long-running workloads where a
+    # mis-promotion is more expensive than a slow start.
+    policy_threshold: int = 2
+    # Consecutive identical classifications before a unit is promoted
+    # to a policy (demotion back to invalidate is immediate).
+    policy_hysteresis: int = 2
     # ----- data-race detection (src/repro/race) ------------------------
     # Online distributed detector over the access checks: vector-clock
     # happens-before with FastTrack-style epoch compression, plus an
@@ -140,6 +171,12 @@ class RuntimeConfig:
         """True when any adaptive-locality component is switched on."""
         return (self.locality_migration or self.locality_prefetch
                 or self.locality_aggregation)
+
+    @property
+    def policy_enabled(self) -> bool:
+        """True when any adaptive coherence policy is switched on."""
+        return (self.policy_update or self.policy_migratory
+                or self.policy_broadcast)
 
     def brand_of(self, node_id: int) -> str:
         """JVM brand name for one node (single- or per-node list)."""
@@ -217,6 +254,18 @@ class RuntimeConfig:
                     "locality_migration_threshold must be >= 1")
             if self.locality_prefetch_depth < 1:
                 raise ValueError("locality_prefetch_depth must be >= 1")
+        if self.policy_enabled:
+            if self.dsm.timestamp_mode != "scalar":
+                raise ValueError(
+                    "policy_* knobs support only the scalar (MTS-HLRC) "
+                    "timestamp mode"
+                )
+            if self.policy_window < 1:
+                raise ValueError("policy_window must be >= 1")
+            if self.policy_threshold < 1:
+                raise ValueError("policy_threshold must be >= 1")
+            if self.policy_hysteresis < 1:
+                raise ValueError("policy_hysteresis must be >= 1")
         if self.race_detect:
             if self.dsm.timestamp_mode != "scalar":
                 raise ValueError(

@@ -64,6 +64,10 @@ class RunReport:
     # Adaptive-locality summary (None unless a locality_* knob is on):
     # migrated units, forwarded diffs, prefetch and aggregation counts.
     locality: Optional[Dict[str, Any]] = None
+    # Adaptive-coherence summary (None unless a policy_* knob is on):
+    # per-policy unit counts, promotions/demotions, push/broadcast/grant
+    # traffic and install counts.
+    policy: Optional[Dict[str, Any]] = None
     # Race-detector summary (None unless RuntimeConfig.race_detect):
     # mode, reports (with both access sites each), suppressed count,
     # event/promotion statistics.
@@ -172,6 +176,14 @@ class JavaSplitRuntime:
             from ..locality import LocalityManager
             self.locality = LocalityManager(self)
             self.locality.attach()
+        # Policies attach after locality: they reuse its substrate
+        # (directory redirects, grant installs), creating a knobs-off
+        # LocalityManager themselves when none is configured.
+        self.policy = None
+        if self.config.policy_enabled:
+            from ..policy import PolicyManager
+            self.policy = PolicyManager(self)
+            self.policy.attach()
         self.race = None
         if self.config.race_enabled:
             from ..race import RaceManager
@@ -256,6 +268,8 @@ class JavaSplitRuntime:
             self.ft.on_worker_added(worker)
         if self.locality is not None:
             self.locality.on_worker_added(worker)
+        if self.policy is not None:
+            self.policy.on_worker_added(worker)
         if self.race is not None:
             self.race.on_worker_added(worker)
         if self.obs is not None:
@@ -335,6 +349,7 @@ class JavaSplitRuntime:
             ft=None if self.ft is None else self.ft.report(),
             locality=(None if self.locality is None
                       else self.locality.report()),
+            policy=None if self.policy is None else self.policy.report(),
             race=None if self.race is None else self.race.report(),
             obs=None if self.obs is None else self.obs.report(),
             backend=self.config.transport_backend,

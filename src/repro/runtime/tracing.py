@@ -73,6 +73,11 @@ class DsmTracer:
                 agent.event_sink = (
                     lambda node, kind, detail:
                     tracer.record(engine.now, node, kind, detail))
+        if runtime.policy is not None:
+            for agent in runtime.policy.agents.values():
+                agent.event_sink = (
+                    lambda node, kind, detail:
+                    tracer.record(engine.now, node, kind, detail))
         if runtime.race is not None:
             for agent in runtime.race.agents.values():
                 agent.event_sink = (
@@ -141,7 +146,8 @@ class DsmTracer:
     def summary(self) -> Dict[str, int]:
         """Event counts by kind, sorted by kind name — the one-line
         answer to "what did the protocol (and the ``locality.*`` /
-        ``race.*`` subsystem events) actually do in this run?".  When
+        ``policy.*`` / ``race.*`` subsystem events) actually do in this
+        run?".  When
         the max-events cap dropped events, a ``truncated_dropped`` entry
         carries the drop count so a truncated trace cannot be mistaken
         for a quiet run."""

@@ -75,8 +75,12 @@ _PAYLOADS = {
     "loc.agg": {"frames": [("dsm.diff", {"entries": [], "ack_id": 1}, 44),
                            ("dsm.diff_ack", {"ack_id": 2}, 40)],
                 "__seq__": 20},
+    "pol.push": {"gid": 17, "class_name": "Worker", "version": 4,
+                 "data": b"unit", "__seq__": 21},
+    "pol.bcast": {"gid": 17, "class_name": "Worker", "version": 4,
+                  "data": b"unit", "__seq__": 22},
     "race.sync": {"race_ev": [(1, 4, (17, None), 0, 2, 100, 7)],
-                  "__seq__": 21},
+                  "__seq__": 23},
 }
 
 
