@@ -97,6 +97,20 @@ def _measure(rewritten, nodes: int, mode: str,
     return out
 
 
+def _cluster_meta(nodes: int, backend: str = "sim") -> Dict[str, Any]:
+    """Cluster-shape metadata embedded in every bench document, so a
+    number can never be read without knowing what cluster produced it.
+    The bench always runs the RuntimeConfig default shape: homogeneous
+    sun-brand nodes, two CPUs each."""
+    config = RuntimeConfig(num_nodes=nodes)
+    return {
+        "nodes": nodes,
+        "brands": [config.brand_of(i) for i in range(nodes)],
+        "cpus_per_node": config.cpus_per_node,
+        "backend": backend,
+    }
+
+
 def _pct(off: float, on: float) -> Optional[float]:
     """Signed percentage change on→off baseline (negative = reduction)."""
     if not off:
@@ -139,6 +153,7 @@ def run_bench(apps: Iterable[str] = DEFAULT_APPS, nodes: int = 3,
         "bench": "locality",
         "schema": 1,
         "nodes": nodes,
+        "cluster": _cluster_meta(nodes, backend),
         "modes": list(modes),
     }
     if backend != "sim":
@@ -178,6 +193,7 @@ def run_policy_bench(nodes: int = POLICY_BENCH_NODES) -> Dict[str, Any]:
         "bench": "policy",
         "schema": 1,
         "nodes": nodes,
+        "cluster": _cluster_meta(nodes),
         "modes": list(POLICY_MODES),
         "app_instances": {
             "series": "check-scale",
@@ -219,6 +235,8 @@ def run_backend_bench(apps: Iterable[str] = DEFAULT_APPS,
         "bench": "backends",
         "schema": 1,
         "nodes": nodes,
+        # One document covers a run per backend, hence "sim+proc".
+        "cluster": _cluster_meta(nodes, backend="sim+proc"),
         "apps": {},
     }
     for app in apps:

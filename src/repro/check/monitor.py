@@ -107,7 +107,13 @@ class InvariantMonitor:
         for worker in runtime.workers:
             monitor._wrap(worker.dsm)
             monitor._workers.append(worker)
+        # Instrument late joiners too (same invariants apply to them).
+        runtime.worker_added_hooks.append(monitor._on_worker_added)
         return monitor
+
+    def _on_worker_added(self, worker: Any) -> None:
+        self._wrap(worker.dsm)
+        self._workers.append(worker)
 
     # ------------------------------------------------------------------
     def report(self, node: int, kind: str, detail: str) -> None:

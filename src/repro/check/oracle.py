@@ -88,7 +88,15 @@ class SingleCopyOracle:
         for worker in runtime.workers:
             oracle._wrap(worker.dsm)
             oracle._workers.append(worker)
+        # Workers that join mid-run publish versions too; without
+        # wrapping them their diffs would look "never published" to
+        # every prefetch/install check on the original nodes.
+        runtime.worker_added_hooks.append(oracle._on_worker_added)
         return oracle
+
+    def _on_worker_added(self, worker: Any) -> None:
+        self._wrap(worker.dsm)
+        self._workers.append(worker)
 
     # ------------------------------------------------------------------
     def report(self, node: int, kind: str, detail: str) -> None:

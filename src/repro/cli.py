@@ -17,6 +17,10 @@ race      sweep seeded schedules of one program under the race
 bench     run the built-in apps with the adaptive-locality subsystem
           off/on and report the numbers (``--json`` writes them under
           benchmarks/results/)
+serve     run a serving-workload churn scenario (open-loop load,
+          mid-run joins, random kills, mixed brands, multi-tenant)
+          under the consistency oracle and report per-phase
+          throughput + p50/p99/p999 request latency
 profile   run with the full telemetry subsystem on: stall-attribution
           report on stdout, plus optional Chrome/Perfetto trace-event
           JSON (``--trace``) and speedscope collapsed stacks
@@ -43,6 +47,9 @@ Examples::
     python -m repro race examples/racy_counter.mj --seeds 8
     python -m repro race app.mj --expect free --suppress MinTour.best
     python -m repro bench --json
+    python -m repro serve --preset churn --backend proc
+    python -m repro serve --preset steady --seeds 10
+    python -m repro serve --preset all --json
     python -m repro profile tsp --trace tsp.trace.json --top 5
     python -m repro stats raytracer --json
 """
@@ -347,6 +354,107 @@ def cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _print_serve_doc(doc) -> None:
+    cluster = doc["cluster"]
+    requests = doc["requests"]
+    joins = ", ".join(f"{j['brand']}@{j['at_ms']:g}ms"
+                      for j in cluster["joins"]) or "none"
+    print(f"serve: scenario={doc['scenario']} backend={doc['backend']} "
+          f"seed={doc['seed']}")
+    print(f"  cluster             : {cluster['nodes']} nodes "
+          f"(brands {','.join(cluster['brands'])}), joins {joins}, "
+          f"kill={cluster['kill'] or 'none'}, "
+          f"{cluster['tenants']} tenants")
+    print(f"  requests            : {requests['injected']} injected, "
+          f"{requests['delivered']} delivered, "
+          f"{requests['completed']} completed")
+    result = doc["result"]
+    match = ("match" if result["matches"]
+             else ("DIVERGES" if result["required"]
+                   else "diverges (allowed under kill)"))
+    print(f"  result              : {result['value']} "
+          f"(reference {result['reference']}, {match})")
+    oracle = doc["oracle"]
+    print(f"  oracle              : "
+          f"{'clean' if not oracle['violations'] else 'VIOLATIONS'} "
+          f"({oracle['installs_checked']} installs, "
+          f"{oracle['finals_checked']} final units)")
+    for i, ph in enumerate(doc["slo"]["phases"]):
+        lat = ph["latency_ms"]
+        print(f"  phase {i} "
+              f"[{ph['start_ms']:g}-{ph['end_ms']:g}ms]  : "
+              f"{ph['completed']}/{ph['injected']} done, "
+              f"{ph['throughput_rps']:g} rps, "
+              f"p50 {lat['p50']:g}ms p99 {lat['p99']:g}ms "
+              f"p999 {lat['p999']:g}ms")
+    lat = doc["slo"]["overall"]["latency_ms"]
+    print(f"  overall             : "
+          f"{doc['slo']['overall']['throughput_rps']:g} rps, "
+          f"p50 {lat['p50']:g}ms p99 {lat['p99']:g}ms "
+          f"p999 {lat['p999']:g}ms")
+    if doc.get("error"):
+        print(f"  error               : {doc['error']}")
+    print(f"  verdict             : {'OK' if doc['ok'] else 'FAILED'}")
+
+
+def cmd_serve(args) -> int:
+    """`repro serve`: churn scenarios over the serving workload."""
+    import json
+
+    from .serve import PRESETS, run_scenario, run_scenario_sweep
+
+    if args.preset == "all" and args.seeds is not None:
+        print("error: --seeds sweeps one preset, not 'all'",
+              file=sys.stderr)
+        return 2
+    if args.seeds is not None:
+        doc = run_scenario_sweep(PRESETS[args.preset], seeds=args.seeds,
+                                 backend=args.backend)
+        ok = doc["ok"]
+        if not args.json:
+            for run in doc["seeds"]:
+                print(f"seed {run['seed']:3d}: "
+                      f"{'ok' if run['ok'] else 'FAILED'} "
+                      f"({run['requests']['completed']}"
+                      f"/{run['requests']['injected']} requests)")
+            print(f"serve sweep: scenario={doc['scenario']} "
+                  f"backend={doc['backend']} "
+                  f"{len(doc['seeds'])} seeds, "
+                  f"verdict {'OK' if ok else 'FAILED'} "
+                  f"(failed seeds: {doc['failed_seeds'] or 'none'})")
+    elif args.preset == "all":
+        doc = {
+            "bench": "serve",
+            "schema": 1,
+            "backend": args.backend,
+            "seed": args.seed,
+            "scenarios": {
+                name: run_scenario(PRESETS[name], seed=args.seed,
+                                   backend=args.backend)
+                for name in sorted(PRESETS)
+            },
+        }
+        ok = all(s["ok"] for s in doc["scenarios"].values())
+        doc["ok"] = ok
+        if not args.json:
+            for sub in doc["scenarios"].values():
+                _print_serve_doc(sub)
+    else:
+        doc = run_scenario(PRESETS[args.preset], seed=args.seed,
+                           backend=args.backend)
+        ok = doc["ok"]
+        if not args.json:
+            _print_serve_doc(doc)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_trace(args) -> int:
     """`repro trace`: distributed run with protocol tracing."""
     classfiles = compile_source(_read(args.source))
@@ -634,6 +742,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "simulated vs wall-clock time side by side "
                               "(--json writes bench_backends.json)")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="serving-workload churn scenarios with SLO report")
+    p_sv.add_argument("--preset", default="steady",
+                      choices=("steady", "churn", "hotset", "all"),
+                      help="scenario preset: 'steady' (fixed cluster "
+                           "baseline), 'churn' (mixed brands, mid-run "
+                           "join + random kill, two tenants), 'hotset' "
+                           "(phase-shifted hot keys under locality + "
+                           "policy), or 'all'")
+    p_sv.add_argument("--seed", type=int, default=0,
+                      help="run seed (drives arrivals, jitter, and the "
+                           "random kill)")
+    p_sv.add_argument("--seeds", type=int, default=None, metavar="N",
+                      help="sweep seeds 0..N-1 of one preset; exit "
+                           "nonzero if any seed fails")
+    _add_backend_args(p_sv)
+    p_sv.add_argument("--json", action="store_true",
+                      help="print the full document as JSON instead of "
+                           "the summary")
+    p_sv.add_argument("--out", default=None, metavar="FILE",
+                      help="also write the JSON document to FILE")
+    p_sv.set_defaults(fn=cmd_serve)
 
     p_prof = sub.add_parser(
         "profile",

@@ -87,11 +87,25 @@ def bootstrap_classfiles() -> List[ClassFile]:
     st.native_method("equalsStr", params=["str"], ret="int")
     st.native_method("indexOf", params=["str"], ret="int")
 
-    return [obj.build(), th.build(), m.build(), s.build(), st.build()]
+    # Serve ----------------------------------------------------------------
+    # Request ingestion for serving workloads (src/repro/serve): the
+    # open-loop load generator injects arrivals as simulation events and
+    # hands them to the program through these natives.  ``next`` blocks
+    # the calling thread until the next arrival for the tenant is due
+    # (or returns -1 when the schedule is exhausted); ``done`` reports a
+    # request completed so the runtime can record its latency.  Appended
+    # after the original bootstrap classes so existing class ids are
+    # unchanged.
+    sv = ClassBuilder("Serve", is_bootstrap=True)
+    sv.native_method("next", params=["int"], ret="int", static=True)
+    sv.native_method("done", params=["int", "int"], static=True)
+
+    return [obj.build(), th.build(), m.build(), s.build(), st.build(),
+            sv.build()]
 
 
 BOOTSTRAP_CLASS_NAMES = frozenset(
-    {"Object", "Thread", "Math", "Sys", "String"}
+    {"Object", "Thread", "Math", "Sys", "String", "Serve"}
 )
 
 
@@ -184,6 +198,26 @@ def _nat_nano_time(jvm, thread, args):
     return jvm.node.engine.now
 
 
+def _serve_feed(jvm):
+    feed = getattr(jvm, "serve_feed", None)
+    if feed is None:
+        raise JavaRuntimeError(
+            "Serve.* natives need an attached load feed "
+            "(see repro.serve.manager.ServeManager)")
+    return feed
+
+
+def _nat_serve_next(jvm, thread, args):
+    # Returns the encoded request (or -1 when exhausted), or BLOCK after
+    # the feed arranged thread.complete() at the next arrival's sim time.
+    return _serve_feed(jvm).next(thread, args[0])
+
+
+def _nat_serve_done(jvm, thread, args):
+    _serve_feed(jvm).done(thread, args[0], args[1])
+    return NO_VALUE
+
+
 _MATH_UNARY = {
     "sqrt": math.sqrt, "sin": math.sin, "cos": math.cos, "tan": math.tan,
     "log": math.log, "exp": math.exp,
@@ -220,6 +254,9 @@ def register_standard_natives(jvm) -> None:
     reg("Sys", "println", _nat_print)
     reg("Sys", "currentTimeMillis", _nat_time_millis)
     reg("Sys", "nanoTime", _nat_nano_time)
+
+    reg("Serve", "next", _nat_serve_next)
+    reg("Serve", "done", _nat_serve_done)
 
     reg("String", "length", lambda j, t, a: len(a[0]))
     reg("String", "charAt", lambda j, t, a: ord(a[0][a[1]]))

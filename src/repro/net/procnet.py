@@ -348,7 +348,9 @@ class ProcNetwork(SimNetwork):
         self._stopped = False
         self._tmpdir: Optional[str] = None
         self._listener: Optional[socket.socket] = None
+        self._ctrl_addr: Any = None
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._addrs: Dict[int, Any] = {}
         self._ctrl: Dict[int, Optional[socket.socket]] = {}
         self._decoders: Dict[int, FrameDecoder] = {}
         self._dead_procs: set = set()
@@ -384,19 +386,39 @@ class ProcNetwork(SimNetwork):
         self._listener = _listen_socket(self.socket_kind, ctrl_addr)
         if self.socket_kind == "tcp":
             ctrl_addr = self._listener.getsockname()
-        ctx = self._mp_context()
+        self._ctrl_addr = ctrl_addr
         for node in nodes:
-            data_addr = (os.path.join(self._tmpdir, f"n{node}.sock")
-                         if self.socket_kind == "unix" else None)
-            proc = ctx.Process(
-                target=worker_main,
-                args=(node, self.socket_kind, ctrl_addr, data_addr),
-                daemon=True,
-                name=f"repro-node-{node}",
-            )
-            proc.start()
-            self._procs[node] = proc
+            self._fork_worker(node)
         self._handshake(nodes)
+
+    def _fork_worker(self, node: int) -> None:
+        data_addr = (os.path.join(self._tmpdir, f"n{node}.sock")
+                     if self.socket_kind == "unix" else None)
+        proc = self._mp_context().Process(
+            target=worker_main,
+            args=(node, self.socket_kind, self._ctrl_addr, data_addr),
+            daemon=True,
+            name=f"repro-node-{node}",
+        )
+        proc.start()
+        self._procs[node] = proc
+
+    # ------------------------------------------------------------------
+    # Dynamic join: a node attached after start() gets a late-forked
+    # worker process, handshaken on the still-open control listener and
+    # announced to the existing workers via an incremental CTRL_PEERS
+    # update (they dial new peers lazily).  With the "fork" start method
+    # the late worker inherits the master's already-accepted control
+    # descriptors, which can delay EOF-based death detection of *other*
+    # workers — but `_pump` also polls waitpid per drain, and simulator-
+    # driven kills go through `detach` (explicit `_dead_procs` entry),
+    # so failure detection is unaffected.
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, cost_model, handler) -> None:
+        super().attach(node_id, cost_model, handler)
+        if self._started and not self._stopped and node_id not in self._procs:
+            self._fork_worker(node_id)
+            self._handshake([node_id])
 
     def _mp_context(self):
         method = self.start_method
@@ -433,8 +455,14 @@ class ProcNetwork(SimNetwork):
         if unknown or set(addrs) != set(nodes):
             raise WireError(f"handshake mismatch: got {sorted(addrs)}, "
                             f"expected {nodes}")
+        self._addrs.update(addrs)
+        # Fresh nodes learn the full peer map; everyone already running
+        # learns just the newcomers (workers merge incrementally).
         for node in nodes:
-            self._ctrl_send(node, CTRL_PEERS, {"peers": addrs})
+            self._ctrl_send(node, CTRL_PEERS, {"peers": dict(self._addrs)})
+        for other, conn in list(self._ctrl.items()):
+            if other not in addrs and conn is not None:
+                self._ctrl_send(other, CTRL_PEERS, {"peers": addrs})
 
     def stop(self) -> Dict[str, Any]:
         """Gracefully shut down all workers and collect their counters.

@@ -51,16 +51,31 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> int:
-        """Upper bucket bound at (or above) the q-quantile (0 < q <= 1)."""
+        """q-quantile estimate (0 < q <= 1) with within-bucket linear
+        interpolation.
+
+        The target rank is placed proportionally inside its log2 bucket
+        ``(2^(k-1), 2^k]`` (``[0, 1]`` for bucket 0), then clamped to
+        the observed ``[min, max]`` — so a single-valued histogram
+        returns that exact value, and tail quantiles never exceed the
+        largest sample.  Far tighter than the upper bucket bound for
+        latency SLOs (p99/p999 of wide buckets)."""
         if not self.count:
             return 0
         target = max(1, int(q * self.count + 0.999999))
         seen = 0
         for k in sorted(self.buckets):
-            seen += self.buckets[k]
-            if seen >= target:
-                return 1 << k
-        return 1 << max(self.buckets)  # pragma: no cover - defensive
+            n = self.buckets[k]
+            if seen + n >= target:
+                lo = 0 if k == 0 else (1 << (k - 1))
+                hi = 1 << k
+                value = lo + (target - seen) / n * (hi - lo)
+                break
+            seen += n
+        else:  # pragma: no cover - defensive
+            value = 1 << max(self.buckets)
+        assert self.min is not None and self.max is not None
+        return int(round(min(max(value, self.min), self.max)))
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -71,6 +86,7 @@ class Histogram:
             "mean": round(self.mean, 3),
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
             "buckets": {str(1 << k): n
                         for k, n in sorted(self.buckets.items())},
         }

@@ -169,9 +169,17 @@ def build_runtime_classes() -> List[ClassFile]:
     st.native_method("equalsStr", params=["str"], ret="int")
     st.native_method("indexOf", params=["str"], ret="int")
 
+    # javasplit.Serve: load-feed ingestion natives run master-side state
+    # only (no heap access), so the twin is a plain alias.  Appended last
+    # so the ids of every pre-existing runtime class are unchanged.
+    sv = ClassBuilder("javasplit.Serve", super_name=JS_OBJECT,
+                      is_bootstrap=True)
+    sv.native_method("next", params=["int"], ret="int", static=True)
+    sv.native_method("done", params=["int", "int"], static=True)
+
     classes = [
         obj.build(), rt.build(), th.build(),
-        m.build(), s.build(), st.build(),
+        m.build(), s.build(), st.build(), sv.build(),
     ]
     for cf in classes:
         cf.instrumented = True  # DSM ops allowed (Thread uses them)
@@ -242,7 +250,7 @@ def register_rewritten_natives(jvm) -> None:
     reg(RT, "setLivePriority", _nat_set_live_priority)
     reg(RT, "error", _nat_error)
 
-    for cls in ("Math", "String"):
+    for cls in ("Math", "String", "Serve"):
         for (owner, name), fn in list(jvm._natives.items()):
             if owner == cls:
                 reg("javasplit." + cls, name, fn)

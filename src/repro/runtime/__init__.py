@@ -2,7 +2,7 @@
 distribution, and the public execution API."""
 
 from .classreg import ClassRegistry, ClassShipment
-from .config import RuntimeConfig
+from .config import ConfigError, RuntimeConfig
 from .javasplit import (
     DeadlockError,
     JavaSplitRuntime,
@@ -22,7 +22,7 @@ from .worker import WorkerNode, build_worker
 
 __all__ = [
     "ClassRegistry", "ClassShipment",
-    "RuntimeConfig",
+    "ConfigError", "RuntimeConfig",
     "DeadlockError", "JavaSplitRuntime", "RunReport",
     "run_distributed", "run_original",
     "LeastLoadedScheduler", "PinnedScheduler", "PlacementTracker",

@@ -9,6 +9,10 @@ from ..dsm.protocol import DsmConfig
 from ..sim.node import DEFAULT_QUANTUM_NS
 
 
+class ConfigError(ValueError):
+    """A runtime operation is invalid under the active configuration."""
+
+
 @dataclass
 class RuntimeConfig:
     """Cluster + protocol configuration for one JavaSplit execution.
@@ -57,6 +61,11 @@ class RuntimeConfig:
     # multiprocessing start method for workers; None picks "fork" when
     # available, else "spawn".
     proc_start_method: Optional[str] = None
+    # Allow workers to join mid-run on the proc backend (a late OS
+    # process is forked and handshaken on the still-open control
+    # listener).  Off, ``schedule_join``/``add_worker`` raise a clear
+    # ConfigError instead of silently assuming the sim backend.
+    proc_late_spawn: bool = True
     # ----- fault tolerance (src/repro/ft) ------------------------------
     # Survive the loss of a single (non-master) worker: heartbeat failure
     # detection, buddy replication of home state, and node-failure

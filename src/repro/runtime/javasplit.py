@@ -35,7 +35,7 @@ from ..sim.cost_model import get_brand
 from ..sim.engine import NS_PER_SEC, SimEngine
 from ..sim.node import Node, StreamState
 from .classreg import ClassRegistry
-from .config import RuntimeConfig
+from .config import ConfigError, RuntimeConfig
 from .scheduler import PlacementTracker, make_scheduler
 from .worker import WorkerNode, build_worker
 
@@ -166,6 +166,13 @@ class JavaSplitRuntime:
         for class_name, (gid, holder) in rewritten.static_gids.items():
             master.dsm.install_static_holder(class_name, gid, holder)
         self._main_thread: Optional[JThread] = None
+        # Serving-workload manager (src/repro/serve); attached externally
+        # like the oracle/fault injector, hooked here so late joiners get
+        # the load feed too.
+        self.serve = None
+        # External attachments (oracle, invariant monitor, ...) register
+        # here to instrument workers that join after they attached.
+        self.worker_added_hooks: List[Any] = []
         self.ft = None
         if self.config.ft_enabled:
             from ..ft import FtManager
@@ -241,7 +248,18 @@ class JavaSplitRuntime:
     # starts taking spawn placements; existing state is untouched
     # (it faults in shared objects on demand like any other node).
     # ------------------------------------------------------------------
+    def _check_late_join(self) -> None:
+        """Reject joins the active transport cannot honor, with a clear
+        error instead of a silent sim-backend assumption."""
+        if (self.config.transport_backend == "proc"
+                and not self.config.proc_late_spawn):
+            raise ConfigError(
+                "dynamic join on the proc backend needs a late-forked "
+                "worker process; set proc_late_spawn=True (default) or "
+                "use transport_backend='sim'")
+
     def add_worker(self, brand: Optional[str] = None) -> WorkerNode:
+        self._check_late_join()
         node_id = len(self.workers)
         worker = build_worker(
             engine=self.engine,
@@ -274,10 +292,20 @@ class JavaSplitRuntime:
             self.race.on_worker_added(worker)
         if self.obs is not None:
             self.obs.on_worker_added(worker)
+        if self.serve is not None:
+            self.serve.on_worker_added(worker)
+        for hook in self.worker_added_hooks:
+            hook(worker)
         return worker
 
     def schedule_join(self, at_ns: int, brand: Optional[str] = None) -> None:
-        """Have a new worker join at a future simulated time."""
+        """Have a new worker join at a future simulated time.
+
+        On the proc backend the join forks a real worker process mid-run
+        (``ProcNetwork.attach``); with ``proc_late_spawn=False`` this
+        raises :class:`ConfigError` up front instead of failing inside
+        the event loop."""
+        self._check_late_join()
         self.engine.schedule_at(at_ns, lambda: self.add_worker(brand))
 
     @property

@@ -1,0 +1,35 @@
+"""Serving workloads: elastic, multi-tenant, churn-driven scenarios.
+
+The paper's headline claim is execution on *heterogeneous, dynamically
+changing* collections of workstations (§2) — this package supplies the
+workload that actually stresses that claim end to end:
+
+- :mod:`repro.serve.app` — a request-processing application in the mini
+  language (session table, hit/miss counters, lock-protected work
+  queue), compiled and rewritten like every other app.
+- :mod:`repro.serve.loadgen` — a deterministic open-loop load generator
+  whose seeded arrival schedule is injected as simulation events,
+  reproducible bit-for-bit on both transport backends.
+- :mod:`repro.serve.manager` — the runtime attachment that feeds
+  arrivals to the program through the ``Serve`` bootstrap natives and
+  records per-phase completion latencies into the obs metrics registry.
+- :mod:`repro.serve.scenario` — churn orchestration: scenario presets
+  composing mid-run joins, random kills, mixed JVM brands, multi-tenant
+  co-location and phase-shifted hot sets, every run under the
+  single-copy oracle.
+- :mod:`repro.serve.slo` — the SLO reporter: per-phase throughput and
+  p50/p99/p999 request latency from the metrics registry's
+  time-bucketed series (behind ``python -m repro serve``).
+"""
+
+from .loadgen import LoadGenerator, PhaseSpec
+from .manager import LoadFeed, ServeManager
+from .scenario import PRESETS, Scenario, run_scenario, run_scenario_sweep
+from .slo import build_slo, validate_serve_doc
+
+__all__ = [
+    "LoadGenerator", "PhaseSpec",
+    "LoadFeed", "ServeManager",
+    "PRESETS", "Scenario", "run_scenario", "run_scenario_sweep",
+    "build_slo", "validate_serve_doc",
+]

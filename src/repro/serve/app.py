@@ -1,0 +1,233 @@
+"""The serving application, written in the mini language.
+
+A shared-state request processor in the style of the paper's target
+programs: a monolithic multithreaded Java program that JavaSplit can
+split across nodes with no source-level distribution.
+
+Per tenant: one **Frontend** thread pulls arrivals from the runtime
+through ``Serve.next`` and pushes them onto a lock-protected bounded
+**ReqQueue** (wait/notify ring buffer, poison pill 0); ``workers``
+**ServeWorker** threads pop requests, decode ``(seq, key)``, burn a
+key-dependent amount of CPU, then update the **session table** — an
+array of ``Stripe`` objects each holding a seen-bitmap plus hit/miss
+counters and a commutative checksum under its own monitor — and close
+the request via ``Serve.done``.  Several tenants run as independent
+instances inside one program (multi-tenant co-location on one cluster).
+
+The final score is order-independent (sum of per-key contributions plus
+hit/miss tallies), so it is identical on the distributed runtime and
+the single-JVM reference for the same arrival schedule, regardless of
+interleaving — that is what lets churn scenarios check the end result,
+not just the oracle invariants.
+"""
+
+from __future__ import annotations
+
+SOURCE_TEMPLATE = """
+class ReqQueue {{
+    int[] items;
+    int count;
+    int head;
+    int tail;
+
+    ReqQueue(int capacity) {{
+        items = new int[capacity];
+    }}
+
+    synchronized void put(int x) {{
+        while (count == items.length) {{
+            this.wait();
+        }}
+        items[tail] = x;
+        tail = (tail + 1) % items.length;
+        count = count + 1;
+        this.notifyAll();
+    }}
+
+    synchronized int take() {{
+        while (count == 0) {{
+            this.wait();
+        }}
+        int x = items[head];
+        head = (head + 1) % items.length;
+        count = count - 1;
+        this.notifyAll();
+        return x;
+    }}
+}}
+
+class Stripe {{
+    int[] seen;
+    int hits;
+    int misses;
+    int checksum;
+
+    Stripe(int sessions) {{
+        seen = new int[sessions];
+    }}
+
+    synchronized void record(int key, int work) {{
+        if (seen[key] == 0) {{
+            seen[key] = 1;
+            misses = misses + 1;
+        }} else {{
+            hits = hits + 1;
+        }}
+        checksum = checksum + key * work + 1;
+    }}
+
+    synchronized int score() {{
+        return checksum + hits * 7 + misses * 3;
+    }}
+}}
+
+class Frontend extends Thread {{
+    ReqQueue q;
+    int tenant;
+    int nworkers;
+
+    Frontend(ReqQueue q, int tenant, int nworkers) {{
+        this.q = q;
+        this.tenant = tenant;
+        this.nworkers = nworkers;
+    }}
+
+    void run() {{
+        int v = Serve.next(tenant);
+        while (v >= 0) {{
+            q.put(v);
+            v = Serve.next(tenant);
+        }}
+        int w = 0;
+        while (w < nworkers) {{
+            q.put(0);
+            w = w + 1;
+        }}
+    }}
+}}
+
+class ServeWorker extends Thread {{
+    ReqQueue q;
+    Stripe[] table;
+    int nstripes;
+    int tenant;
+
+    ServeWorker(ReqQueue q, Stripe[] table, int nstripes, int tenant) {{
+        this.q = q;
+        this.table = table;
+        this.nstripes = nstripes;
+        this.tenant = tenant;
+    }}
+
+    void run() {{
+        int v = q.take();
+        while (v != 0) {{
+            int seq = v / 256 - 1;
+            int key = v % 256;
+            int work = 1 + key % 7;
+            int acc = 0;
+            int i = 0;
+            while (i < work * {work_scale}) {{
+                acc = acc + i * key;
+                i = i + 1;
+            }}
+            Stripe s = table[key % nstripes];
+            s.record(key, work);
+            Serve.done(tenant, seq);
+            v = q.take();
+        }}
+    }}
+}}
+
+class Tenant {{
+    ReqQueue q;
+    Stripe[] table;
+    int nstripes;
+
+    Tenant(int capacity, int sessions, int nstripes) {{
+        q = new ReqQueue(capacity);
+        table = new Stripe[nstripes];
+        int s = 0;
+        while (s < nstripes) {{
+            table[s] = new Stripe(sessions);
+            s = s + 1;
+        }}
+        this.nstripes = nstripes;
+    }}
+
+    synchronized int score() {{
+        int r = 0;
+        int s = 0;
+        while (s < nstripes) {{
+            r = r + table[s].score();
+            s = s + 1;
+        }}
+        return r;
+    }}
+}}
+
+class ServeMain {{
+    static int main() {{
+        int tenants = {tenants};
+        int nworkers = {workers};
+        Tenant[] ts = new Tenant[tenants];
+        Frontend[] fs = new Frontend[tenants];
+        ServeWorker[] ws = new ServeWorker[tenants * nworkers];
+        int t = 0;
+        while (t < tenants) {{
+            Tenant tn = new Tenant({capacity}, {sessions}, {stripes});
+            ts[t] = tn;
+            Frontend f = new Frontend(tn.q, t, nworkers);
+            fs[t] = f;
+            f.start();
+            int w = 0;
+            while (w < nworkers) {{
+                ServeWorker sw =
+                    new ServeWorker(tn.q, tn.table, {stripes}, t);
+                ws[t * nworkers + w] = sw;
+                sw.start();
+                w = w + 1;
+            }}
+            t = t + 1;
+        }}
+        t = 0;
+        while (t < tenants) {{
+            fs[t].join();
+            t = t + 1;
+        }}
+        int i = 0;
+        while (i < tenants * nworkers) {{
+            ws[i].join();
+            i = i + 1;
+        }}
+        int total = 0;
+        t = 0;
+        while (t < tenants) {{
+            total = total + ts[t].score();
+            t = t + 1;
+        }}
+        Sys.print("serve total = " + total);
+        return total;
+    }}
+}}
+"""
+
+
+def make_source(tenants: int = 2, workers: int = 2, sessions: int = 32,
+                stripes: int = 4, capacity: int = 0,
+                work_scale: int = 6) -> str:
+    """Instantiate the serving app for a scenario's shape.
+
+    ``capacity`` defaults to ``workers * 4 + 8`` — enough headroom that
+    a kill-restarted frontend re-enqueueing its poison pills can never
+    wedge the queue even if the first set already landed.
+    """
+    if not (1 <= sessions <= 256):
+        raise ValueError("sessions must be in [1, 256]")
+    if tenants < 1 or workers < 1 or stripes < 1:
+        raise ValueError("tenants, workers, stripes must be >= 1")
+    if capacity <= 0:
+        capacity = workers * 4 + 8
+    return SOURCE_TEMPLATE.format(
+        tenants=tenants, workers=workers, sessions=sessions,
+        stripes=stripes, capacity=capacity, work_scale=work_scale)

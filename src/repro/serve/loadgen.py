@@ -1,0 +1,124 @@
+"""Deterministic open-loop load generation.
+
+Arrival schedules are precomputed in Python from a seeded RNG before the
+run starts, so the exact same request stream (times, session keys, phase
+tags) hits the program on every backend and on the single-JVM reference
+— the schedule is *data*, only its delivery happens as simulation
+events (see :class:`repro.serve.manager.LoadFeed`).
+
+Open-loop means arrival times never depend on service completion: a
+slow cluster falls behind and the request latency (arrival → done)
+shows it, which is exactly what the SLO report wants to observe.
+
+Phases let a scenario shift the load mid-run — a different rate or a
+different *hot key range* per phase forces the locality/policy
+subsystems to chase the hot set instead of converging once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.engine import NS_PER_MS
+
+#: Session keys are encoded next to the sequence number in one int
+#: (``(seq + 1) * KEY_SPACE + key``), so the key space is capped.
+KEY_SPACE = 256
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One load phase: duration, arrival rate, and optional hot set."""
+
+    duration_ms: float
+    #: Mean arrivals per simulated millisecond, per tenant.
+    rate_per_ms: float
+    #: Hot key range [hot_lo, hot_hi); ignored when hot_frac == 0.
+    hot_lo: int = 0
+    hot_hi: int = 0
+    #: Fraction of requests drawn from the hot range.
+    hot_frac: float = 0.0
+    #: "poisson" (exponential gaps) or "uniform" (fixed gaps).
+    dist: str = "poisson"
+
+    def validate(self, sessions: int) -> None:
+        if self.duration_ms <= 0 or self.rate_per_ms <= 0:
+            raise ValueError("phase duration and rate must be positive")
+        if self.dist not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival distribution {self.dist!r}")
+        if not (0.0 <= self.hot_frac <= 1.0):
+            raise ValueError("hot_frac must be in [0, 1]")
+        if self.hot_frac > 0.0 and not (
+                0 <= self.hot_lo < self.hot_hi <= sessions):
+            raise ValueError(
+                f"hot range [{self.hot_lo}, {self.hot_hi}) invalid for "
+                f"{sessions} sessions")
+
+
+#: One scheduled request: (arrival time ns, session key, phase index).
+Arrival = Tuple[int, int, int]
+
+
+class LoadGenerator:
+    """Seeded arrival schedules over a list of phases."""
+
+    def __init__(self, phases: "tuple[PhaseSpec, ...]", sessions: int,
+                 seed: int = 0) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        if not (1 <= sessions <= KEY_SPACE):
+            raise ValueError(f"sessions must be in [1, {KEY_SPACE}]")
+        for ph in phases:
+            ph.validate(sessions)
+        self.phases = tuple(phases)
+        self.sessions = sessions
+        self.seed = seed
+
+    def phase_bounds(self) -> List[Tuple[int, int]]:
+        """[(start_ns, end_ns)] per phase, back to back from t=0."""
+        bounds: List[Tuple[int, int]] = []
+        t = 0
+        for ph in self.phases:
+            end = t + int(ph.duration_ms * NS_PER_MS)
+            bounds.append((t, end))
+            t = end
+        return bounds
+
+    def schedule(self, tenant: int) -> List[Arrival]:
+        """The tenant's full arrival schedule (sorted, deterministic)."""
+        rng = random.Random(1_000_003 * (self.seed + 1) + tenant)
+        out: List[Arrival] = []
+        t = 0
+        for pi, (ph, (start, end)) in enumerate(
+                zip(self.phases, self.phase_bounds())):
+            t = max(t, start)
+            mean_gap_ns = NS_PER_MS / ph.rate_per_ms
+            while True:
+                if ph.dist == "poisson":
+                    gap = rng.expovariate(1.0) * mean_gap_ns
+                else:
+                    gap = mean_gap_ns
+                t += max(1, int(gap))
+                if t >= end:
+                    break
+                if ph.hot_frac > 0.0 and rng.random() < ph.hot_frac:
+                    key = rng.randrange(ph.hot_lo, ph.hot_hi)
+                else:
+                    key = rng.randrange(self.sessions)
+                out.append((t, key, pi))
+        return out
+
+    def schedules(self, tenants: int) -> List[List[Arrival]]:
+        """One independent schedule per tenant."""
+        return [self.schedule(t) for t in range(tenants)]
+
+    @staticmethod
+    def injected_by_phase(schedules: List[List[Arrival]]) -> Dict[int, int]:
+        """Total injected requests per phase across all tenants."""
+        counts: Dict[int, int] = {}
+        for sched in schedules:
+            for _, _, phase in sched:
+                counts[phase] = counts.get(phase, 0) + 1
+        return counts

@@ -1,0 +1,271 @@
+"""Churn orchestration: scenario scripts over the serving workload.
+
+A :class:`Scenario` composes everything the paper says a run must
+survive — heterogeneous brands, workers joining mid-run (§2 "during
+execution, new workers can join the system"), workers dying mid-run
+(§6 fault tolerance), several tenant programs co-located on one
+cluster, and load whose hot set shifts between phases so the adaptive
+locality/coherence machinery has to keep migrating.
+
+Every scenario runs under the single-copy oracle and the invariant
+monitor, and its program result is compared against a single-JVM
+reference execution fed the *identical* arrival schedule — churn may
+cost throughput, never consistency.  Under a kill the exact result is
+not required (fault tolerance restarts the dead node's threads from
+scratch, so non-idempotent in-flight requests are legitimately lost,
+same contract as tsp in ``repro check --kill``), but the run must
+still complete oracle-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..check.faults import FaultInjector, FaultPlan
+from ..check.monitor import InvariantMonitor
+from ..check.oracle import SingleCopyOracle
+from ..check.runner import DEFAULT_JITTER_NS, parse_kill, parse_locality, \
+    parse_policy
+from ..jvm.intrinsics import bootstrap_classfiles
+from ..jvm.jvm import JVM
+from ..lang import compile_source
+from ..rewriter import rewrite_application
+from ..runtime.config import RuntimeConfig
+from ..runtime.javasplit import DeadlockError, JavaSplitRuntime
+from ..sim.cost_model import get_brand
+from ..sim.engine import NS_PER_MS, SimEngine
+from ..sim.node import Node, StreamState
+from .app import make_source
+from .loadgen import Arrival, LoadGenerator, PhaseSpec
+from .manager import LoadFeed, ServeManager
+from .slo import build_slo
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One churn script: cluster shape + workload + disruption plan."""
+
+    name: str
+    description: str
+    nodes: int
+    brands: Tuple[str, ...]
+    tenants: int
+    workers: int                       # serve workers per tenant
+    sessions: int
+    stripes: int
+    work_scale: int
+    phases: Tuple[PhaseSpec, ...]
+    #: Mid-run joins: (simulated time ns, brand of the new worker).
+    joins: Tuple[Tuple[int, str], ...] = ()
+    #: ``--kill``-style spec (``"random"`` or ``"NODE@TIME"``), or None.
+    kill: Optional[str] = None
+    #: ``--locality`` / ``--policy`` specs ("" = subsystem off).
+    locality: str = ""
+    policy: str = ""
+
+    def config(self, seed: int, backend: str) -> RuntimeConfig:
+        killing = self.kill is not None
+        return RuntimeConfig(
+            num_nodes=self.nodes,
+            brands=self.brands,
+            seed=seed,
+            net_jitter_ns=DEFAULT_JITTER_NS,
+            reliable_transport=killing,
+            ft_enabled=killing,
+            obs_metrics=True,
+            transport_backend=backend,
+            **parse_locality(self.locality),
+            **parse_policy(self.policy),
+        )
+
+
+#: The scenario library.  "churn" is the acceptance scenario: open-loop
+#: load on mixed sun/ibm brands, two tenant programs, one worker joining
+#: mid-run and one random worker killed mid-run — all under the oracle.
+PRESETS: Dict[str, Scenario] = {
+    "steady": Scenario(
+        name="steady",
+        description="baseline: constant load, fixed homogeneous cluster",
+        nodes=3, brands=("sun",),
+        tenants=2, workers=2, sessions=32, stripes=4, work_scale=6,
+        phases=(PhaseSpec(duration_ms=4, rate_per_ms=5),
+                PhaseSpec(duration_ms=4, rate_per_ms=5)),
+    ),
+    "churn": Scenario(
+        name="churn",
+        description=("mixed sun/ibm brands, ibm worker joins at 6ms, "
+                     "random worker killed, two tenants"),
+        nodes=3, brands=("sun", "ibm", "sun"),
+        tenants=2, workers=2, sessions=32, stripes=4, work_scale=6,
+        phases=(PhaseSpec(duration_ms=5, rate_per_ms=4),
+                PhaseSpec(duration_ms=5, rate_per_ms=4),
+                PhaseSpec(duration_ms=5, rate_per_ms=4)),
+        joins=((6 * NS_PER_MS, "ibm"),),
+        kill="random",
+    ),
+    "hotset": Scenario(
+        name="hotset",
+        description=("phase-shifted hot key ranges under full adaptive "
+                     "locality + coherence policies"),
+        nodes=3, brands=("sun", "ibm", "sun"),
+        tenants=2, workers=2, sessions=32, stripes=4, work_scale=6,
+        phases=(
+            PhaseSpec(duration_ms=4, rate_per_ms=6,
+                      hot_lo=0, hot_hi=8, hot_frac=0.8),
+            PhaseSpec(duration_ms=4, rate_per_ms=6,
+                      hot_lo=12, hot_hi=20, hot_frac=0.8),
+            PhaseSpec(duration_ms=4, rate_per_ms=6,
+                      hot_lo=24, hot_hi=32, hot_frac=0.8),
+        ),
+        locality="all",
+        policy="all",
+    ),
+}
+
+
+def run_serve_reference(classfiles: List[Any],
+                        schedules: List[List[Arrival]]) -> Any:
+    """Single-JVM reference run fed the identical arrival schedule.
+
+    Mirrors :func:`~repro.runtime.javasplit.run_original`, plus the
+    load feed the ``Serve`` natives need, installed before main starts.
+    """
+    engine = SimEngine()
+    node = Node(engine, 0, get_brand("sun", "app"), num_cpus=2)
+    jvm = JVM(node)
+    jvm.load_classes(bootstrap_classfiles())
+    jvm.load_classes(list(classfiles))
+    jvm.serve_feed = LoadFeed(engine, schedules)
+    main_class = None
+    for cf in classfiles:
+        m = cf.methods.get("main")
+        if m is not None and m.is_static:
+            main_class = cf.name
+            break
+    if main_class is None:
+        raise ValueError("serve app has no static main method")
+    thread = jvm.start_main(main_class, None)
+    engine.run_until_idle(max_events=200_000_000)
+    jvm.check_no_failures()
+    blocked = [t for t in jvm.threads if t.state is StreamState.BLOCKED]
+    if blocked:
+        raise DeadlockError(
+            f"reference blocked threads remain: {[t.name for t in blocked]}")
+    return thread
+
+
+def run_scenario(scenario: Scenario, seed: int = 0,
+                 backend: str = "sim") -> Dict[str, Any]:
+    """Execute one scenario under full checking; return the JSON doc."""
+    gen = LoadGenerator(scenario.phases, scenario.sessions, seed=seed)
+    schedules = gen.schedules(scenario.tenants)
+    injected_by_phase = LoadGenerator.injected_by_phase(schedules)
+    source = make_source(
+        tenants=scenario.tenants, workers=scenario.workers,
+        sessions=scenario.sessions, stripes=scenario.stripes,
+        work_scale=scenario.work_scale)
+    classfiles = compile_source(source)
+    ref_thread = run_serve_reference(classfiles, schedules)
+
+    rewritten = rewrite_application(list(classfiles))
+    killing = scenario.kill is not None
+    config = scenario.config(seed, backend)
+    runtime = JavaSplitRuntime(rewritten, config)
+    manager = ServeManager.attach(runtime, schedules)
+    for at_ns, brand in scenario.joins:
+        runtime.schedule_join(at_ns, brand)
+    injector = None
+    if killing:
+        plan = FaultPlan(seed=seed)
+        plan.detach_node, plan.detach_at_ns = parse_kill(
+            scenario.kill, seed=seed, nodes=scenario.nodes)
+        injector = FaultInjector.attach(runtime, plan)
+    monitor = InvariantMonitor.attach(runtime)
+    oracle = SingleCopyOracle.attach(runtime)
+
+    error: Optional[str] = None
+    run = None
+    try:
+        run = runtime.run()
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        error = f"{type(exc).__name__}: {exc}"
+    monitor.finalize()
+    if error is None:
+        oracle.finalize()
+    violations = [str(v) for v in
+                  list(monitor.violations) + list(oracle.violations)]
+
+    result = run.result if run is not None else None
+    result_matches = run is not None and result == ref_thread.result
+    # Same contract as tsp under --kill: fault tolerance restarts the
+    # dead node's threads from scratch, so in-flight requests are
+    # legitimately lost and the commutative score may differ.
+    result_required = not killing
+    ok = (error is None and not violations
+          and (result_matches or not result_required))
+
+    brands = [config.brand_of(i) for i in range(scenario.nodes)]
+    doc: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "backend": backend,
+        "seed": seed,
+        "cluster": {
+            "nodes": scenario.nodes,
+            "brands": brands,
+            "cpus_per_node": config.cpus_per_node,
+            "backend": backend,
+            "joins": [{"at_ms": at / NS_PER_MS, "brand": b}
+                      for at, b in scenario.joins],
+            "kill": scenario.kill,
+            "tenants": scenario.tenants,
+        },
+        "requests": manager.report(),
+        "result": {
+            "value": result,
+            "reference": ref_thread.result,
+            "matches": result_matches,
+            "required": result_required,
+        },
+        "oracle": {
+            "violations": violations,
+            "installs_checked": oracle.checked_installs,
+            "finals_checked": oracle.checked_final,
+        },
+        "ok": ok,
+    }
+    if error is not None:
+        doc["error"] = error
+    if injector is not None:
+        doc["faults"] = {
+            "killed": list(injector.stats.detached),
+        }
+    if run is not None:
+        doc["simulated_ms"] = round(run.simulated_ns / NS_PER_MS, 3)
+        doc["threads_run"] = run.threads_run
+        if run.ft is not None:
+            doc["ft"] = {"recoveries": len(run.ft["recoveries"])}
+    metrics = runtime.obs.metrics if runtime.obs is not None else None
+    if metrics is not None:
+        doc["slo"] = build_slo(metrics, gen.phase_bounds(),
+                               injected_by_phase)
+    return doc
+
+
+def run_scenario_sweep(scenario: Scenario, seeds: int,
+                       backend: str = "sim") -> Dict[str, Any]:
+    """Run one scenario over seeds 0..N-1 (the CI churn sweep)."""
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    runs = [run_scenario(scenario, seed=s, backend=backend)
+            for s in range(seeds)]
+    return {
+        "bench": "serve-sweep",
+        "schema": 1,
+        "scenario": scenario.name,
+        "backend": backend,
+        "seeds": runs,
+        "ok": all(r["ok"] for r in runs),
+        "failed_seeds": [r["seed"] for r in runs if not r["ok"]],
+    }

@@ -66,9 +66,44 @@ def test_histogram_buckets_and_stats():
     # 0 and 1 share bucket 0; 2 -> bucket 1; 3 -> bucket 2; 1000 -> 2^10.
     assert h.buckets == {0: 2, 1: 1, 2: 1, 10: 1}
     assert h.quantile(0.5) == 2          # 3rd of 5 samples sits in bucket 1
-    assert h.quantile(1.0) == 1024
+    # Interpolated to the top of bucket 10 (1024), clamped to max=1000.
+    assert h.quantile(1.0) == 1000
     d = h.as_dict()
     assert d["count"] == 5 and d["buckets"]["1024"] == 1
+    assert d["p999"] == 1000
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    h = Histogram()
+    for _ in range(100):
+        h.observe(10)                    # bucket 4: (8, 16]
+    # Every rank lands in one bucket; interpolation then clamps to the
+    # single observed value instead of the 16 upper bucket bound.
+    assert h.quantile(0.5) == 10
+    assert h.quantile(0.99) == 10
+    assert h.quantile(0.999) == 10
+    # Uniform fill of one bucket: rank r of n sits at lo + r/n * (hi-lo).
+    h2 = Histogram()
+    for v in (9, 10, 11, 12, 13, 14, 15, 16):
+        h2.observe(v)                    # all 8 in bucket 4, lo=8 hi=16
+    assert h2.quantile(0.5) == 12        # 8 + 4/8 * 8
+    assert h2.quantile(1.0) == 16
+    assert h2.quantile(0.125) == 9       # 8 + 1/8 * 8, also the min clamp
+
+
+def test_histogram_quantile_p999_two_buckets():
+    h = Histogram()
+    for _ in range(999):
+        h.observe(100)                   # bucket 7: (64, 128]
+    h.observe(5000)                      # bucket 13: (4096, 8192]
+    # Rank 500 interpolates to 96 inside (64, 128], clamps up to min=100.
+    assert h.quantile(0.5) == 100
+    # Ranks 990/999 sit near the top of the fast bucket: 64 + r/999 * 64.
+    assert h.quantile(0.99) == 127
+    assert h.quantile(0.999) == 128
+    assert h.quantile(1.0) == 5000       # rank 1000 interpolates, clamps to max
+    d = h.as_dict()
+    assert d["p999"] == 128 and d["p99"] == 127
 
 
 def test_histogram_merge():
