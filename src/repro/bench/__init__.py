@@ -24,7 +24,8 @@ from .micro import (
     measure_comm_latency,
 )
 from .jsonbench import (DEFAULT_APPS, bench_app, run_backend_bench,
-                        run_bench, run_policy_bench, write_results)
+                        run_bench, run_jit_bench, run_policy_bench,
+                        write_results)
 from .tables import emit, format_figure, format_table1, format_table2, format_table3
 
 __all__ = [
@@ -34,7 +35,7 @@ __all__ = [
     "access_micro_source", "measure_access_latency", "measure_acquire_cost",
     "measure_comm_latency",
     "DEFAULT_APPS", "bench_app", "run_bench", "run_backend_bench",
-    "run_policy_bench", "write_results",
+    "run_jit_bench", "run_policy_bench", "write_results",
     "emit", "format_figure", "format_table1", "format_table2",
     "format_table3",
 ]

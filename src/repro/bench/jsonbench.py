@@ -253,6 +253,104 @@ def run_backend_bench(apps: Iterable[str] = DEFAULT_APPS,
     return out
 
 
+#: Instances for the jit bench — scaled up from check size so compiled-
+#: method throughput (not compile latency or protocol chatter) dominates
+#: the wall clock, matching how a tiered JIT is actually used.
+def _jit_sources() -> Dict[str, str]:
+    from ..apps import raytracer, series, tsp
+
+    return {
+        "series": series.make_source(n_coeffs=60, steps=300),
+        "tsp": tsp.make_source(n_cities=9, n_threads=4, seed=42),
+        "raytracer": raytracer.make_source(resolution=20),
+    }
+
+
+JIT_MODES: Tuple[str, ...] = ("interp", "jit", "jit-elim2")
+
+
+def run_jit_bench(nodes: int = 3,
+                  apps: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    """Tiered-JIT ablation document (what ``BENCH_9.json`` snapshots).
+
+    Three modes per app: ``interp`` (tier 0), ``jit`` (tier 1 on the
+    same bytecode — every deterministic observable must be identical,
+    only the wall clock may move), and ``jit-elim2`` (tier 1 on level-2
+    check-eliminated bytecode — fewer checks change the simulated
+    numbers, which is the point; the mode shows what the JIT+elim stack
+    buys end to end).  Wall-clock fields are inherently machine- and
+    load-dependent; the deterministic fields are byte-comparable across
+    commits like every other bench document.
+    """
+    import time
+
+    doc: Dict[str, Any] = {
+        "bench": "jit",
+        "schema": 1,
+        "nodes": nodes,
+        "cluster": _cluster_meta(nodes),
+        "modes": list(JIT_MODES),
+        "jit_threshold": 10,
+        "app_instances": {
+            "series": "n_coeffs=60 steps=300",
+            "tsp": "n_cities=9 n_threads=4 seed=42",
+            "raytracer": "resolution=20",
+        },
+        "apps": {},
+    }
+    sources = _jit_sources()
+    for app in (apps or DEFAULT_APPS):
+        src = sources[app]
+        plain = rewrite_application(compile_source(src))
+        elim2 = rewrite_application(compile_source(src), check_elim=2)
+        runs: Dict[str, Any] = {}
+        for mode, rewritten, jit in (("interp", plain, False),
+                                     ("jit", plain, True),
+                                     ("jit-elim2", elim2, True)):
+            config = RuntimeConfig(num_nodes=nodes, jit_enable=jit,
+                                   jit_check_elim=2 if "elim" in mode
+                                   else 0)
+            runtime = JavaSplitRuntime(rewritten, config)
+            t0 = time.perf_counter()
+            report = runtime.run()
+            wall = time.perf_counter() - t0
+            total = report.total_dsm()
+            entry: Dict[str, Any] = {
+                "simulated_ms": round(report.simulated_ns / 1e6, 6),
+                "messages": report.net.messages,
+                "bytes": report.net.bytes,
+                "fetches": total.fetches,
+                "result": repr(report.result),
+                "wall_seconds": round(wall, 3),
+            }
+            if report.jit is not None:
+                compiled_entries = sum(
+                    report.jit["exit_reasons"].values())
+                entry["jit"] = {
+                    "compiles": report.jit["compiles"],
+                    "compiled_methods": report.jit["compiled_methods"],
+                    "deopts": report.jit["deopts"],
+                    "blacklisted": sorted(report.jit["blacklisted"]),
+                    "exit_reasons": report.jit["exit_reasons"],
+                    "deopt_rate": round(
+                        report.jit["deopts"] / compiled_entries, 6)
+                    if compiled_entries else 0.0,
+                }
+            runs[mode] = entry
+        interp, jit_run = runs["interp"], runs["jit"]
+        deterministic = ("simulated_ms", "messages", "bytes", "fetches",
+                         "result")
+        doc["apps"][app] = {
+            "runs": runs,
+            "identical": all(interp[k] == jit_run[k]
+                             for k in deterministic),
+            "speedup_wall": round(
+                interp["wall_seconds"] / jit_run["wall_seconds"], 2)
+            if jit_run["wall_seconds"] else None,
+        }
+    return doc
+
+
 def write_results(doc: Dict[str, Any],
                   out_dir: Path = RESULTS_DIR) -> List[Path]:
     """Write one JSON file per app plus the combined document; returns

@@ -284,6 +284,9 @@ def run_check(
     race: bool = False,
     obs: bool = False,
     backend: str = "sim",
+    jit: bool = False,
+    jit_threshold: int = 10,
+    check_elim: int = 0,
     progress: Optional[Callable[[SeedResult], None]] = None,
 ) -> CheckReport:
     """Sweep ``seeds`` seeded schedules of ``app`` under the oracle.
@@ -351,7 +354,7 @@ def run_check(
     classfiles = compile_source(source)
     reference = run_original(classfiles=classfiles)
     ref_console = sorted(reference.console)
-    rewritten = rewrite_application(classfiles)
+    rewritten = rewrite_application(classfiles, check_elim=check_elim)
 
     report = CheckReport(app=app, faults=faults, nodes=nodes, kill=kill,
                          locality=locality, policy=policy, race=race,
@@ -375,6 +378,9 @@ def run_check(
             obs_spans=obs,
             obs_profile=obs,
             transport_backend=backend,
+            jit_enable=jit,
+            jit_threshold=jit_threshold,
+            jit_check_elim=check_elim,
             **locality_knobs,
             **policy_knobs,
             dsm=DsmConfig(

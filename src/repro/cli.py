@@ -120,6 +120,16 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    choices=("least-loaded", "round-robin", "random"))
     p.add_argument("--optimize-checks", action="store_true",
                    help="enable redundant access-check elimination (§6.2)")
+    p.add_argument("--check-elim", type=int, default=None, metavar="LEVEL",
+                   choices=(0, 1, 2),
+                   help="check-elimination level: 0=off, 1=straight-line "
+                        "(§6.2), 2=region dataflow + loop hoisting")
+    p.add_argument("--jit", action="store_true",
+                   help="tier hot methods to compiled Python (bit-"
+                        "identical observables, faster wall clock)")
+    p.add_argument("--jit-threshold", type=int, default=10,
+                   metavar="N", help="invocations before a method is "
+                                     "compiled (default 10)")
     _add_coherency_args(p)
     _add_locality_arg(p)
     _add_policy_arg(p)
@@ -147,10 +157,21 @@ def _config(args) -> RuntimeConfig:
             timestamp_mode="vector" if args.vector_timestamps else "scalar",
             array_region_elems=args.region_elems,
         ),
+        jit_enable=getattr(args, "jit", False),
+        jit_threshold=getattr(args, "jit_threshold", 10),
+        jit_check_elim=_elim_level(args),
         **parse_locality(args.locality),
         **parse_policy(getattr(args, "policy", "")),
         **_backend_kwargs(args),
     )
+
+
+def _elim_level(args) -> int:
+    """Effective check-elimination level from the shared flags."""
+    level = getattr(args, "check_elim", None)
+    if level is not None:
+        return level
+    return 1 if getattr(args, "optimize_checks", False) else 0
 
 
 def _report(report, show_traffic: bool = True) -> None:
@@ -201,13 +222,19 @@ def _report(report, show_traffic: bool = True) -> None:
               f"({r['suppressed']} suppressed), "
               f"{r['events_observed']} access events, mode={r['mode']}"
               + (" DEGRADED" if r["degraded"] else ""))
+    if report.jit is not None:
+        j = report.jit
+        names = ", ".join(j["compiled_methods"]) or "none"
+        print(f"jit               : {j['compiles']} compiles "
+              f"({names}), {j['deopts']} deopts, "
+              f"{len(j['blacklisted'])} blacklisted")
 
 
 def cmd_run(args) -> int:
     """`repro run`: rewrite + execute on a simulated cluster."""
     classfiles = compile_source(_read(args.source))
     rewritten = rewrite_application(
-        classfiles, optimize_checks=args.optimize_checks
+        classfiles, check_elim=_elim_level(args)
     )
     runtime = JavaSplitRuntime(rewritten, _config(args))
     report = runtime.run()
@@ -232,10 +259,14 @@ def cmd_disasm(args) -> int:
     classfiles = compile_source(_read(args.source))
     if args.rewritten:
         rewritten = rewrite_application(
-            classfiles, optimize_checks=args.optimize_checks
+            classfiles, check_elim=_elim_level(args)
         )
         classfiles = rewritten.all_classfiles()
-    print(disassemble(classfiles))
+    costs = None
+    if args.costs:
+        from .jvm.disasm import resolve_cost_tables
+        costs = resolve_cost_tables(args.costs)
+    print(disassemble(classfiles, costs))
     return 0
 
 
@@ -268,6 +299,9 @@ def cmd_check(args) -> int:
             race=args.race,
             obs=args.obs,
             backend=args.backend,
+            jit=args.jit,
+            jit_threshold=args.jit_threshold,
+            check_elim=args.check_elim or 0,
             progress=progress if args.verbose else None,
         )
     except ValueError as exc:
@@ -283,10 +317,29 @@ def cmd_bench(args) -> int:
     from pathlib import Path
 
     from .bench import (DEFAULT_APPS, run_backend_bench, run_bench,
-                        run_policy_bench, write_results)
+                        run_jit_bench, run_policy_bench, write_results)
 
     apps = args.apps or list(DEFAULT_APPS)
     nodes = args.nodes if args.nodes is not None else 3
+    if args.jit_bench:
+        doc = run_jit_bench(nodes=nodes, apps=apps)
+        if args.json:
+            out_dir = Path(args.out) if args.out else Path(
+                "benchmarks/results")
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / "bench_jit.json"
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {path}")
+        for app, entry in doc["apps"].items():
+            interp = entry["runs"]["interp"]
+            jit = entry["runs"]["jit"]
+            print(f"{app:10s} interp {interp['wall_seconds']:6.2f}s -> "
+                  f"jit {jit['wall_seconds']:6.2f}s "
+                  f"({entry['speedup_wall']}x wall), "
+                  f"{jit['jit']['compiles']} compiles, "
+                  f"deopt rate {jit['jit']['deopt_rate']}"
+                  + ("" if entry["identical"] else "  DIVERGES"))
+        return 0 if all(e["identical"] for e in doc["apps"].values()) else 1
     if args.policy_bench:
         # The policy bench defaults to its own wider cluster; an
         # explicit --nodes still overrides it.
@@ -459,7 +512,7 @@ def cmd_trace(args) -> int:
     """`repro trace`: distributed run with protocol tracing."""
     classfiles = compile_source(_read(args.source))
     rewritten = rewrite_application(
-        classfiles, optimize_checks=args.optimize_checks
+        classfiles, check_elim=_elim_level(args)
     )
     runtime = JavaSplitRuntime(rewritten, _config(args))
     tracer = DsmTracer.attach(runtime, max_events=args.limit)
@@ -509,8 +562,27 @@ def _obs_config(args, metrics: bool, spans: bool,
         obs_spans=spans,
         obs_profile=profile,
         obs_top_n=getattr(args, "top", 10),
+        jit_enable=getattr(args, "jit", False),
+        jit_threshold=getattr(args, "jit_threshold", 10),
         **parse_locality(args.locality),
     )
+
+
+def _jit_detail(report) -> None:
+    """Per-method tier/exit breakdown appended to profile/stats output."""
+    j = report.jit
+    if j is None:
+        return
+    print("jit methods:")
+    for name in sorted(j["methods"]):
+        info = j["methods"][name]
+        exits = info["exits"]
+        deopts = exits.get("deopt", 0)
+        detail = ", ".join(f"{r}={n}" for r, n in sorted(exits.items()))
+        print(f"  {name:40s} tier={info['tier']} deopts={deopts}  "
+              f"({detail or 'never entered'})")
+    for name, why in sorted(j["blacklisted"].items()):
+        print(f"  {name:40s} tier=0 (blacklisted: {why})")
 
 
 def cmd_profile(args) -> int:
@@ -546,6 +618,7 @@ def cmd_profile(args) -> int:
         with open(args.speedscope, "w") as fh:
             fh.write(obs.spans.to_collapsed())
         print(f"wrote collapsed stacks to {args.speedscope}")
+    _jit_detail(report)
     _report(report)
     return 0
 
@@ -581,6 +654,7 @@ def cmd_stats(args) -> int:
             print(f"  {name:24s} n={h.count:6d} mean={h.mean:12.1f} "
                   f"p50={h.quantile(0.5)} p99={h.quantile(0.99)} "
                   f"max={h.max}")
+    _jit_detail(report)
     _report(report)
     return 0
 
@@ -650,6 +724,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dis = sub.add_parser("disasm", help="disassemble bytecode")
     p_dis.add_argument("source")
+    p_dis.add_argument("--costs", default=None, metavar="BRAND",
+                       choices=("sun", "ibm"),
+                       help="annotate pre-summed per-run costs and "
+                            "check-elim notes for a JVM brand")
+    p_dis.add_argument("--check-elim", type=int, default=None,
+                       metavar="LEVEL", choices=(0, 1, 2),
+                       help="check-elimination level (0/1/2)")
     p_dis.add_argument("--rewritten", action="store_true",
                        help="disassemble the javasplit.* rewrite instead")
     p_dis.add_argument("--optimize-checks", action="store_true")
@@ -687,6 +768,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every seed with all telemetry knobs on "
                             "(metrics, spans, stall profiling) — puts the "
                             "instrumentation itself under the oracle")
+    p_chk.add_argument("--jit", action="store_true",
+                       help="run every seed with the tiered JIT on; the "
+                            "oracle then certifies compiled execution")
+    p_chk.add_argument("--jit-threshold", type=int, default=10,
+                       metavar="N")
+    p_chk.add_argument("--check-elim", type=int, default=None,
+                       metavar="LEVEL", choices=(0, 1, 2),
+                       help="check-elimination level for the rewrite")
     p_chk.add_argument("--verbose", action="store_true",
                        help="print one line per seed")
     p_chk.set_defaults(fn=cmd_check)
@@ -737,6 +826,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run with the telemetry metrics "
                               "registry on and embed its compact summary")
     _add_backend_args(p_bench)
+    p_bench.add_argument("--jit-bench", action="store_true",
+                         help="tiered-JIT ablation: interp vs jit vs "
+                              "jit+check-elim-2 per app (what "
+                              "BENCH_9.json snapshots; deterministic "
+                              "fields must be identical interp vs jit)")
     p_bench.add_argument("--compare-backends", action="store_true",
                          help="run every app on both backends and report "
                               "simulated vs wall-clock time side by side "
@@ -785,6 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--speedscope", default=None, metavar="FILE",
                         help="write speedscope-compatible collapsed "
                              "stacks (Brendan Gregg folded format)")
+    p_prof.add_argument("--jit", action="store_true",
+                        help="tier hot methods; adds the per-method "
+                             "compile/deopt table and jit.* metrics")
+    p_prof.add_argument("--jit-threshold", type=int, default=10,
+                        metavar="N")
     p_prof.set_defaults(fn=cmd_profile)
 
     p_st = sub.add_parser(
@@ -797,6 +896,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--locality", default="", metavar="COMPONENTS")
     p_st.add_argument("--json", action="store_true",
                       help="print the raw registry dump as JSON")
+    p_st.add_argument("--jit", action="store_true",
+                      help="tier hot methods; adds the per-method "
+                           "compile/deopt table and jit.* counters")
+    p_st.add_argument("--jit-threshold", type=int, default=10,
+                      metavar="N")
     p_st.set_defaults(fn=cmd_stats)
 
     p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")

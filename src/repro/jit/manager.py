@@ -1,0 +1,242 @@
+"""Tiered-execution manager: promotion counters, code cache, quanta.
+
+One :class:`JitManager` attaches to the runtime (same pattern as the
+ft/locality/policy/race/obs managers); it installs one :class:`JitAgent`
+per worker.  The agent owns the per-node code cache — ``MethodInfo``
+objects are *shared* across worker JVMs (one ``RewriteResult``), so the
+cache is keyed by ``id(method)`` per agent, and each agent compiles its
+own specialization bound to its own JVM's hooks and heap.
+
+Tier 0 is the unmodified interpreter.  Tier 1 is the codegen'd Python
+function (:mod:`repro.jit.codegen`).  Promotion is by invocation count
+(``jit_threshold``); compile failures blacklist the method forever
+(``cache[id] = False``) and record the reason.
+
+``run_quantum`` replaces ``JThread.run_quantum``'s interpret loop:
+
+* pc at a compiled entry → run the compiled function, account its
+  reason;
+* pc elsewhere (interpreter tails end quanta at arbitrary pcs), method
+  not compiled, or blacklisted → one interpreter step;
+* ``R_BUDGET`` → finish the quantum with the interpreter so the
+  overshoot boundary is bit-identical to tier 0;
+* ``R_DEOPT``/``R_CALL`` → one interpreter step executes the pc the
+  compiled code could not (budget permitting — otherwise the next
+  quantum re-enters the stub with fresh budget).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..sim.node import StreamState
+from .codegen import (
+    N_REASONS,
+    R_BUDGET,
+    R_CALL,
+    R_DEOPT,
+    REASON_NAMES,
+    compile_method,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..jvm.classfile import MethodInfo
+    from ..runtime.javasplit import JavaSplitRuntime
+    from ..runtime.worker import WorkerNode
+
+_RUNNABLE = StreamState.RUNNABLE
+
+
+class JitAgent:
+    """Per-worker tier-1 compiler + quantum driver."""
+
+    def __init__(self, manager: "JitManager", worker: "WorkerNode") -> None:
+        self.manager = manager
+        self.worker = worker
+        self.jvm = worker.jvm
+        self.interp = worker.jvm.interpreter
+        self.threshold = manager.threshold
+        # id(method) -> compiled fn, or False (blacklisted).
+        self.cache: Dict[int, Any] = {}
+        # id(method) -> MethodInfo: pins methods (and gives report names).
+        self.methods: Dict[int, "MethodInfo"] = {}
+        self.counters: Dict[int, int] = {}
+        self.compiles = 0
+        self.compile_failures: Dict[str, str] = {}  # method -> reason
+        self.reasons = [0] * N_REASONS  # aggregated fn exit reasons
+        self.interp_steps = 0
+        self.jvm.jit = self
+        self.interp.jit = self
+
+    # -- promotion -----------------------------------------------------
+    def note_invoke(self, method: "MethodInfo") -> None:
+        """Interpreter callback on every non-native frame push."""
+        key = id(method)
+        if key in self.cache:
+            return
+        count = self.counters.get(key, 0) + 1
+        if count >= self.threshold:
+            self._compile(method)
+        else:
+            self.counters[key] = count
+
+    def note_quantum(self, method: "MethodInfo") -> None:
+        """Quantum-entry promotion: loops that never return still get
+        hot (one tick per scheduler quantum spent in the method)."""
+        key = id(method)
+        if key in self.cache:
+            return
+        count = self.counters.get(key, 0) + 1
+        if count >= self.threshold:
+            self._compile(method)
+        else:
+            self.counters[key] = count
+
+    def _compile(self, method: "MethodInfo") -> None:
+        key = id(method)
+        self.counters.pop(key, None)
+        self.methods[key] = method
+        try:
+            fn = compile_method(method, self)
+        except Exception as exc:  # noqa: BLE001 - any failure → tier 0
+            self.cache[key] = False
+            self.compile_failures[f"{method.klass}.{method.name}"] = (
+                f"{type(exc).__name__}: {exc}")
+            return
+        self.cache[key] = fn
+        self.compiles += 1
+        self.manager._on_compiled(self.worker.node_id, method)
+
+    # -- execution -----------------------------------------------------
+    def run_quantum(self, thread, budget_ns: int):
+        """Drop-in for JThread.run_quantum's interpret loop."""
+        consumed = 0
+        interp = self.interp
+        cache = self.cache
+        frames = thread.frames
+        if frames:
+            self.note_quantum(frames[-1].method)
+        while consumed < budget_ns and thread.state is _RUNNABLE:
+            frame = frames[-1]
+            fn = cache.get(id(frame.method))
+            if fn is None or fn is False or frame.pc not in fn.entries:
+                consumed += interp.step(thread)
+                self.interp_steps += 1
+                continue
+            used, reason = fn(thread, frame, budget_ns - consumed, 0)
+            consumed += used
+            fn.stats[reason] += 1
+            self.reasons[reason] += 1
+            if self.manager.trace is not None and reason >= R_CALL:
+                self.manager.trace.append(
+                    (self.worker.node_id, thread.name,
+                     f"{frame.method.klass}.{frame.method.name}",
+                     frame.pc, REASON_NAMES[reason]))
+            if reason == R_BUDGET:
+                # Interpreter tail: reproduce tier 0's exact overshoot.
+                while consumed < budget_ns and thread.state is _RUNNABLE:
+                    consumed += interp.step(thread)
+                    self.interp_steps += 1
+                break
+            if reason == R_DEOPT or reason == R_CALL:
+                # The interpreter must execute this pc (deopt site, or
+                # an invoke whose callee is not compiled).
+                if consumed < budget_ns and thread.state is _RUNNABLE:
+                    consumed += interp.step(thread)
+                    self.interp_steps += 1
+        return consumed, thread.state
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        methods = {}
+        for key, fn in self.cache.items():
+            m = self.methods.get(key)
+            name = f"{m.klass}.{m.name}" if m is not None else f"@{key:x}"
+            if fn is False:
+                continue
+            methods[name] = {
+                "tier": 1,
+                "exits": {REASON_NAMES[i]: n
+                          for i, n in enumerate(fn.stats) if n},
+            }
+        return {
+            "node": self.worker.node_id,
+            "compiled": self.compiles,
+            "blacklisted": dict(self.compile_failures),
+            "interp_steps": self.interp_steps,
+            "exit_reasons": {REASON_NAMES[i]: n
+                             for i, n in enumerate(self.reasons) if n},
+            "methods": methods,
+        }
+
+
+class JitManager:
+    """Runtime-level facade: attaches one agent per worker, aggregates."""
+
+    def __init__(self, runtime: "JavaSplitRuntime") -> None:
+        self.runtime = runtime
+        self.threshold = runtime.config.jit_threshold
+        self.agents: List[JitAgent] = []
+        self.trace: Optional[List[tuple]] = (
+            [] if runtime.config.jit_deopt_trace else None)
+
+    def attach(self) -> None:
+        for worker in self.runtime.workers:
+            self.agents.append(JitAgent(self, worker))
+
+    def on_worker_added(self, worker: "WorkerNode") -> None:
+        self.agents.append(JitAgent(self, worker))
+
+    # -- obs integration -----------------------------------------------
+    def _metrics(self):
+        obs = getattr(self.runtime, "obs", None)
+        return None if obs is None else obs.metrics
+
+    def _on_compiled(self, node_id: int, method: "MethodInfo") -> None:
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc("jit.compiles", node_id)
+
+    def finalize_metrics(self) -> None:
+        """Publish cumulative jit.* counters (called from run())."""
+        metrics = self._metrics()
+        if metrics is None:
+            return
+        for agent in self.agents:
+            node = agent.worker.node_id
+            for i, n in enumerate(agent.reasons):
+                if n:
+                    metrics.inc(f"jit.exit.{REASON_NAMES[i]}", node, n)
+            if agent.compile_failures:
+                metrics.inc("jit.blacklisted", node,
+                            len(agent.compile_failures))
+
+    def report(self) -> Dict[str, Any]:
+        per_node = [a.report() for a in self.agents]
+        exits: Dict[str, int] = {}
+        for rep in per_node:
+            for name, n in rep["exit_reasons"].items():
+                exits[name] = exits.get(name, 0) + n
+        methods: Dict[str, Dict[str, Any]] = {}
+        for rep in per_node:
+            for name, info in rep["methods"].items():
+                agg = methods.setdefault(name, {"tier": 1, "exits": {}})
+                for r, n in info["exits"].items():
+                    agg["exits"][r] = agg["exits"].get(r, 0) + n
+        out: Dict[str, Any] = {
+            "threshold": self.threshold,
+            "compiled_methods": sorted(methods),
+            "compiles": sum(r["compiled"] for r in per_node),
+            "blacklisted": {k: v for r in per_node
+                            for k, v in r["blacklisted"].items()},
+            "exit_reasons": exits,
+            "deopts": exits.get("deopt", 0),
+            "methods": methods,
+            "nodes": per_node,
+        }
+        if self.trace is not None:
+            out["trace"] = [
+                {"node": n, "thread": t, "method": m, "pc": pc, "reason": r}
+                for n, t, m, pc, r in self.trace[:200]
+            ]
+        return out

@@ -3,14 +3,30 @@
 Primarily a rewriter-inspection tool: diffing the listing of an original
 class against its ``javasplit.*`` twin shows exactly what the
 instrumentation did (the paper's Figure 2/3, regenerable for any class).
+
+With ``costs=<brand>`` the listing additionally shows what the tiered
+JIT sees: each straight-line run of pure ops is bracketed with its
+pre-summed simulated cost (the one addition tier-1 code charges at run
+entry), and check-elimination notes (``method.elim_notes``, written by
+the level-1/2 passes) annotate the instructions whose access checks
+were removed or hoisted.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 from .bytecode import BRANCHES, Instr, Op
 from .classfile import ClassFile, MethodInfo
+
+CostTables = Tuple[List[int], List[int], List[int]]
+
+
+def resolve_cost_tables(brand: str, profile: str = "micro") -> CostTables:
+    """(plain, checked, static) per-opcode tables for a JVM brand."""
+    from ..jit.analysis import build_cost_tables
+    from ..sim.cost_model import get_brand
+    return build_cost_tables(get_brand(brand, profile))
 
 
 def format_instr(pc: int, instr: Instr) -> str:
@@ -29,7 +45,8 @@ def format_instr(pc: int, instr: Instr) -> str:
     return " ".join(parts)
 
 
-def disassemble_method(method: MethodInfo) -> str:
+def disassemble_method(method: MethodInfo,
+                       costs: Optional[CostTables] = None) -> str:
     flags = " ".join(sorted(method.flags))
     sig = f"{method.ret} {method.name}({', '.join(method.params)})"
     header = f"  {flags + ' ' if flags else ''}{sig}"
@@ -42,13 +59,30 @@ def disassemble_method(method: MethodInfo) -> str:
             targets.add(instr.a)
         elif instr.op in BRANCHES:
             targets.add(instr.b)
+    elim_notes = getattr(method, "elim_notes", None) or {}
+    run_start = {}
+    if costs is not None:
+        from ..jit.analysis import pre_summed_runs
+        for start, end, total in pre_summed_runs(method, *costs):
+            run_start[start] = (end, total)
     for pc, instr in enumerate(method.code):
+        run = run_start.get(pc)
+        if run is not None:
+            end, total = run
+            span = (f"pc {pc}" if end == pc + 1
+                    else f"pc {pc}..{end - 1}")
+            lines.append(f"      ; run {span}: {total} ns pre-summed")
         marker = ">" if pc in targets else " "
-        lines.append(f"   {marker}{format_instr(pc, instr)}")
+        text = f"   {marker}{format_instr(pc, instr)}"
+        note = elim_notes.get(pc)
+        if note:
+            text += f"  ; elim: {note}"
+        lines.append(text)
     return "\n".join(lines)
 
 
-def disassemble_class(cf: ClassFile) -> str:
+def disassemble_class(cf: ClassFile,
+                      costs: Optional[CostTables] = None) -> str:
     lines = [f"class {cf.name} extends {cf.super_name or '<root>'}"
              + ("  [instrumented]" if cf.instrumented else "")]
     for f in cf.fields:
@@ -61,9 +95,10 @@ def disassemble_class(cf: ClassFile) -> str:
         lines.append(f"  {' '.join(mods + [f.type, f.name])}{init}")
     for method in cf.methods.values():
         lines.append("")
-        lines.append(disassemble_method(method))
+        lines.append(disassemble_method(method, costs))
     return "\n".join(lines)
 
 
-def disassemble(classfiles: Iterable[ClassFile]) -> str:
-    return "\n\n".join(disassemble_class(cf) for cf in classfiles)
+def disassemble(classfiles: Iterable[ClassFile],
+                costs: Optional[CostTables] = None) -> str:
+    return "\n\n".join(disassemble_class(cf, costs) for cf in classfiles)

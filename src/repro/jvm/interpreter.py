@@ -89,6 +89,11 @@ class Interpreter:
     # attribute test.
     race_hook = None
 
+    # Tiered-JIT agent (repro.jit); set per instance when the jit is
+    # enabled so _invoke can bump the callee's invocation counter.
+    # Class-level None keeps the disabled path a single attribute test.
+    jit = None
+
     def __init__(self, jvm: "JVM") -> None:  # noqa: F821 - circular typing
         self.jvm = jvm
         self.cost_model = jvm.cost_model
@@ -511,6 +516,8 @@ class Interpreter:
             frame.pc += 1
             return self.cost_model[cm.NATIVE]
         thread.frames.append(Frame(target, args))
+        if self.jit is not None:
+            self.jit.note_invoke(target)
         return 0
 
     def _return(self, thread, value: Any, has_value: bool) -> None:

@@ -113,6 +113,9 @@ class JThread:
     # ------------------------------------------------------------------
     def run_quantum(self, budget_ns: int) -> tuple[int, StreamState]:
         """ExecStream adapter: interpret until the budget is spent."""
+        jit = self.jvm.jit
+        if jit is not None:
+            return jit.run_quantum(self, budget_ns)
         consumed = 0
         interp = self.jvm.interpreter
         while consumed < budget_ns and self.state is StreamState.RUNNABLE:
@@ -195,6 +198,9 @@ class JVM:
         self.threads: List[JThread] = []
         self.live_jthreads: Dict[int, JThread] = {}  # id(thread_obj) -> JThread
         self.hooks: Any = None
+        # Tiered-JIT agent (repro.jit), installed per worker when the
+        # jit_enable knob is on; None keeps tier-0 dispatch untouched.
+        self.jit: Any = None
         # Bootstrap class names; the distributed runtime points these at
         # the rewritten ("js."-prefixed) versions.
         self.object_class = "Object"

@@ -25,6 +25,27 @@ The analysis is deliberately conservative:
   to the slot evicts it) and for C_static holder references produced by
   DSM_STATICREF (always the same per-class singleton, so a second check
   on the same class's holder within a region is redundant).
+
+Level 2 (``level=2``, consumed by the tiered JIT) layers two passes on
+top of the straight-line analysis:
+
+* **region-based dataflow**: validated facts (local slots and C_static
+  holders) flow across basic blocks with set-intersection at merges, so
+  a check dominated by equivalent checks on *every* incoming path is
+  removed even across branches — the classic forward must-analysis of
+  Veldema et al. instead of the per-region reset above;
+* **loop hoisting**: a ``LOAD p; DSM_READCHECK; GETFIELD`` in a loop
+  body whose slot ``p`` is never stored in the loop and whose body has
+  no synchronization barrier is validated once in the loop preheader
+  (guarded by a null test, so a zero-iteration loop stays exactly as
+  null-safe as before) and the in-body check then falls to the dataflow
+  pass.  Early validation of a loop that never runs is an LRC-legal
+  prefetch.  Array-element checks are never hoisted: region-granular
+  coherence (``DsmConfig.array_region_elems``) makes their validity
+  index-dependent.
+
+Both levels record what they did on the method (``method.elim_notes``,
+final-pc → note) so the disassembler can annotate the listing.
 """
 
 from __future__ import annotations
@@ -65,17 +86,34 @@ _BARRIERS = frozenset({
 
 
 def eliminate_redundant_read_checks(
-    cf: ClassFile, resolver: MethodResolver
+    cf: ClassFile, resolver: MethodResolver, level: int = 1
 ) -> int:
-    """Remove provably-redundant read checks in one class; returns count."""
+    """Remove provably-redundant read checks in one class; returns count.
+
+    ``level=1`` is the straight-line pass; ``level=2`` adds loop
+    hoisting followed by the region-based dataflow pass."""
     removed = 0
     for method in cf.methods.values():
         if not method.is_native and method.code:
-            removed += _process_method(method, resolver)
+            # Tags: id(instr) -> note.  Instruction objects survive the
+            # remapping passes, so identity recovers final positions.
+            tags: Dict[int, str] = {}
+            if level >= 2:
+                _hoist_loop_checks(method, tags)
+                removed += _process_method_regional(method, resolver, tags)
+            else:
+                removed += _process_method(method, resolver, tags)
+            if tags:
+                method.elim_notes = {
+                    pc: tags[id(instr)]
+                    for pc, instr in enumerate(method.code)
+                    if id(instr) in tags
+                }
     return removed
 
 
-def _process_method(method: MethodInfo, resolver: MethodResolver) -> int:
+def _process_method(method: MethodInfo, resolver: MethodResolver,
+                    tags: Dict[int, str]) -> int:
     code = method.code
     leaders: Set[int] = {0}
     for instr in code:
@@ -156,12 +194,258 @@ def _process_method(method: MethodInfo, resolver: MethodResolver) -> int:
 
     if not to_remove:
         return 0
+    _remove_checks(method, to_remove, tags)
+    return len(to_remove)
+
+
+def _remove_checks(method: MethodInfo, to_remove: Set[int],
+                   tags: Dict[int, str]) -> None:
+    """Delete the checks; tag each now-unguarded access for disasm."""
+    for pc in to_remove:
+        tags[id(method.code[pc + 1])] = "check eliminated"
 
     def expand(instr: Instr, pc: int):
         return [] if pc in to_remove else [instr]
 
     expand_code(method, expand)
+
+
+# ---------------------------------------------------------------------------
+# Level 2: region-based dataflow over basic blocks
+# ---------------------------------------------------------------------------
+
+def _block_starts(code: List[Instr]) -> List[int]:
+    """Basic-block leaders: entry, branch targets, post-branch pcs."""
+    n = len(code)
+    leaders = {0}
+    for pc, instr in enumerate(code):
+        op = instr.op
+        if op is Op.GOTO:
+            leaders.add(instr.a)
+        elif op in (Op.IF, Op.IF_CMP):
+            leaders.add(instr.b)
+        if op in BRANCHES or op in (Op.RETURN, Op.RETVAL):
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def _transfer(
+    code: List[Instr],
+    start: int,
+    end: int,
+    facts: Set[object],
+    resolver: MethodResolver,
+    collect: Optional[Set[int]] = None,
+) -> Set[object]:
+    """Straight-line analysis of ``code[start:end)`` with incoming
+    validated ``facts``; returns the outgoing fact set.  With
+    ``collect`` (the final walk), removable check pcs are recorded."""
+    stack: List[Optional[object]] = []
+    validated = set(facts)
+    for pc in range(start, end):
+        instr = code[pc]
+        op = instr.op
+        if op is Op.DSM_READCHECK:
+            prov = _peek(stack, instr.a)
+            if prov is not None:
+                if collect is not None and prov in validated:
+                    guarded = code[pc + 1] if pc + 1 < end else None
+                    if guarded is not None and guarded.checked in (
+                        True, "static"
+                    ):
+                        collect.add(pc)
+                validated.add(prov)
+            continue
+        if op is Op.DSM_WRITECHECK:
+            prov = _peek(stack, instr.a)
+            if prov is not None:
+                validated.add(prov)
+            continue
+
+        if op in _BARRIERS:
+            validated = set()
+        if op is Op.STORE or op is Op.IINC:
+            validated.discard(instr.a)
+
+        if op is Op.LOAD:
+            stack.append(instr.a)
+        elif op is Op.DSM_STATICREF:
+            stack.append(("static", instr.a))
+        elif op is Op.DUP:
+            stack.append(_peek(stack, 0))
+        elif op is Op.DUP_X1:
+            b = _pop(stack); a = _pop(stack)
+            stack.extend((b, a, b))
+        elif op is Op.SWAP:
+            if len(stack) >= 2:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            else:
+                stack = []
+        elif op in _INVOKES:
+            target = resolver.resolve(instr.a, instr.b)
+            pops = target.nargs if target is not None else len(stack)
+            pushes = 0 if target is None or target.ret == "void" else 1
+            _apply(stack, pops, pushes)
+        else:
+            pops, pushes = _EFFECT[op]
+            _apply(stack, pops, pushes)
+    return validated
+
+
+def _process_method_regional(
+    method: MethodInfo, resolver: MethodResolver, tags: Dict[int, str]
+) -> int:
+    """Forward must-analysis of validated facts with ∩ at merges."""
+    code = method.code
+    starts = _block_starts(code)
+    n = len(code)
+    bounds = {s: (starts[i + 1] if i + 1 < len(starts) else n)
+              for i, s in enumerate(starts)}
+    succ: Dict[int, List[int]] = {}
+    preds: Dict[int, List[int]] = {s: [] for s in starts}
+    for s in starts:
+        e = bounds[s]
+        last = code[e - 1]
+        targets: List[int] = []
+        if last.op is Op.GOTO:
+            targets = [last.a]
+        elif last.op in (Op.IF, Op.IF_CMP):
+            targets = [last.b] + ([e] if e < n else [])
+        elif last.op not in (Op.RETURN, Op.RETVAL) and e < n:
+            targets = [e]
+        succ[s] = targets
+        for t in targets:
+            preds[t].append(s)
+
+    # Optimistic iteration: OUT starts at TOP (None = "all facts"), so
+    # loop-carried facts survive the ∩ until proven otherwise.
+    out: Dict[int, Optional[Set[object]]] = {s: None for s in starts}
+    in_: Dict[int, Set[object]] = {}
+    seen: Set[int] = set()
+    worklist = [0]
+    while worklist:
+        s = worklist.pop()
+        seen.add(s)
+        facts: Optional[Set[object]] = set() if s == 0 else None
+        for p in preds[s]:
+            po = out[p]
+            if po is None:
+                continue
+            facts = set(po) if facts is None else (facts & po)
+        if facts is None:
+            facts = set()
+        in_[s] = facts
+        new_out = _transfer(code, s, bounds[s], facts, resolver)
+        if out[s] is None or new_out != out[s]:
+            out[s] = new_out
+            worklist.extend(succ[s])
+        else:
+            worklist.extend(t for t in succ[s] if t not in seen)
+
+    to_remove: Set[int] = set()
+    for s in sorted(in_):
+        _transfer(code, s, bounds[s], in_[s], resolver,
+                  collect=to_remove)
+    if not to_remove:
+        return 0
+    for pc in to_remove:
+        # The access runs at (near-)original speed again (see the
+        # straight-line pass above for the cost rationale).
+        code[pc + 1].checked = False
+    _remove_checks(method, to_remove, tags)
     return len(to_remove)
+
+
+# ---------------------------------------------------------------------------
+# Level 2: loop hoisting
+# ---------------------------------------------------------------------------
+
+# Placeholder branch target for inserted null-test skips; expand_code
+# only remaps int targets, so the sentinel rides through the remapping
+# and is resolved to a real pc afterwards.
+_HOIST_SKIP = object()
+
+# Validators inserted per method (each is 5 instructions); bounds code
+# growth on pathological loop nests.
+_MAX_HOISTS = 8
+
+
+def _hoist_loop_checks(method: MethodInfo, tags: Dict[int, str]) -> int:
+    """Insert null-safe loop-preheader validators for hot read checks.
+
+    Inserting a validator is always *sound* — it is a real DSM_READCHECK
+    executed a little early (an LRC-legal prefetch), guarded by a null
+    test so a zero-iteration loop cannot fault where the original code
+    would not.  The conditions below are profitability filters: they
+    accept exactly the checks the regional dataflow pass will then
+    delete from the loop body.
+    """
+    code = method.code
+    n = len(code)
+    branches = [
+        (pc, instr.a if instr.op is Op.GOTO else instr.b)
+        for pc, instr in enumerate(code)
+        if instr.op in BRANCHES and isinstance(
+            instr.a if instr.op is Op.GOTO else instr.b, int)
+    ]
+    hoists: Dict[int, List[int]] = {}
+    total = 0
+    for src, h in branches:
+        if not (1 <= h <= src):
+            continue  # not a back edge (or no preheader instruction)
+        if code[h - 1].op in (Op.GOTO, Op.RETURN, Op.RETVAL):
+            continue  # loop not entered by fallthrough: validator dead
+        # The loop must only be enterable through the preheader —
+        # branches from outside [h, src] into it would bypass the
+        # validator (they land *after* the suffix the remapping puts at
+        # the end of the preheader instruction).
+        if any(h <= t <= src and not h <= pc <= src
+               for pc, t in branches):
+            continue
+        body = code[h:src + 1]
+        if any(i.op in _BARRIERS for i in body):
+            continue  # a barrier would clear the hoisted fact anyway
+        killed = {i.a for i in body if i.op in (Op.STORE, Op.IINC)}
+        slots = hoists.setdefault(h, [])
+        for pc in range(h, src - 1):
+            if (code[pc].op is Op.LOAD
+                    and code[pc + 1].op is Op.DSM_READCHECK
+                    and code[pc + 1].a == 0
+                    and code[pc + 2].op is Op.GETFIELD
+                    and code[pc + 2].checked in (True, "static")
+                    and code[pc].a not in killed
+                    and code[pc].a not in slots
+                    and total < _MAX_HOISTS):
+                slots.append(code[pc].a)
+                total += 1
+    hoists = {h: slots for h, slots in hoists.items() if slots}
+    if not hoists:
+        return 0
+
+    def expand(instr: Instr, pc: int):
+        slots = hoists.get(pc + 1)
+        if not slots:
+            return [instr]
+        seq = [instr]
+        for p in slots:
+            validator = (
+                Instr(Op.LOAD, p, line=instr.line),
+                Instr(Op.IF, "eq", _HOIST_SKIP, line=instr.line),
+                Instr(Op.LOAD, p, line=instr.line),
+                Instr(Op.DSM_READCHECK, 0, line=instr.line),
+                Instr(Op.POP, line=instr.line),
+            )
+            for i in validator:
+                tags[id(i)] = f"hoisted loop check (slot {p})"
+            seq.extend(validator)
+        return seq
+
+    expand_code(method, expand)
+    for pc, instr in enumerate(method.code):
+        if instr.op is Op.IF and instr.b is _HOIST_SKIP:
+            instr.b = pc + 4  # past LOAD; DSM_READCHECK; POP
+    return total
 
 
 def _peek(stack: List[Optional[int]], depth: int) -> Optional[int]:

@@ -62,11 +62,16 @@ def rewrite_application(
     app_classfiles: List[ClassFile],
     master_node: int = 0,
     optimize_checks: bool = False,
+    check_elim: Optional[int] = None,
 ) -> RewriteResult:
     """Rewrite a compiled application for distributed execution.
 
     ``optimize_checks`` enables the §6.2 redundant-read-check
-    elimination pass (off by default, like the paper's prototype)."""
+    elimination pass (off by default, like the paper's prototype).
+    ``check_elim`` selects the elimination level explicitly: 0 = none,
+    1 = the straight-line pass (same as ``optimize_checks=True``),
+    2 = region-based dataflow + loop hoisting (what the tiered JIT
+    consumes; see :mod:`repro.rewriter.check_elim`)."""
     for cf in app_classfiles:
         if cf.name.startswith(PREFIX):
             raise ClassFormatError(
@@ -115,11 +120,15 @@ def rewrite_application(
         stats["write_checks"] += counts["write"]
         stats["volatile_accesses"] += counts["volatile"]
 
+    level = check_elim if check_elim is not None else (
+        1 if optimize_checks else 0)
+    if level not in (0, 1, 2):
+        raise ValueError(f"check_elim must be 0, 1 or 2, got {level!r}")
     stats["checks_eliminated"] = 0
-    if optimize_checks:
+    if level:
         for cf in renamed:
             stats["checks_eliminated"] += eliminate_redundant_read_checks(
-                cf, resolver
+                cf, resolver, level=level
             )
 
     specs = build_specs(table)

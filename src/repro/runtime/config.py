@@ -148,6 +148,30 @@ class RuntimeConfig:
     # Cap on retained race reports (each race is reported once; the
     # overflow count is surfaced in the summary).
     race_max_reports: int = 50
+    # ----- tiered JIT (src/repro/jit) ----------------------------------
+    # Tier-1 compilation: hot rewritten methods are translated to
+    # specialized Python functions (codegen + exec) with the per-
+    # instruction simulated costs pre-summed per straight-line run and
+    # the §4.4 local-lock fast path inlined.  Off by default — with
+    # jit_enable False no manager is attached and runs are byte-identical
+    # to a build without the subsystem; with it on, results, protocol
+    # traffic, and simulated time are still byte-identical (the compiler
+    # only changes wall-clock speed), which the differential suite
+    # verifies.
+    jit_enable: bool = False
+    # Invocations (plus one bump per scheduling quantum spent in a
+    # method) before a method is promoted from tier 0 to tier 1.
+    jit_threshold: int = 10
+    # Access-check elimination level consumed by compiled code:
+    # 0 = none, 1 = the straight-line §6.2 pass (same as
+    # ``rewrite_application(optimize_checks=True)``), 2 = adds the
+    # region-based dataflow + null-safe loop hoisting pass.  Levels 1/2
+    # legally change simulated time (fewer checked accesses), so the
+    # byte-identical differential harness runs with level 0.
+    jit_check_elim: int = 0
+    # Record a per-node trace of deopt events (method, pc, reason) in
+    # the jit report; debugging aid, never affects execution.
+    jit_deopt_trace: bool = False
     # ----- telemetry (src/repro/obs) -----------------------------------
     # Metrics registry: per-node counters/gauges/histograms sampled into
     # sim-time-bucketed series.  Traffic-passive.
@@ -165,6 +189,10 @@ class RuntimeConfig:
     obs_max_spans: int = 200_000
     # Rows in the hot-site / hot-unit profile reports.
     obs_top_n: int = 10
+
+    @property
+    def jit_enabled(self) -> bool:
+        return self.jit_enable
 
     @property
     def obs_enabled(self) -> bool:
@@ -288,6 +316,11 @@ class RuntimeConfig:
                 )
             if self.race_max_reports < 1:
                 raise ValueError("race_max_reports must be >= 1")
+        if self.jit_enable:
+            if self.jit_threshold < 1:
+                raise ValueError("jit_threshold must be >= 1")
+        if self.jit_check_elim not in (0, 1, 2):
+            raise ValueError("jit_check_elim must be 0, 1 or 2")
         if self.obs_enabled:
             if self.obs_metrics_bucket_ns < 1:
                 raise ValueError("obs_metrics_bucket_ns must be >= 1")

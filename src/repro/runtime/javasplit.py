@@ -75,6 +75,9 @@ class RunReport:
     # Telemetry summary (None unless an obs_* knob is on): metrics
     # export, span counts, stall-attribution profile.
     obs: Optional[Dict[str, Any]] = None
+    # Tiered-JIT summary (None unless RuntimeConfig.jit_enable): per-
+    # method compile tier, exit/deopt reason histograms, blacklist.
+    jit: Optional[Dict[str, Any]] = None
     # Which transport backend carried the run, its wall-clock duration,
     # and (proc backend only) the wire-plane summary: frame/byte counts
     # and per-worker relay statistics.
@@ -203,6 +206,12 @@ class JavaSplitRuntime:
             from ..obs import ObsManager
             self.obs = ObsManager(self)
             self.obs.attach()
+        # Tiered JIT attaches after obs so compile events hit metrics.
+        self.jit = None
+        if self.config.jit_enabled:
+            from ..jit import JitManager
+            self.jit = JitManager(self)
+            self.jit.attach()
 
     # ------------------------------------------------------------------
     def _choose_spawn_node(self) -> int:
@@ -292,6 +301,8 @@ class JavaSplitRuntime:
             self.race.on_worker_added(worker)
         if self.obs is not None:
             self.obs.on_worker_added(worker)
+        if self.jit is not None:
+            self.jit.on_worker_added(worker)
         if self.serve is not None:
             self.serve.on_worker_added(worker)
         for hook in self.worker_added_hooks:
@@ -360,6 +371,8 @@ class JavaSplitRuntime:
             # Analyze events still buffered on the accessor side (a
             # thread's trailing accesses never reach a release point).
             self.race.finalize()
+        if self.jit is not None:
+            self.jit.finalize_metrics()
         if self.obs is not None:
             self.obs.finalize()
         assert self._main_thread is not None
@@ -380,6 +393,7 @@ class JavaSplitRuntime:
             policy=None if self.policy is None else self.policy.report(),
             race=None if self.race is None else self.race.report(),
             obs=None if self.obs is None else self.obs.report(),
+            jit=None if self.jit is None else self.jit.report(),
             backend=self.config.transport_backend,
             wall_seconds=wall_seconds,
             proc=proc_summary,

@@ -63,6 +63,9 @@ class Scenario:
     #: ``--locality`` / ``--policy`` specs ("" = subsystem off).
     locality: str = ""
     policy: str = ""
+    #: Tier hot methods (repro.jit); observables are unchanged, only
+    #: the wall clock moves — see the jit differential tests.
+    jit: bool = False
 
     def config(self, seed: int, backend: str) -> RuntimeConfig:
         killing = self.kill is not None
@@ -75,6 +78,7 @@ class Scenario:
             ft_enabled=killing,
             obs_metrics=True,
             transport_backend=backend,
+            jit_enable=self.jit,
             **parse_locality(self.locality),
             **parse_policy(self.policy),
         )
