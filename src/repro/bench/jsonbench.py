@@ -64,7 +64,8 @@ def _measure(rewritten, nodes: int, mode: str,
     else:
         knobs = parse_locality("" if mode == "off" else mode)
     config = RuntimeConfig(num_nodes=nodes, obs_metrics=include_metrics,
-                           transport_backend=backend, **knobs)
+                           transport_backend=backend,
+                           obs_wallclock=(backend != "sim"), **knobs)
     runtime = JavaSplitRuntime(rewritten, config)
     report = runtime.run()
     total = report.total_dsm()
@@ -88,6 +89,8 @@ def _measure(rewritten, nodes: int, mode: str,
                 "delivered": report.proc["wire_delivered"],
                 "fallback": report.proc["wire_fallback"],
             }
+        if runtime.obs is not None and runtime.obs.wallclock is not None:
+            out["wallclock"] = runtime.obs.wallclock.by_node()
     if report.locality is not None:
         out["locality"] = report.locality
     if report.policy is not None:

@@ -79,6 +79,10 @@ class InvariantMonitor:
     def __init__(self, strict: bool = False) -> None:
         self.strict = strict
         self.violations: List[Violation] = []
+        # Optional callback fired on every violation with (node, kind,
+        # detail) — before the strict-mode raise, so the flight recorder
+        # dumps its postmortem even when the violation aborts the run.
+        self.on_violation: Optional[Any] = None
         self._engine = None               # sim engine, for timestamps
         self._workers: List[Any] = []
         # gid -> node that promoted it (single-home claims).
@@ -109,6 +113,9 @@ class InvariantMonitor:
             monitor._workers.append(worker)
         # Instrument late joiners too (same invariants apply to them).
         runtime.worker_added_hooks.append(monitor._on_worker_added)
+        obs = getattr(runtime, "obs", None)
+        if obs is not None and getattr(obs, "flight_enabled", False):
+            monitor.on_violation = obs.dump_on_violation
         return monitor
 
     def _on_worker_added(self, worker: Any) -> None:
@@ -120,6 +127,8 @@ class InvariantMonitor:
         v = Violation(self._engine.now if self._engine else 0,
                       node, kind, detail)
         self.violations.append(v)
+        if self.on_violation is not None:
+            self.on_violation(node, kind, detail)
         if self.strict:
             raise MonitorError(str(v))
 

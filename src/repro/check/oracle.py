@@ -71,6 +71,9 @@ class SingleCopyOracle:
 
     def __init__(self) -> None:
         self.violations: List[Violation] = []
+        # Optional callback fired on every violation with (node, kind,
+        # detail) — the flight recorder hooks in here to dump postmortems.
+        self.on_violation: Optional[Any] = None
         self._engine = None
         self._workers: List[Any] = []
         # key -> version -> list of acceptable normalized snapshots.
@@ -92,6 +95,9 @@ class SingleCopyOracle:
         # wrapping them their diffs would look "never published" to
         # every prefetch/install check on the original nodes.
         runtime.worker_added_hooks.append(oracle._on_worker_added)
+        obs = getattr(runtime, "obs", None)
+        if obs is not None and getattr(obs, "flight_enabled", False):
+            oracle.on_violation = obs.dump_on_violation
         return oracle
 
     def _on_worker_added(self, worker: Any) -> None:
@@ -103,6 +109,8 @@ class SingleCopyOracle:
         self.violations.append(Violation(
             self._engine.now if self._engine else 0, node, kind, detail
         ))
+        if self.on_violation is not None:
+            self.on_violation(node, kind, detail)
 
     @property
     def ok(self) -> bool:

@@ -555,6 +555,7 @@ def _obs_config(args, metrics: bool, spans: bool,
                 profile: bool) -> "RuntimeConfig":
     from .check.runner import parse_locality
 
+    live = getattr(args, "live", False)
     return RuntimeConfig(
         num_nodes=args.nodes,
         seed=args.seed,
@@ -562,9 +563,12 @@ def _obs_config(args, metrics: bool, spans: bool,
         obs_spans=spans,
         obs_profile=profile,
         obs_top_n=getattr(args, "top", 10),
+        obs_wallclock=getattr(args, "wallclock", False) or live,
+        obs_live_stats=live,
         jit_enable=getattr(args, "jit", False),
         jit_threshold=getattr(args, "jit_threshold", 10),
         **parse_locality(args.locality),
+        **_backend_kwargs(args),
     )
 
 
@@ -601,7 +605,9 @@ def cmd_profile(args) -> int:
     print(obs.profiler.format(args.top))
     print()
     if args.trace:
-        doc = obs.spans.to_chrome_trace()
+        wall_samples = (obs.wallclock.samples
+                        if obs.wallclock is not None else None)
+        doc = obs.spans.to_chrome_trace(wall_samples=wall_samples)
         errors = validate_chrome_trace(doc)
         with open(args.trace, "w") as fh:
             json.dump(doc, fh, indent=2)
@@ -623,17 +629,123 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _live_stats_lines(runtime) -> List[str]:
+    """One refresh of the live cluster view: per-node wall-clock
+    counters and histogram summaries, merged master-side."""
+    lines = [f"-- live @ sim {runtime.engine.now / 1e6:10.3f} ms --"]
+    obs = runtime.obs
+    wall = None if obs is None else obs.wallclock
+    if wall is None:
+        return lines
+    doc = wall.as_dict()
+    for name in sorted(doc["counters"]):
+        entry = doc["counters"][name]
+        by_node = " ".join(f"n{n}={c}"
+                           for n, c in sorted(entry["by_node"].items()))
+        lines.append(f"  {name:28s} {entry['total']:10d}  {by_node}")
+    for name in sorted(doc["histograms"]):
+        merged = doc["histograms"][name]["merged"]
+        by_node = " ".join(
+            f"n{n}={h['count']}" for n, h in
+            sorted(doc["histograms"][name]["by_node"].items()))
+        lines.append(f"  {name:28s} n={merged['count']:6d} "
+                     f"mean={merged['mean']:12.1f} p99={merged['p99']}  "
+                     f"{by_node}")
+    return lines
+
+
+def _start_live_printer(runtime, interval_s: float):
+    """Print the merged cluster view every ``interval_s`` (wall clock)
+    while the run executes.  Read-only on runtime state — it never
+    touches sockets or the engine, so the sim schedule is unaffected.
+    Returns (stop_event, thread)."""
+    import threading
+
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval_s):
+            for line in _live_stats_lines(runtime):
+                print(line, flush=True)
+
+    thread = threading.Thread(target=loop, name="repro-live-stats",
+                              daemon=True)
+    thread.start()
+    return stop, thread
+
+
+def _stats_serve(args, preset: str) -> int:
+    """``repro stats serve:<preset>``: live telemetry during a serving
+    scenario (the churn/SLO harness), on either backend."""
+    import json
+
+    from .serve import PRESETS, run_scenario
+
+    if preset not in PRESETS:
+        print(f"error: unknown serve preset {preset!r} "
+              f"(have {', '.join(sorted(PRESETS))})", file=sys.stderr)
+        return 2
+    live = getattr(args, "live", False)
+    overrides = {"obs_wallclock": True}
+    if live:
+        overrides["obs_live_stats"] = True
+        overrides["obs_live_period_s"] = max(0.05, args.interval / 2)
+    printers = []
+
+    def on_runtime(runtime) -> None:
+        if live:
+            printers.append(_start_live_printer(runtime, args.interval))
+
+    try:
+        doc = run_scenario(PRESETS[preset], seed=args.seed,
+                           backend=args.backend,
+                           config_overrides=overrides,
+                           on_runtime=on_runtime)
+    finally:
+        for stop, thread in printers:
+            stop.set()
+            thread.join(timeout=2.0)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        _print_serve_doc(doc)
+    return 0 if doc["ok"] else 1
+
+
 def cmd_stats(args) -> int:
     """`repro stats`: metrics-registry run; counters + histograms."""
     import json
 
+    if args.target.startswith("serve:"):
+        return _stats_serve(args, args.target.split(":", 1)[1])
     rewritten = rewrite_application(compile_source(_app_or_source(args.target)))
     config = _obs_config(args, metrics=True, spans=False, profile=False)
     runtime = JavaSplitRuntime(rewritten, config)
-    report = runtime.run()
+    printer = (_start_live_printer(runtime, args.interval)
+               if getattr(args, "live", False) else None)
+    try:
+        report = runtime.run()
+    finally:
+        if printer is not None:
+            stop, thread = printer
+            stop.set()
+            thread.join(timeout=2.0)
     obs = runtime.obs
     assert obs is not None and obs.metrics is not None
     doc = obs.metrics.as_dict()
+    net = report.net
+    if net is not None:
+        doc["net"] = {
+            "messages": net.messages,
+            "bytes": net.bytes,
+            "dropped": net.dropped,
+            "wire_frames": net.wire_frames,
+            "wire_bytes": net.wire_bytes,
+            "wire_delivered": net.wire_delivered,
+            "wire_fallback": net.wire_fallback,
+        }
+    if obs.wallclock is not None:
+        doc["wallclock"] = obs.wallclock.as_dict()
     if args.json:
         print(json.dumps(doc, indent=2))
         return 0
@@ -654,6 +766,23 @@ def cmd_stats(args) -> int:
             print(f"  {name:24s} n={h.count:6d} mean={h.mean:12.1f} "
                   f"p50={h.quantile(0.5)} p99={h.quantile(0.99)} "
                   f"max={h.max}")
+    if "net" in doc:
+        n = doc["net"]
+        print("net:")
+        print(f"  messages={n['messages']} bytes={n['bytes']} "
+              f"dropped={n['dropped']}")
+        print(f"  wire: frames={n['wire_frames']} bytes={n['wire_bytes']} "
+              f"delivered={n['wire_delivered']} "
+              f"fallback={n['wire_fallback']}")
+    if "wallclock" in doc:
+        wc = doc["wallclock"]
+        print(f"wallclock (elapsed {wc['wall_elapsed_ns'] / 1e9:.3f}s):")
+        for name in sorted(wc["counters"]):
+            print(f"  {name:28s} {wc['counters'][name]['total']:10d}")
+        for name in sorted(wc["histograms"]):
+            merged = wc["histograms"][name]["merged"]
+            print(f"  {name:28s} n={merged['count']:6d} "
+                  f"mean={merged['mean']:12.1f} p99={merged['p99']}")
     _jit_detail(report)
     _report(report)
     return 0
@@ -884,13 +1013,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "compile/deopt table and jit.* metrics")
     p_prof.add_argument("--jit-threshold", type=int, default=10,
                         metavar="N")
+    p_prof.add_argument("--wallclock", action="store_true",
+                        help="record monotonic-clock metrics alongside "
+                             "sim time; --trace gains a wall-clock "
+                             "counter lane")
     p_prof.set_defaults(fn=cmd_profile)
 
     p_st = sub.add_parser(
         "stats", help="metrics-registry run: counters + histograms")
     p_st.add_argument("target",
-                      help="built-in app name (series/tsp/raytracer) "
-                           "or a MiniJava source file")
+                      help="built-in app name (series/tsp/raytracer), "
+                           "a MiniJava source file, or serve:<preset> "
+                           "for a serving scenario with telemetry")
     p_st.add_argument("--nodes", type=int, default=3)
     p_st.add_argument("--seed", type=int, default=0)
     p_st.add_argument("--locality", default="", metavar="COMPONENTS")
@@ -901,6 +1035,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "compile/deopt table and jit.* counters")
     p_st.add_argument("--jit-threshold", type=int, default=10,
                       metavar="N")
+    p_st.add_argument("--live", action="store_true",
+                      help="stream merged per-node wall-clock metrics "
+                           "to stdout while the run executes")
+    p_st.add_argument("--interval", type=float, default=0.5,
+                      metavar="SECONDS",
+                      help="--live refresh period (wall clock)")
+    _add_backend_args(p_st)
     p_st.set_defaults(fn=cmd_stats)
 
     p_tr = sub.add_parser("trace", help="run with DSM protocol tracing")

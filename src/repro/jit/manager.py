@@ -27,6 +27,7 @@ function (:mod:`repro.jit.codegen`).  Promotion is by invocation count
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..sim.node import StreamState
@@ -65,6 +66,13 @@ class JitAgent:
         self.compile_failures: Dict[str, str] = {}  # method -> reason
         self.reasons = [0] * N_REASONS  # aggregated fn exit reasons
         self.interp_steps = 0
+        # Wall-clock telemetry (None unless obs_wallclock): compile time
+        # per method, interpreter-vs-JIT wall time per quantum.
+        self.wall = manager.wall
+        if self.wall is not None:
+            # Instance attribute shadows the method: the hot path stays
+            # probe-free when the knob is off.
+            self.run_quantum = self._run_quantum_timed  # type: ignore
         self.jvm.jit = self
         self.interp.jit = self
 
@@ -96,6 +104,7 @@ class JitAgent:
         key = id(method)
         self.counters.pop(key, None)
         self.methods[key] = method
+        t0 = time.monotonic_ns() if self.wall is not None else 0
         try:
             fn = compile_method(method, self)
         except Exception as exc:  # noqa: BLE001 - any failure → tier 0
@@ -105,6 +114,11 @@ class JitAgent:
             return
         self.cache[key] = fn
         self.compiles += 1
+        if self.wall is not None:
+            compile_ns = time.monotonic_ns() - t0
+            self.wall.observe(
+                "jit.compile_ns", self.worker.node_id, compile_ns)
+            self.manager.note_tier(self.worker.node_id, method, compile_ns)
         self.manager._on_compiled(self.worker.node_id, method)
 
     # -- execution -----------------------------------------------------
@@ -146,6 +160,60 @@ class JitAgent:
                     self.interp_steps += 1
         return consumed, thread.state
 
+    def _run_quantum_timed(self, thread, budget_ns: int):
+        """``run_quantum`` with per-quantum wall-clock attribution
+        (installed only under ``obs_wallclock``).  Same control flow;
+        every interpreter step and compiled-fn call is bracketed with
+        the monotonic clock, observed once per quantum."""
+        consumed = 0
+        interp_wall = 0
+        jit_wall = 0
+        interp = self.interp
+        cache = self.cache
+        frames = thread.frames
+        clock = time.monotonic_ns
+        if frames:
+            self.note_quantum(frames[-1].method)
+        while consumed < budget_ns and thread.state is _RUNNABLE:
+            frame = frames[-1]
+            fn = cache.get(id(frame.method))
+            if fn is None or fn is False or frame.pc not in fn.entries:
+                t0 = clock()
+                consumed += interp.step(thread)
+                interp_wall += clock() - t0
+                self.interp_steps += 1
+                continue
+            t0 = clock()
+            used, reason = fn(thread, frame, budget_ns - consumed, 0)
+            jit_wall += clock() - t0
+            consumed += used
+            fn.stats[reason] += 1
+            self.reasons[reason] += 1
+            if self.manager.trace is not None and reason >= R_CALL:
+                self.manager.trace.append(
+                    (self.worker.node_id, thread.name,
+                     f"{frame.method.klass}.{frame.method.name}",
+                     frame.pc, REASON_NAMES[reason]))
+            if reason == R_BUDGET:
+                t0 = clock()
+                while consumed < budget_ns and thread.state is _RUNNABLE:
+                    consumed += interp.step(thread)
+                    self.interp_steps += 1
+                interp_wall += clock() - t0
+                break
+            if reason == R_DEOPT or reason == R_CALL:
+                if consumed < budget_ns and thread.state is _RUNNABLE:
+                    t0 = clock()
+                    consumed += interp.step(thread)
+                    interp_wall += clock() - t0
+                    self.interp_steps += 1
+        node = self.worker.node_id
+        if interp_wall:
+            self.wall.observe("jit.quantum.interp_ns", node, interp_wall)
+        if jit_wall:
+            self.wall.observe("jit.quantum.jit_ns", node, jit_wall)
+        return consumed, thread.state
+
     # -- reporting -----------------------------------------------------
     def report(self) -> Dict[str, Any]:
         methods = {}
@@ -179,6 +247,23 @@ class JitManager:
         self.agents: List[JitAgent] = []
         self.trace: Optional[List[tuple]] = (
             [] if runtime.config.jit_deopt_trace else None)
+        # Wall-clock registry (obs attaches before jit; None w/o knob).
+        obs = getattr(runtime, "obs", None)
+        self.wall = None if obs is None else obs.wallclock
+        # Tier-transition log: when (both clocks) each method went tier 1.
+        self.tier_events: List[Dict[str, Any]] = []
+
+    def note_tier(self, node_id: int, method: "MethodInfo",
+                  compile_ns: int) -> None:
+        """Record one tier-0 → tier-1 transition with both timestamps."""
+        self.tier_events.append({
+            "node": node_id,
+            "method": f"{method.klass}.{method.name}",
+            "tier": 1,
+            "sim_ns": self.runtime.engine.now,
+            "wall_ns": time.monotonic_ns(),
+            "compile_ns": compile_ns,
+        })
 
     def attach(self) -> None:
         for worker in self.runtime.workers:
@@ -196,6 +281,10 @@ class JitManager:
         metrics = self._metrics()
         if metrics is not None:
             metrics.inc("jit.compiles", node_id)
+        obs = getattr(self.runtime, "obs", None)
+        if obs is not None:
+            obs.flight_record(node_id, "jit.compile",
+                              method=f"{method.klass}.{method.name}")
 
     def finalize_metrics(self) -> None:
         """Publish cumulative jit.* counters (called from run())."""
@@ -234,6 +323,8 @@ class JitManager:
             "methods": methods,
             "nodes": per_node,
         }
+        if self.tier_events:
+            out["tier_events"] = self.tier_events[:200]
         if self.trace is not None:
             out["trace"] = [
                 {"node": n, "thread": t, "method": m, "pc": pc, "reason": r}

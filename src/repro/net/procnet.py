@@ -48,11 +48,12 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from ..obs.metrics import Histogram
 from ..sim.engine import SimEngine
 from .message import Message
 from .simnet import SimNetwork
 from .wire import (FrameDecoder, WireError, decode_frame, encode_frame,
-                   frame_with_prefix, peek_msg_id)
+                   frame_with_prefix, peek_msg_id, set_wire_timer)
 
 # Control-plane frame types (master <-> worker only; never simulated).
 CTRL_HELLO = "proc.hello"
@@ -61,6 +62,10 @@ CTRL_RELAY = "proc.relay"
 CTRL_ARRIVED = "proc.arrived"
 CTRL_SHUTDOWN = "proc.shutdown"
 CTRL_STATS = "proc.stats"
+# Telemetry-plane frames (only when obs knobs are on; msg_id 0 like all
+# ctrl traffic, so they never perturb the sim schedule).
+CTRL_FLIGHT = "proc.flight"
+CTRL_DELTA = "proc.delta"
 
 #: Master's node id on the control plane (never a simulated node).
 MASTER_ID = -1
@@ -136,13 +141,20 @@ class _Peer:
 
 
 def worker_main(node_id: int, kind: str, ctrl_addr: Any,
-                data_addr: Optional[str]) -> None:
+                data_addr: Optional[str],
+                obs: Optional[Dict[str, Any]] = None) -> None:
     """Entry point of one node's worker process.
 
     Connects back to the master's control listener, binds this node's
     data listener, then loops: relay requests from the master go out to
     peer sockets, frames arriving from peers go back to the master.
     Runs until a ``proc.shutdown`` frame or control-socket EOF.
+
+    ``obs`` (from the master's ``obs_plane``) switches on the wall-clock
+    telemetry the worker collects locally: a flight-recorder ring
+    (``flight``), event-loop lag + codec histograms (``wallclock``), and
+    periodic ``CTRL_DELTA`` shipments (``live`` every ``period_s``).
+    With ``obs=None`` the loop is byte-identical to the plain backend.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
@@ -163,6 +175,49 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
     stats = {"node": node_id, "frames_relayed": 0, "frames_received": 0,
              "bytes_out": 0, "bytes_in": 0, "relay_failures": 0}
     running = True
+
+    # -- wall-clock telemetry (all off when obs is None) ----------------
+    obs = obs or {}
+    wallclock = bool(obs.get("wallclock"))
+    flight_on = bool(obs.get("flight"))
+    live_on = bool(obs.get("live"))
+    obs_on = wallclock or flight_on or live_on
+    flight_cap = int(obs.get("flight_events", 256))
+    period_s = float(obs.get("period_s", 0.25))
+    flight: Deque[Dict[str, Any]] = deque(maxlen=flight_cap)
+    flight_pending: Deque[Dict[str, Any]] = deque(maxlen=4 * flight_cap)
+    # Latest sim timestamp seen from the master (stamped on CTRL_RELAY
+    # when the flight knob is on) — pairs every event with both clocks.
+    last_sim = [0]
+    hists: Dict[str, Histogram] = {}
+    if wallclock:
+        hists["loop_lag_ns"] = Histogram()
+        hists["wire_encode_ns"] = Histogram()
+        hists["wire_decode_ns"] = Histogram()
+        set_wire_timer(lambda op, ns: hists[f"wire_{op}_ns"].observe(ns))
+
+    def flight_note(event_kind: str, **detail: Any) -> None:
+        event: Dict[str, Any] = {
+            "kind": event_kind,
+            "wall_ns": time.monotonic_ns(),
+            "sim_ns": last_sim[0],
+        }
+        if detail:
+            event.update(detail)
+        flight.append(event)
+        flight_pending.append(event)
+
+    def flush_obs() -> None:
+        """Ship flight events and (when live) a cumulative stats delta."""
+        if flight_on and flight_pending:
+            ctrl_send(CTRL_FLIGHT, {"events": list(flight_pending)})
+            flight_pending.clear()
+        if live_on:
+            ctrl_send(CTRL_DELTA, {
+                "stats": dict(stats),
+                "hists": {name: h.as_dict() for name, h in hists.items()
+                          if h.count},
+            })
 
     def interest(sock: socket.socket, outbuf: bytearray) -> None:
         events = selectors.EVENT_READ
@@ -195,11 +250,15 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
             addr = peers_addr.get(dst)
             if addr is None:
                 stats["relay_failures"] += 1
+                if flight_on:
+                    flight_note("relay.fail", dst=dst, why="no-addr")
                 return
             try:
                 sock = _dial(kind, addr)
             except OSError:
                 stats["relay_failures"] += 1
+                if flight_on:
+                    flight_note("relay.fail", dst=dst, why="dial")
                 return
             sock.setblocking(False)
             dialed[dst] = sock
@@ -209,8 +268,12 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
         peer.outbuf.extend(frame_with_prefix(frame))
         stats["frames_relayed"] += 1
         stats["bytes_out"] += len(frame) + 4
+        if flight_on:
+            flight_note("relay", dst=dst, bytes=len(frame) + 4)
         if not _flush(sock, peer.outbuf):
             stats["relay_failures"] += 1
+            if flight_on:
+                flight_note("relay.fail", dst=dst, why="send")
             drop_peer(sock)
             return
         interest(sock, peer.outbuf)
@@ -219,10 +282,15 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
         nonlocal running
         msg = decode_frame(raw)
         if msg.msg_type == CTRL_RELAY:
+            sim = msg.payload.get("sim")
+            if sim is not None:
+                last_sim[0] = sim
             relay(msg.payload["dst"], msg.payload["frame"])
         elif msg.msg_type == CTRL_PEERS:
             peers_addr.update(msg.payload["peers"])
         elif msg.msg_type == CTRL_SHUTDOWN:
+            if flight_on:
+                flight_note("shutdown")
             running = False
 
     sel.register(ctrl, selectors.EVENT_READ)
@@ -230,9 +298,19 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
     ctrl_send(CTRL_HELLO,
               {"node": node_id, "addr": my_addr, "pid": os.getpid()})
 
+    next_flush = time.monotonic() + period_s
     try:
         while running:
-            for key, events in sel.select(timeout=1.0):
+            timeout = 1.0
+            if obs_on:
+                now = time.monotonic()
+                if now >= next_flush:
+                    flush_obs()
+                    next_flush = now + period_s
+                timeout = min(1.0, max(0.001, next_flush - now))
+            ready = sel.select(timeout=timeout)
+            t_iter = time.monotonic_ns() if (wallclock and ready) else 0
+            for key, events in ready:
                 sock = key.fileobj
                 if sock is listener:
                     try:
@@ -283,13 +361,23 @@ def worker_main(node_id: int, kind: str, ctrl_addr: Any,
                     for raw in peer.decoder.feed(data):
                         stats["frames_received"] += 1
                         stats["bytes_in"] += len(raw) + 4
+                        if flight_on:
+                            flight_note("recv", bytes=len(raw) + 4)
                         ctrl_send(CTRL_ARRIVED, {"frame": raw})
+            if t_iter:
+                hists["loop_lag_ns"].observe(time.monotonic_ns() - t_iter)
     except Exception:  # pragma: no cover - master detects death via EOF
         running = False
 
     # Graceful drain: push pending peer frames and the stats reply out
     # before exiting, bounded so a wedged peer cannot hang shutdown.
-    ctrl_send(CTRL_STATS, stats)
+    if obs_on:
+        flush_obs()
+    stats_payload: Dict[str, Any] = dict(stats)
+    if wallclock:
+        stats_payload["hists"] = {name: h.as_dict()
+                                  for name, h in hists.items() if h.count}
+    ctrl_send(CTRL_STATS, stats_payload)
     deadline = time.monotonic() + 5.0
     pending: List[Tuple[socket.socket, bytearray]] = (
         [(ctrl, ctrl_out)] + [(p.sock, p.outbuf) for p in conns.values()])
@@ -344,6 +432,21 @@ class ProcNetwork(SimNetwork):
         # process is found dead without the simulator having detached it
         # — i.e. genuine external process death (SIGKILL from outside).
         self.on_proc_death: Optional[Callable[[int], None]] = None
+        # -- telemetry plane (armed by ObsManager.attach) --------------
+        # Knob dict forked into every worker ({"wallclock", "flight",
+        # "flight_events", "live", "period_s"}); None = all off.
+        self.obs_plane: Optional[Dict[str, Any]] = None
+        # Master-side wall-clock registry (obs.wallclock.WallClockStats).
+        self.wallclock: Optional[Any] = None
+        # Called synchronously with (reason, detail) on external worker
+        # death or wire corruption/timeouts to write a flight postmortem.
+        self.on_flight_dump: Optional[
+            Callable[[str, Dict[str, Any]], None]] = None
+        # node -> ring of flight events shipped up from its worker.
+        self._flight_mirror: Dict[int, Deque[Dict[str, Any]]] = {}
+        # msg_id -> FIFO of relay-send timestamps (RTT measurement).
+        self._relay_t0: Dict[int, Deque[int]] = {}
+        self._stopping = False
         self._started = False
         self._stopped = False
         self._tmpdir: Optional[str] = None
@@ -396,7 +499,8 @@ class ProcNetwork(SimNetwork):
                      if self.socket_kind == "unix" else None)
         proc = self._mp_context().Process(
             target=worker_main,
-            args=(node, self.socket_kind, self._ctrl_addr, data_addr),
+            args=(node, self.socket_kind, self._ctrl_addr, data_addr,
+                  self.obs_plane),
             daemon=True,
             name=f"repro-node-{node}",
         )
@@ -471,6 +575,7 @@ class ProcNetwork(SimNetwork):
         to drain and reply with their stats; stragglers are killed.
         Returns the wire-plane summary for the run report.  Idempotent.
         """
+        self._stopping = True  # EOFs from here on are orderly, not deaths
         if self._started and not self._stopped:
             for node in list(self._ctrl):
                 self._ctrl_send(node, CTRL_SHUTDOWN, {})
@@ -558,12 +663,21 @@ class ProcNetwork(SimNetwork):
         frame = entry[0]
         self.stats.wire_frames += 1
         self.stats.wire_bytes += len(frame) + 4
+        if self.wallclock is not None:
+            self.wallclock.sample(self.engine.now)
         if msg.src == msg.dst:
             return  # loopback: no physical hop, decode-proved at delivery
         if self._proc_ok(msg.src) and self._proc_ok(msg.dst):
-            if self._ctrl_send(msg.src, CTRL_RELAY,
-                               {"dst": msg.dst, "frame": frame}):
+            relay_payload = {"dst": msg.dst, "frame": frame}
+            if self.obs_plane is not None and self.obs_plane.get("flight"):
+                # Stamp sim time so the worker's flight events carry
+                # both clocks.  Ctrl-plane only: data frames untouched.
+                relay_payload["sim"] = self.engine.now
+            if self._ctrl_send(msg.src, CTRL_RELAY, relay_payload):
                 entry[2] += 1
+                if self.wallclock is not None:
+                    self._relay_t0.setdefault(
+                        msg.msg_id, deque()).append(time.monotonic_ns())
         # A dead endpoint means no relay: delivery falls back to the
         # master's copy so the schedule never diverges from sim.
 
@@ -586,7 +700,7 @@ class ProcNetwork(SimNetwork):
             entry[2] -= 1
             self.stats.wire_delivered += 1
             if data != frame:
-                raise WireError(
+                raise self._wire_error(
                     f"wire corruption: frame {msg.msg_id} arrived "
                     f"{len(data)}B, sent {len(frame)}B")
         decoded = decode_frame(data)
@@ -608,6 +722,17 @@ class ProcNetwork(SimNetwork):
         if entry[1] <= 0:
             del self._sent[msg_id]
             self._arrived.pop(msg_id, None)
+            self._relay_t0.pop(msg_id, None)
+
+    def _wire_error(self, detail: str) -> WireError:
+        """Build a WireError, dumping the flight rings first (the error
+        is about to unwind the run — this is the last coherent look)."""
+        if self.on_flight_dump is not None:
+            try:
+                self.on_flight_dump("wire-error", {"detail": detail})
+            except Exception:  # pragma: no cover - dump must not mask
+                pass
+        return WireError(detail)
 
     def _await_frame(self, msg: Message) -> Optional[bytes]:
         """Block until the physical copy of ``msg`` lands, an endpoint
@@ -621,7 +746,7 @@ class ProcNetwork(SimNetwork):
                 self._pump(0)  # drain anything racing the death notice
                 return queue.popleft() if queue else None
             if time.monotonic() > deadline:
-                raise WireError(
+                raise self._wire_error(
                     f"timed out after {self.wait_timeout_s}s waiting for "
                     f"physical copy of {msg}")
             self._pump(0.05)
@@ -683,11 +808,45 @@ class ProcNetwork(SimNetwork):
         if msg.msg_type == CTRL_ARRIVED:
             raw = msg.payload["frame"]
             msg_id = peek_msg_id(raw)
+            if self.wallclock is not None:
+                queue = self._relay_t0.get(msg_id)
+                if queue:
+                    t0 = queue.popleft()
+                    self.wallclock.observe(
+                        "net.rtt_ns", node, time.monotonic_ns() - t0)
+                    if not queue:
+                        del self._relay_t0[msg_id]
             if msg_id in self._sent:
                 self._arrived.setdefault(msg_id, deque()).append(raw)
             # else: a copy whose deliveries were all discarded — expired.
         elif msg.msg_type == CTRL_STATS:
             self._worker_stats[node] = dict(msg.payload)
+            self._ingest_hists(node, msg.payload.get("hists"))
+        elif msg.msg_type == CTRL_DELTA:
+            if self.wallclock is not None:
+                for name, value in msg.payload.get("stats", {}).items():
+                    if name != "node" and isinstance(value, int):
+                        self.wallclock.set_counter(
+                            f"worker.{name}", node, value)
+            self._ingest_hists(node, msg.payload.get("hists"))
+        elif msg.msg_type == CTRL_FLIGHT:
+            cap = (self.obs_plane or {}).get("flight_events", 256)
+            ring = self._flight_mirror.get(node)
+            if ring is None:
+                ring = self._flight_mirror[node] = deque(maxlen=cap)
+            ring.extend(msg.payload.get("events", ()))
+
+    def _ingest_hists(self, node: int, hists: Optional[Dict[str, Any]]
+                      ) -> None:
+        """Merge worker-shipped cumulative histograms (replace per node)."""
+        if self.wallclock is None or not hists:
+            return
+        for name, doc in hists.items():
+            self.wallclock.set_hist(f"worker.{name}", node, doc)
+
+    def flight_worker_events(self, node: int) -> List[Dict[str, Any]]:
+        """The flight events last shipped up from one node's worker."""
+        return list(self._flight_mirror.get(node, ()))
 
     def _close_ctrl(self, node_id: int) -> None:
         conn = self._ctrl.get(node_id)
@@ -703,6 +862,12 @@ class ProcNetwork(SimNetwork):
             return
         self._dead_procs.add(node_id)
         self._close_ctrl(node_id)
+        if (self.on_flight_dump is not None and not self._stopping
+                and self.is_attached(node_id)):
+            try:
+                self.on_flight_dump("sigkill", {"node": node_id})
+            except Exception:  # pragma: no cover - dump must not mask
+                pass
         if self.on_proc_death is not None and self.is_attached(node_id):
             self.engine.schedule(
                 0, lambda: self._fire_death(node_id))

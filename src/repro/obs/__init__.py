@@ -19,10 +19,13 @@ Three independent knobs on :class:`~repro.runtime.config.RuntimeConfig`:
 All off (the default): byte-identical runs, no obs object constructed.
 """
 
+from .flight import (FlightRecorder, build_dump, validate_flight_dump,
+                     write_dump)
 from .manager import ObsAgent, ObsManager, current_site
 from .metrics import Histogram, MetricsRegistry
 from .profiler import StallProfiler, site_label
 from .spans import Span, SpanRecorder, validate_chrome_trace
+from .wallclock import WallClockStats
 
 __all__ = [
     "ObsManager",
@@ -35,4 +38,9 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "validate_chrome_trace",
+    "WallClockStats",
+    "FlightRecorder",
+    "build_dump",
+    "write_dump",
+    "validate_flight_dump",
 ]

@@ -1,0 +1,141 @@
+"""Flight recorder: bounded rings of recent events, dumped on failure.
+
+Each node (master-side worker object *and* proc-backend OS worker)
+keeps a ``deque(maxlen=N)`` of its last protocol / jit / serve events,
+every event stamped with both clocks::
+
+    {"kind": "dsm.fetch", "wall_ns": ..., "sim_ns": ..., **detail}
+
+On SIGKILL detection, oracle/monitor violation, or ``WireError`` the
+rings are merged into one JSON postmortem — turning "exitcode ==
+-SIGKILL" into an ordered record of what every node was doing when the
+run died.  Recording is passive (append to an in-memory deque); the
+proc workers ship their rings over the ctrl channel with msg_id 0, so
+the sim schedule is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "FlightRecorder",
+    "build_dump",
+    "write_dump",
+    "validate_flight_dump",
+]
+
+#: Schema version stamped into every dump.
+FLIGHT_SCHEMA = 1
+
+_dump_seq = 0
+
+
+class FlightRecorder:
+    """Bounded ring of recent events for one node."""
+
+    __slots__ = ("node", "ring")
+
+    def __init__(self, node: int, maxlen: int = 256) -> None:
+        self.node = node
+        self.ring: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+
+    def record(self, kind: str, sim_ns: int, **detail: Any) -> None:
+        event: Dict[str, Any] = {
+            "kind": kind,
+            "wall_ns": time.monotonic_ns(),
+            "sim_ns": sim_ns,
+        }
+        if detail:
+            event.update(detail)
+        self.ring.append(event)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return list(self.ring)
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+
+def build_dump(
+    reason: str,
+    detail: Optional[Dict[str, Any]],
+    nodes: Dict[int, Dict[str, List[Dict[str, Any]]]],
+    sim_ns: int,
+    backend: str,
+) -> Dict[str, Any]:
+    """Assemble the postmortem document.
+
+    ``nodes`` maps node id -> {"events": [...], "worker_events": [...]}
+    where ``events`` is the master-side ring and ``worker_events`` the
+    ring shipped from the proc-backend OS worker (empty on sim).
+    """
+    return {
+        "flight": FLIGHT_SCHEMA,
+        "reason": reason,
+        "detail": detail or {},
+        "sim_ns": sim_ns,
+        "wall_ns": time.monotonic_ns(),
+        "backend": backend,
+        "nodes": {
+            str(node): {
+                "events": rings.get("events", []),
+                "worker_events": rings.get("worker_events", []),
+            }
+            for node, rings in sorted(nodes.items())
+        },
+    }
+
+
+def write_dump(doc: Dict[str, Any], directory: str) -> str:
+    """Write one dump to ``directory`` and return its path."""
+    global _dump_seq
+    _dump_seq += 1
+    os.makedirs(directory, exist_ok=True)
+    name = f"flight-{doc['reason']}-{os.getpid()}-{_dump_seq}.json"
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def validate_flight_dump(doc: Dict[str, Any]) -> List[str]:
+    """Schema check for a flight dump; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["dump is not an object"]
+    if doc.get("flight") != FLIGHT_SCHEMA:
+        errors.append(f"bad flight schema version: {doc.get('flight')!r}")
+    for key, kind in (("reason", str), ("sim_ns", int), ("wall_ns", int),
+                      ("backend", str), ("detail", dict), ("nodes", dict)):
+        if not isinstance(doc.get(key), kind):
+            errors.append(f"missing or mistyped key {key!r}")
+    for node, rings in (doc.get("nodes") or {}).items():
+        if not isinstance(rings, dict):
+            errors.append(f"node {node}: entry is not an object")
+            continue
+        for ring_name in ("events", "worker_events"):
+            events = rings.get(ring_name)
+            if not isinstance(events, list):
+                errors.append(f"node {node}: {ring_name} is not a list")
+                continue
+            for i, event in enumerate(events):
+                if not isinstance(event, dict):
+                    errors.append(
+                        f"node {node}: {ring_name}[{i}] not an object")
+                    continue
+                if not isinstance(event.get("kind"), str):
+                    errors.append(
+                        f"node {node}: {ring_name}[{i}] missing kind")
+                if not isinstance(event.get("wall_ns"), int):
+                    errors.append(
+                        f"node {node}: {ring_name}[{i}] missing wall_ns")
+                if not isinstance(event.get("sim_ns"), int):
+                    errors.append(
+                        f"node {node}: {ring_name}[{i}] missing sim_ns")
+    return errors

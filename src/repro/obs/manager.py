@@ -20,12 +20,16 @@ EXPERIMENTS.md measures.
 
 from __future__ import annotations
 
+import tempfile
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..net.message import OBS_SPAN_KEY, Message
+from ..net.wire import set_wire_timer
+from .flight import FlightRecorder, build_dump, write_dump
 from .metrics import MetricsRegistry
 from .profiler import StallProfiler, site_label
 from .spans import SpanRecorder
+from .wallclock import WallClockStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.javasplit import JavaSplitRuntime
@@ -72,6 +76,20 @@ class ObsManager:
             self.profiler = StallProfiler(now)
         self.top_n = cfg.obs_top_n
         self.agents: Dict[int, ObsAgent] = {}
+        # -- wall-clock plane ------------------------------------------
+        self.wallclock: Optional[WallClockStats] = None
+        if cfg.obs_wallclock:
+            self.wallclock = WallClockStats()
+        self._flight_enabled = cfg.obs_flight_recorder
+        self._flight_events = cfg.obs_flight_events
+        self._live = cfg.obs_live_stats
+        # node -> master-side flight ring (protocol/jit/serve events).
+        self.flight: Dict[int, FlightRecorder] = {}
+        # Paths of postmortems written during this run.
+        self.flight_dumps: List[str] = []
+        self._flight_dir: Optional[str] = cfg.obs_flight_dir
+        self._violation_dumped = False
+        self._wire_timer_armed = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -82,12 +100,46 @@ class ObsManager:
         ft = self.runtime.ft
         if ft is not None:
             ft.orchestrator.on_recovered = self._on_ft_recovered
+        # Arm the proc backend's telemetry plane (no-op on sim: plain
+        # SimNetwork has no obs_plane attribute).
+        net = self.runtime.network
+        if (hasattr(net, "obs_plane")
+                and (self.wallclock is not None or self._flight_enabled
+                     or self._live)):
+            net.obs_plane = {
+                "wallclock": self.wallclock is not None,
+                "flight": self._flight_enabled,
+                "flight_events": self._flight_events,
+                "live": self._live,
+                "period_s": self.runtime.config.obs_live_period_s,
+            }
+            net.wallclock = self.wallclock
+            net.on_flight_dump = self.dump_flight
+        if self.wallclock is not None:
+            set_wire_timer(self._wire_cb)
+            self._wire_timer_armed = True
+
+    def _wire_cb(self, kind: str, elapsed_ns: int) -> None:
+        """Codec probe (master process): attribute to the master node."""
+        self.wallclock.observe(f"wire.{kind}_ns",
+                               self.runtime.config.master_node, elapsed_ns)
+
+    def release_wire_timer(self) -> None:
+        """Disarm the module-level codec probe (run() finally block —
+        the probe must never outlive the run that armed it)."""
+        if self._wire_timer_armed:
+            set_wire_timer(None)
+            self._wire_timer_armed = False
 
     def _attach_worker(self, worker: "WorkerNode") -> None:
         agent = ObsAgent(self, worker)
         worker.dsm.obs = agent
         if self.spans is not None:
             worker.transport.obs_on_deliver = agent.on_deliver
+        if self._flight_enabled:
+            recorder = FlightRecorder(worker.node_id, self._flight_events)
+            self.flight[worker.node_id] = recorder
+            agent.flight = recorder
         self.agents[worker.node_id] = agent
 
     def on_worker_added(self, worker: "WorkerNode") -> None:
@@ -116,6 +168,56 @@ class ObsManager:
                                 count=record.get(phase, 0))
 
     # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+    @property
+    def flight_enabled(self) -> bool:
+        return self._flight_enabled
+
+    def flight_record(self, node: int, kind: str, **detail: Any) -> None:
+        """Append one event to a node's master-side flight ring (no-op
+        when the recorder is off or the node is unknown)."""
+        recorder = self.flight.get(node)
+        if recorder is not None:
+            recorder.record(kind, self.runtime.engine.now, **detail)
+
+    def dump_flight(self, reason: str,
+                    detail: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Write a postmortem merging every node's master-side ring with
+        the events its proc worker last shipped; returns the path (None
+        when the recorder is off)."""
+        if not self._flight_enabled:
+            return None
+        net = self.runtime.network
+        worker_events = getattr(net, "flight_worker_events", None)
+        nodes: Dict[int, Dict[str, List[Dict[str, Any]]]] = {}
+        node_ids = set(self.flight) | set(
+            getattr(net, "_flight_mirror", {}) or {})
+        for node in node_ids:
+            recorder = self.flight.get(node)
+            nodes[node] = {
+                "events": recorder.snapshot() if recorder else [],
+                "worker_events": (worker_events(node)
+                                  if worker_events is not None else []),
+            }
+        doc = build_dump(reason, detail, nodes, self.runtime.engine.now,
+                         self.runtime.config.transport_backend)
+        if self._flight_dir is None:
+            self._flight_dir = tempfile.mkdtemp(prefix="repro-flight-")
+        path = write_dump(doc, self._flight_dir)
+        self.flight_dumps.append(path)
+        return path
+
+    def dump_on_violation(self, node: int, kind: str, detail: Any) -> None:
+        """Oracle/monitor callback: one postmortem per run, on the
+        first violation (later ones would dump near-identical rings)."""
+        if self._violation_dumped:
+            return
+        self._violation_dumped = True
+        self.dump_flight("violation",
+                         {"node": node, "kind": kind, "detail": str(detail)})
+
+    # ------------------------------------------------------------------
     def finalize(self) -> None:
         """End of run: charge stalls still open (threads parked at
         exit) so the report accounts for every blocked nanosecond."""
@@ -132,6 +234,10 @@ class ObsManager:
                             "dropped": self.spans.dropped}
         if self.profiler is not None:
             out["profile"] = self.profiler.report(self.top_n)
+        if self.wallclock is not None:
+            out["wallclock"] = self.wallclock.as_dict()
+        if self.flight_dumps:
+            out["flight_dumps"] = list(self.flight_dumps)
         return out
 
 
@@ -148,6 +254,8 @@ class ObsAgent:
         self.metrics = manager.metrics
         self.spans = manager.spans
         self.profiler = manager.profiler
+        self.wall = manager.wallclock
+        self.flight = None  # set by _attach_worker when the knob is on
         self._now = lambda: worker.dsm.engine.now
         # Delivery context: span ids of the messages currently being
         # dispatched (a stack — aggregated frames dispatch nested).
@@ -208,6 +316,10 @@ class ObsAgent:
         if self.metrics is not None:
             self.metrics.inc("dsm.fetch.req", self.node_id)
             self._fetch_t0[(gid, region)] = self._now()
+        if self.flight is not None:
+            self.flight.record("dsm.fetch", self._now(), gid=gid)
+        if self.wall is not None:
+            self.wall.sample(self._now())
         if self.spans is None:
             return
         sid = self.spans.open("dsm.fetch", self.node_id,
@@ -254,6 +366,11 @@ class ObsAgent:
             self.metrics.inc("dsm.diff.sent", self.node_id)
             self.metrics.observe("dsm.diff.bytes", self.node_id, diff_bytes)
             self._flush_t0[ack_id] = self._now()
+        if self.flight is not None:
+            self.flight.record("dsm.flush", self._now(),
+                               home=home, ack_id=ack_id)
+        if self.wall is not None:
+            self.wall.sample(self._now())
         if self.spans is None:
             return 0
         sid = self.spans.open("dsm.flush", self.node_id, home=home,
@@ -352,6 +469,9 @@ class ObsAgent:
         (span key + per-entry obs_span slots), 0 when spans are off."""
         if self.metrics is not None:
             self.metrics.inc("dsm.token.sent", self.node_id)
+        if self.flight is not None:
+            self.flight.record("dsm.token", self._now(),
+                               gid=gid, to=req.node)
         if self.spans is None:
             return 0
         fence = self._fence_spans.pop(gid, None)

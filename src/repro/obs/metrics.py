@@ -91,6 +91,22 @@ class Histogram:
                         for k, n in sorted(self.buckets.items())},
         }
 
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`as_dict` (quantiles are re-derived).
+
+        Used to rehydrate histograms shipped from proc-backend workers
+        so they can be merged into the cluster-wide view."""
+        hist = cls()
+        hist.count = int(doc.get("count", 0))
+        hist.total = int(doc.get("total", 0))
+        hist.min = doc.get("min")
+        hist.max = doc.get("max")
+        for bound, n in doc.get("buckets", {}).items():
+            k = max(0, int(bound).bit_length() - 1)
+            hist.buckets[k] = hist.buckets.get(k, 0) + int(n)
+        return hist
+
     def merge(self, other: "Histogram") -> "Histogram":
         self.count += other.count
         self.total += other.total

@@ -17,7 +17,7 @@ about the network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -147,13 +147,30 @@ class SpanRecorder:
     # ------------------------------------------------------------------
     # Chrome trace-event / Perfetto export
     # ------------------------------------------------------------------
-    def to_chrome_trace(self) -> Dict[str, Any]:
+    def to_chrome_trace(self, wall_samples: Optional[List[Tuple[int, int]]]
+                        = None) -> Dict[str, Any]:
         """Async-nestable trace-event JSON (load in Perfetto or
         chrome://tracing). All spans of one transaction share the root
         span id as their async ``id``, so the viewer nests them; the
         recording node is exposed as the tid so hops across nodes stay
-        on visibly distinct rows inside the nest."""
+        on visibly distinct rows inside the nest.
+
+        ``wall_samples`` — (sim_ns, wall_ns) correlation points from
+        :class:`~repro.obs.wallclock.WallClockStats` — adds a counter
+        lane plotting elapsed wall-clock milliseconds on the same
+        sim-time axis as the spans, so sim-cheap / wall-expensive
+        stretches (JIT compiles, socket stalls) are visible."""
         events: List[Dict[str, Any]] = []
+        for sim_ns, wall_ns in wall_samples or ():
+            events.append({
+                "name": "wallclock_ms",
+                "cat": "wallclock",
+                "ph": "C",
+                "ts": sim_ns / 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"wall_ms": wall_ns / 1e6},
+            })
         for key in sorted(self.spans):
             span = self.spans[key]
             end_ns = span.end_ns if span.end_ns is not None else span.start_ns

@@ -189,6 +189,23 @@ class RuntimeConfig:
     obs_max_spans: int = 200_000
     # Rows in the hot-site / hot-unit profile reports.
     obs_top_n: int = 10
+    # Wall-clock telemetry: monotonic-clock histograms for socket RTT,
+    # wire encode/decode, worker event-loop lag, and JIT compile/quantum
+    # time.  Passive: never adds payload bytes or sim events.
+    obs_wallclock: bool = False
+    # Per-worker flight recorder: bounded ring of recent protocol / jit /
+    # serve events with paired (wall, sim) timestamps, dumped to JSON on
+    # SIGKILL detection, oracle/monitor violation, or WireError.
+    obs_flight_recorder: bool = False
+    # Ring capacity (events per node) for the flight recorder.
+    obs_flight_events: int = 256
+    # Directory for flight dumps (None -> a fresh temp directory).
+    obs_flight_dir: Optional[str] = None
+    # Live stats streaming: proc workers ship compact metric deltas to
+    # the master on a wall-clock cadence (``repro stats --live``).
+    obs_live_stats: bool = False
+    # Wall-clock period between live delta shipments.
+    obs_live_period_s: float = 0.25
 
     @property
     def jit_enabled(self) -> bool:
@@ -197,7 +214,9 @@ class RuntimeConfig:
     @property
     def obs_enabled(self) -> bool:
         """True when any telemetry collector is switched on."""
-        return self.obs_metrics or self.obs_spans or self.obs_profile
+        return (self.obs_metrics or self.obs_spans or self.obs_profile
+                or self.obs_wallclock or self.obs_flight_recorder
+                or self.obs_live_stats)
 
     @property
     def race_enabled(self) -> bool:
@@ -328,3 +347,7 @@ class RuntimeConfig:
                 raise ValueError("obs_max_spans must be >= 1")
             if self.obs_top_n < 1:
                 raise ValueError("obs_top_n must be >= 1")
+            if self.obs_flight_events < 1:
+                raise ValueError("obs_flight_events must be >= 1")
+            if self.obs_live_period_s <= 0:
+                raise ValueError("obs_live_period_s must be positive")

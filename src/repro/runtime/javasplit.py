@@ -84,6 +84,9 @@ class RunReport:
     backend: str = "sim"
     wall_seconds: float = 0.0
     proc: Optional[Dict[str, Any]] = None
+    # Paths of flight-recorder postmortems written during the run
+    # (empty unless obs_flight_recorder caught a death/violation/error).
+    flight_dumps: List[str] = field(default_factory=list)
 
     @property
     def simulated_seconds(self) -> float:
@@ -350,6 +353,11 @@ class JavaSplitRuntime:
             )
         finally:
             wall_seconds = time.perf_counter() - wall_start
+            # Disarm the module-level wire-codec probe before teardown
+            # so it cannot observe into a dead registry (or leak into
+            # the next run in this process).
+            if self.obs is not None:
+                self.obs.release_wire_timer()
             # Tear down the physical plane (proc backend) even on
             # failure, so no worker processes outlive the run.
             proc_summary = self.network.stop()
@@ -397,6 +405,8 @@ class JavaSplitRuntime:
             backend=self.config.transport_backend,
             wall_seconds=wall_seconds,
             proc=proc_summary,
+            flight_dumps=([] if self.obs is None
+                          else list(self.obs.flight_dumps)),
         )
 
 

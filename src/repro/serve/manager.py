@@ -180,14 +180,18 @@ class ServeManager:
     def _record(self, tenant: int, seq: int, phase: int,
                 latency_ns: int, node_id: int) -> None:
         obs = self.runtime.obs
-        metrics = obs.metrics if obs is not None else None
-        if metrics is None:
+        if obs is None:
             return
-        metrics.inc("serve.completed", node_id)
-        metrics.inc(f"serve.completed.p{phase}", node_id)
-        metrics.inc(f"serve.completed.t{tenant}", node_id)
-        metrics.observe("serve.latency_ns", node_id, latency_ns)
-        metrics.observe(f"serve.latency_ns.p{phase}", node_id, latency_ns)
+        metrics = obs.metrics
+        if metrics is not None:
+            metrics.inc("serve.completed", node_id)
+            metrics.inc(f"serve.completed.p{phase}", node_id)
+            metrics.inc(f"serve.completed.t{tenant}", node_id)
+            metrics.observe("serve.latency_ns", node_id, latency_ns)
+            metrics.observe(f"serve.latency_ns.p{phase}", node_id,
+                            latency_ns)
+        obs.flight_record(node_id, "serve.done", tenant=tenant, seq=seq,
+                          phase=phase, latency_ns=latency_ns)
 
     # -- reporting ------------------------------------------------------
     def report(self) -> Dict[str, Any]:

@@ -160,8 +160,16 @@ def run_serve_reference(classfiles: List[Any],
 
 
 def run_scenario(scenario: Scenario, seed: int = 0,
-                 backend: str = "sim") -> Dict[str, Any]:
-    """Execute one scenario under full checking; return the JSON doc."""
+                 backend: str = "sim",
+                 config_overrides: Optional[Dict[str, Any]] = None,
+                 on_runtime: Optional[Any] = None) -> Dict[str, Any]:
+    """Execute one scenario under full checking; return the JSON doc.
+
+    ``config_overrides`` patches RuntimeConfig fields after the preset
+    builds it (e.g. ``{"obs_wallclock": True}`` for live telemetry);
+    ``on_runtime(runtime)`` is called once the runtime exists but before
+    the run starts — the ``repro stats --live`` hook point.
+    """
     gen = LoadGenerator(scenario.phases, scenario.sessions, seed=seed)
     schedules = gen.schedules(scenario.tenants)
     injected_by_phase = LoadGenerator.injected_by_phase(schedules)
@@ -175,8 +183,12 @@ def run_scenario(scenario: Scenario, seed: int = 0,
     rewritten = rewrite_application(list(classfiles))
     killing = scenario.kill is not None
     config = scenario.config(seed, backend)
+    for name, value in (config_overrides or {}).items():
+        setattr(config, name, value)
     runtime = JavaSplitRuntime(rewritten, config)
     manager = ServeManager.attach(runtime, schedules)
+    if on_runtime is not None:
+        on_runtime(runtime)
     for at_ns, brand in scenario.joins:
         runtime.schedule_join(at_ns, brand)
     injector = None

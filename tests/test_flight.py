@@ -1,0 +1,119 @@
+"""Flight recorder + live telemetry on the multiprocess backend.
+
+The expensive guarantees: a worker SIGKILLed from outside leaves a
+parseable flight dump carrying the dead node's last recorded events;
+the wall-clock plane measures real socket RTTs without perturbing any
+deterministic observable; and the live-stats shipping cadence survives
+a full run."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+from repro.check.runner import DEFAULT_JITTER_NS, app_source
+from repro.lang import compile_source
+from repro.obs.flight import validate_flight_dump
+from repro.rewriter import rewrite_application
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.javasplit import JavaSplitRuntime
+from repro.sim.engine import NS_PER_MS
+
+
+def build_runtime(backend: str, **overrides) -> JavaSplitRuntime:
+    config = RuntimeConfig(
+        num_nodes=3,
+        net_jitter_ns=DEFAULT_JITTER_NS,
+        seed=0,
+        transport_backend=backend,
+        **overrides,
+    )
+    rewritten = rewrite_application(compile_source(app_source("series")))
+    return JavaSplitRuntime(rewritten, config)
+
+
+def test_sigkilled_worker_leaves_flight_dump(tmp_path, proc_guard):
+    """kill -9 on a worker process: the master's death detection must
+    dump the flight state, including the killed node's last events as
+    mirrored over the ctrl plane before the kill."""
+    rt = build_runtime("proc", ft_enabled=True, reliable_transport=True,
+                       obs_flight_recorder=True, obs_wallclock=True,
+                       obs_live_stats=True, obs_live_period_s=0.05,
+                       obs_flight_dir=str(tmp_path))
+
+    def murder():
+        os.kill(rt.network.proc_pids[2], signal.SIGKILL)
+
+    rt.engine.schedule_at(5 * NS_PER_MS, murder)
+    report = rt.run()
+
+    assert report.ft["dead_nodes"] == [2]
+    assert report.flight_dumps, "SIGKILL must produce a flight dump"
+    path = report.flight_dumps[0]
+    assert path.startswith(str(tmp_path))
+    doc = json.loads(open(path).read())
+    assert validate_flight_dump(doc) == []
+    assert doc["reason"] == "sigkill"
+    assert doc["detail"]["node"] == 2
+    assert doc["backend"] == "proc"
+    # The killed node appears with master-side events; its worker-side
+    # ring arrives only if a live flush beat the kill, so don't require
+    # it — but whatever arrived must be well-formed (validated above).
+    killed = doc["nodes"]["2"]
+    assert killed["events"], "master-side ring for the dead node is empty"
+    assert all(ev["kind"] for ev in killed["events"])
+    # And the run still recovered to the sim-backend result.
+    ref = build_runtime("sim").run()
+    assert report.result == ref.result
+
+
+def test_orderly_shutdown_produces_no_dump(tmp_path, proc_guard):
+    rt = build_runtime("proc", obs_flight_recorder=True,
+                       obs_flight_dir=str(tmp_path))
+    report = rt.run()
+    assert report.flight_dumps == []
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_proc_wallclock_measures_without_perturbing(proc_guard):
+    """Knobs ON on the proc backend: real RTT / codec / loop-lag
+    histograms fill up, while every deterministic observable stays
+    exactly equal to the knobs-off sim run."""
+    sim = build_runtime("sim").run()
+    rt = build_runtime("proc", obs_wallclock=True,
+                       obs_flight_recorder=True, obs_live_stats=True,
+                       obs_live_period_s=0.05)
+    report = rt.run()
+
+    assert report.result == sim.result
+    assert report.simulated_ns == sim.simulated_ns
+    assert report.net.messages == sim.net.messages
+    assert report.net.bytes == sim.net.bytes
+    assert report.net.by_type == sim.net.by_type
+
+    wall = rt.obs.wallclock
+    assert wall is not None
+    rtt = wall.histogram("net.rtt_ns")
+    assert rtt.count > 0, "no socket round-trips were timed"
+    assert rtt.min > 0
+    # Worker-shipped histograms (cumulative, final CTRL_STATS flush).
+    lag = wall.histogram("worker.loop_lag_ns")
+    assert lag.count > 0, "workers shipped no loop-lag samples"
+    enc = wall.histogram("wire.encode_ns")
+    assert enc.count > 0, "master codec timings missing"
+    assert wall.samples, "no sim/wall correlation samples recorded"
+    by_node = wall.by_node()
+    assert by_node, "per-node compact view is empty"
+
+
+def test_wire_error_dump_hook_fires(tmp_path):
+    """The master's wire-error path routes through the flight dumper."""
+    rt = build_runtime("sim", obs_flight_recorder=True,
+                       obs_flight_dir=str(tmp_path))
+    rt.run()
+    dumped = rt.obs.dump_flight("wire-error", {"detail": "synthetic"})
+    assert dumped is not None
+    doc = json.loads(open(dumped).read())
+    assert validate_flight_dump(doc) == []
+    assert doc["reason"] == "wire-error"

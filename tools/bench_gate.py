@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the committed ``BENCH_*.json`` snapshots.
+
+The committed bench documents are seed-deterministic everywhere except
+their wall-clock fields, so regressions split into two classes and the
+gate treats them differently:
+
+* **Deterministic observables** (simulated time, message/byte counts,
+  DSM fetch/diff/token counts, program results) must match the
+  committed snapshot *exactly*.  Any drift means runtime behaviour
+  changed and the snapshot was not regenerated — the gate fails and
+  names every diverging field.
+* **Boolean guarantees** (``identical`` sim-vs-proc / interp-vs-jit,
+  ``result_matches``, scenario ``ok``) may never regress from True in
+  the baseline to False in the fresh run.
+* **Wall-clock ratios** (``speedup_wall`` in the jit bench) are
+  machine- and load-dependent, so they get a tolerance instead of
+  equality: a fresh speedup may not fall below
+  ``max(1.0, baseline * wall_tolerance)`` when the baseline showed a
+  real speedup.  Absolute wall fields (``wall_seconds``, ``wall_ms``)
+  are never compared — they don't survive a machine change.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_gate.py BENCH_9.json
+    PYTHONPATH=src python tools/bench_gate.py BENCH_3.json --fresh out.json
+
+Without ``--fresh`` the gate re-runs the matching bench in-process.
+Exit status 0 = no regression, 1 = regression (errors on stdout),
+2 = usage/document problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Seed-deterministic per-run fields compared exactly when present.
+DETERMINISTIC_KEYS = ("simulated_ms", "messages", "bytes", "fetches",
+                      "diffs_sent", "token_transfers", "result")
+
+#: Default floor factor for wall-clock speedup ratios.
+WALL_TOLERANCE = 0.4
+
+
+def _cmp_run(errors: List[str], where: str, base: Dict[str, Any],
+             fresh: Optional[Dict[str, Any]]) -> None:
+    """Exact-match the deterministic fields of one run entry."""
+    if not isinstance(fresh, dict):
+        errors.append(f"{where}: missing from fresh document")
+        return
+    for key in DETERMINISTIC_KEYS:
+        if key not in base:
+            continue
+        if key not in fresh:
+            errors.append(f"{where}.{key}: missing from fresh run")
+        elif fresh[key] != base[key]:
+            errors.append(f"{where}.{key}: baseline {base[key]!r} "
+                          f"!= fresh {fresh[key]!r}")
+
+
+def _cmp_flag(errors: List[str], where: str, base: Any,
+              fresh: Any) -> None:
+    """A True boolean guarantee may never regress to False."""
+    if base is True and fresh is not True:
+        errors.append(f"{where}: baseline True regressed to {fresh!r}")
+
+
+def _compare_mode_bench(base: Dict[str, Any], fresh: Dict[str, Any],
+                        errors: List[str]) -> None:
+    """Shared shape of the locality / policy / jit documents:
+    ``apps.<app>.runs.<mode>`` plus per-app boolean flags."""
+    for app, b_entry in base.get("apps", {}).items():
+        f_entry = fresh.get("apps", {}).get(app)
+        if not isinstance(f_entry, dict):
+            errors.append(f"apps.{app}: missing from fresh document")
+            continue
+        for flag in ("result_matches", "identical"):
+            if flag in b_entry:
+                _cmp_flag(errors, f"apps.{app}.{flag}",
+                          b_entry[flag], f_entry.get(flag))
+        for mode, b_run in b_entry.get("runs", {}).items():
+            _cmp_run(errors, f"apps.{app}.runs.{mode}", b_run,
+                     f_entry.get("runs", {}).get(mode))
+
+
+def _compare_jit_wall(base: Dict[str, Any], fresh: Dict[str, Any],
+                      wall_tolerance: float,
+                      errors: List[str]) -> None:
+    for app, b_entry in base.get("apps", {}).items():
+        b_speed = b_entry.get("speedup_wall")
+        f_entry = fresh.get("apps", {}).get(app) or {}
+        f_speed = f_entry.get("speedup_wall")
+        if not isinstance(b_speed, (int, float)) or b_speed <= 1.0:
+            continue  # baseline showed no real speedup: nothing to hold
+        floor = max(1.0, b_speed * wall_tolerance)
+        if not isinstance(f_speed, (int, float)) or f_speed < floor:
+            errors.append(
+                f"apps.{app}.speedup_wall: fresh {f_speed!r} below floor "
+                f"{floor:.2f} (baseline {b_speed} x tolerance "
+                f"{wall_tolerance})")
+
+
+def _compare_backends(base: Dict[str, Any], fresh: Dict[str, Any],
+                      errors: List[str]) -> None:
+    for app, b_entry in base.get("apps", {}).items():
+        f_entry = fresh.get("apps", {}).get(app)
+        if not isinstance(f_entry, dict):
+            errors.append(f"apps.{app}: missing from fresh document")
+            continue
+        _cmp_flag(errors, f"apps.{app}.identical",
+                  b_entry.get("identical"), f_entry.get("identical"))
+        for run in ("sim", "proc"):
+            if run in b_entry:
+                _cmp_run(errors, f"apps.{app}.{run}", b_entry[run],
+                         f_entry.get(run))
+
+
+def _compare_serve(base: Dict[str, Any], fresh: Dict[str, Any],
+                   errors: List[str]) -> None:
+    _cmp_flag(errors, "ok", base.get("ok"), fresh.get("ok"))
+    for name, b_sc in base.get("scenarios", {}).items():
+        f_sc = fresh.get("scenarios", {}).get(name)
+        if not isinstance(f_sc, dict):
+            errors.append(f"scenarios.{name}: missing from fresh document")
+            continue
+        _cmp_flag(errors, f"scenarios.{name}.ok", b_sc.get("ok"),
+                  f_sc.get("ok"))
+        _cmp_run(errors, f"scenarios.{name}", b_sc, f_sc)
+        for key in ("injected", "delivered", "completed"):
+            b_v = b_sc.get("requests", {}).get(key)
+            f_v = f_sc.get("requests", {}).get(key)
+            if b_v is not None and f_v != b_v:
+                errors.append(f"scenarios.{name}.requests.{key}: "
+                              f"baseline {b_v!r} != fresh {f_v!r}")
+
+
+def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
+            wall_tolerance: float = WALL_TOLERANCE) -> List[str]:
+    """All regressions of ``fresh`` against ``baseline`` (empty = pass)."""
+    errors: List[str] = []
+    kind = baseline.get("bench")
+    if kind is None:
+        return ["baseline document has no 'bench' key"]
+    if fresh.get("bench") != kind:
+        return [f"bench kind mismatch: baseline {kind!r} "
+                f"!= fresh {fresh.get('bench')!r}"]
+    if kind in ("locality", "policy", "jit"):
+        _compare_mode_bench(baseline, fresh, errors)
+        if kind == "jit":
+            _compare_jit_wall(baseline, fresh, wall_tolerance, errors)
+    elif kind == "backends":
+        _compare_backends(baseline, fresh, errors)
+    elif kind == "serve":
+        _compare_serve(baseline, fresh, errors)
+    else:
+        errors.append(f"unknown bench kind {kind!r}")
+    return errors
+
+
+def generate(baseline: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-run the bench matching the baseline document, in-process."""
+    from repro.bench.jsonbench import (BASE_MODES, run_backend_bench,
+                                       run_bench, run_jit_bench,
+                                       run_policy_bench)
+
+    kind = baseline.get("bench")
+    nodes = baseline.get("nodes", 3)
+    if kind == "locality":
+        ablation = set(baseline.get("modes", BASE_MODES)) != set(BASE_MODES)
+        return run_bench(nodes=nodes, ablation=ablation)
+    if kind == "policy":
+        return run_policy_bench(nodes=nodes)
+    if kind == "backends":
+        return run_backend_bench(nodes=nodes)
+    if kind == "jit":
+        return run_jit_bench(nodes=nodes)
+    if kind == "serve":
+        from repro.serve import PRESETS, run_scenario
+
+        seed = baseline.get("seed", 0)
+        backend = baseline.get("backend", "sim")
+        return {
+            "bench": "serve",
+            "schema": baseline.get("schema", 1),
+            "backend": backend,
+            "seed": seed,
+            "scenarios": {name: run_scenario(PRESETS[name], seed=seed,
+                                             backend=backend)
+                          for name in baseline.get("scenarios", {})
+                          if name in PRESETS},
+            "ok": True,
+        }
+    raise ValueError(f"cannot regenerate bench kind {kind!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a fresh bench run regresses vs a "
+                    "committed BENCH_*.json snapshot")
+    parser.add_argument("baseline", help="committed snapshot JSON path")
+    parser.add_argument("--fresh", default=None, metavar="FILE",
+                        help="fresh bench JSON to compare (default: "
+                             "re-run the matching bench in-process)")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=WALL_TOLERANCE, metavar="F",
+                        help="speedup_wall floor factor (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.load(open(args.baseline))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    if args.fresh is not None:
+        try:
+            fresh = json.load(open(args.fresh))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read fresh document: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        kind = baseline.get("bench")
+        print(f"bench_gate: regenerating {kind!r} bench "
+              f"(nodes={baseline.get('nodes', 3)})...")
+        fresh = generate(baseline)
+
+    errors = compare(baseline, fresh, wall_tolerance=args.wall_tolerance)
+    if errors:
+        print(f"bench_gate: REGRESSION vs {args.baseline} "
+              f"({len(errors)} finding(s)):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    ok = sum(1 for _ in baseline.get("apps", baseline.get("scenarios", {})))
+    print(f"bench_gate: OK — {args.baseline} matches "
+          f"({ok} app(s)/scenario(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
